@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test race bench tables svg csv examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (EXPERIMENTS.md data).
+tables:
+	go run ./cmd/benchtables
+
+svg:
+	go run ./cmd/benchtables -svg out/svg
+
+csv:
+	go run ./cmd/benchtables -csv out/csv
+
+examples:
+	@for e in quickstart adjustment hybridsearch nondedicated distributed applications; do \
+		echo "=== examples/$$e ==="; go run ./examples/$$e || exit 1; done
+
+clean:
+	rm -rf out

@@ -1,0 +1,263 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation (§V) on the calibrated virtual-time platform, plus the
+// ablations from DESIGN.md. See EXPERIMENTS.md for the paper-vs-measured
+// record these outputs feed.
+//
+// Usage:
+//
+//	benchtables              # run everything
+//	benchtables -exp table5  # one experiment: table2..table5, fig5..fig8,
+//	                         # policies, omega, latency
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/gcups"
+	"repro/internal/platform"
+)
+
+var runners = []struct {
+	name string
+	run  func() error
+}{
+	{"table2", func() error { fmt.Println(experiments.Table2()); return nil }},
+	{"table3", tableRunner(experiments.Table3)},
+	{"table4", tableRunner(experiments.Table4)},
+	{"table5", tableRunner(experiments.Table5)},
+	{"fig5", runFig5},
+	{"fig6", func() error {
+		_, tab, err := experiments.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab)
+		return nil
+	}},
+	{"fig7", func() error { return runTimeline("Fig. 7: dedicated execution with 4 cores", experiments.Fig7) }},
+	{"fig8", func() error {
+		return runTimeline("Fig. 8: non-dedicated execution, local load at core 0 from t=60s", experiments.Fig8)
+	}},
+	{"policies", func() error {
+		for _, adjust := range []bool{true, false} {
+			tab, err := experiments.PolicyAblation(adjust)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tab)
+		}
+		return nil
+	}},
+	{"omega", tableOnly(experiments.OmegaAblation)},
+	{"latency", tableOnly(experiments.LatencyAblation)},
+	{"futurework", tableOnly(experiments.FutureWork)},
+	{"threshold", tableOnly(experiments.ThresholdAblation)},
+	{"burst", tableOnly(experiments.BurstAblation)},
+	{"trace", runTrace},
+}
+
+// traceOut is where -exp trace writes its JSON-lines run trace.
+var traceOut string
+
+// runTrace dumps the full event trace of the headline run (4 GPU + 4 SSE on
+// SwissProt with PSS + adjustment) for external analysis.
+func runTrace() error {
+	res, err := experiments.HeadlineRun()
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := platform.WriteTrace(out, res); err != nil {
+		return err
+	}
+	if traceOut != "" {
+		fmt.Printf("trace written to %s (%d assignments, %d PEs)\n", traceOut, len(res.Assignments), len(res.PerPE))
+	}
+	return nil
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (default: all): "+nameList())
+	flag.StringVar(&traceOut, "trace-out", "", "file for -exp trace output (default stdout)")
+	svgDir := flag.String("svg", "", "also render figs 5-8 as SVG charts into this directory")
+	csvDir := flag.String("csv", "", "also write the tables as CSV files into this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir); err != nil {
+			fail("csv: %v", err)
+		}
+		if *exp == "" && *svgDir == "" {
+			return
+		}
+	}
+
+	if *svgDir != "" {
+		paths, err := experiments.WriteSVGs(*svgDir)
+		if err != nil {
+			fail("svg: %v", err)
+		}
+		for _, p := range paths {
+			fmt.Println("wrote", p)
+		}
+		if *exp == "" {
+			return
+		}
+	}
+
+	if *exp != "" {
+		for _, r := range runners {
+			if r.name == *exp {
+				if err := r.run(); err != nil {
+					fail("%s: %v", r.name, err)
+				}
+				return
+			}
+		}
+		fail("unknown experiment %q (want one of %s)", *exp, nameList())
+	}
+	for _, r := range runners {
+		if r.name == "trace" {
+			continue // explicit opt-in only: the trace floods stdout
+		}
+		fmt.Printf("### %s\n\n", r.name)
+		if err := r.run(); err != nil {
+			fail("%s: %v", r.name, err)
+		}
+		fmt.Println()
+	}
+}
+
+// writeCSVs dumps every tabular experiment as CSV for external plotting.
+func writeCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tables := map[string]func() (*gcups.Table, error){
+		"table2.csv": func() (*gcups.Table, error) { return experiments.Table2(), nil },
+		"table3.csv": func() (*gcups.Table, error) { _, t, err := experiments.Table3(); return t, err },
+		"table4.csv": func() (*gcups.Table, error) { _, t, err := experiments.Table4(); return t, err },
+		"table5.csv": func() (*gcups.Table, error) { _, t, err := experiments.Table5(); return t, err },
+		"fig6.csv":   func() (*gcups.Table, error) { _, t, err := experiments.Fig6(); return t, err },
+		"policies.csv": func() (*gcups.Table, error) {
+			return experiments.PolicyAblation(true)
+		},
+		"omega.csv":      experiments.OmegaAblation,
+		"latency.csv":    experiments.LatencyAblation,
+		"threshold.csv":  experiments.ThresholdAblation,
+		"burst.csv":      experiments.BurstAblation,
+		"futurework.csv": experiments.FutureWork,
+	}
+	names := make([]string, 0, len(tables))
+	for name := range tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tab, err := tables[name]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}
+
+func nameList() string {
+	var names []string
+	for _, r := range runners {
+		names = append(names, r.name)
+	}
+	return strings.Join(names, ", ")
+}
+
+func tableRunner(f func() ([]experiments.Run, *gcups.Table, error)) func() error {
+	return func() error {
+		_, tab, err := f()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab)
+		return nil
+	}
+}
+
+func tableOnly(f func() (*gcups.Table, error)) func() error {
+	return func() error {
+		tab, err := f()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab)
+		return nil
+	}
+}
+
+func runFig5() error {
+	res, err := experiments.Fig5()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 5a: with the workload adjustment mechanism (paper: 14 s)")
+	fmt.Print(experiments.Gantt(res.With))
+	fmt.Println("\nFig. 5b: without the mechanism (paper: 18 s)")
+	fmt.Print(experiments.Gantt(res.Without))
+	return nil
+}
+
+func runTimeline(title string, f func() (*experiments.FigTimeline, error)) error {
+	res, err := f()
+	if err != nil {
+		return err
+	}
+	fmt.Println(title)
+	fmt.Printf("wall-clock execution time: %s s\n\n", gcups.Seconds(res.Makespan))
+	// Render each core's GCUPS series as a sparkline-style text plot.
+	for _, s := range res.Series {
+		fmt.Printf("%-6s", s.Name)
+		for _, p := range s.Points {
+			fmt.Printf(" %s", bar(p.GCUPS))
+		}
+		fmt.Printf("  (mean %.2f GCUPS)\n", s.Mean())
+	}
+	fmt.Println("\n(one column per 2 s bucket; scale: ' '<0.5, .<1.5, :<2.0, |<2.5, #>=2.5 GCUPS)")
+	return nil
+}
+
+func bar(g float64) string {
+	switch {
+	case g < 0.5:
+		return " "
+	case g < 1.5:
+		return "."
+	case g < 2.0:
+		return ":"
+	case g < 2.5:
+		return "|"
+	default:
+		return "#"
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchtables: "+format+"\n", args...)
+	os.Exit(1)
+}

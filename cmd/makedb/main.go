@@ -1,0 +1,98 @@
+// Command makedb generates a synthetic protein database with the size
+// profile of one of the paper's Table II databases (optionally scaled),
+// writes it as FASTA, builds the paper's §IV-B index for it, and derives a
+// query file with lengths equally distributed as in the evaluation.
+//
+// Usage:
+//
+//	makedb -db "UniProtKB/SwissProt" -scale 0.001 -out swissprot.fasta \
+//	       -queries 40 -minq 100 -maxq 5000 -qout queries.fasta
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/fasta"
+	"repro/internal/seqio"
+)
+
+func main() {
+	var (
+		dbName  = flag.String("db", "UniProtKB/SwissProt", "Table II database profile (see -list)")
+		list    = flag.Bool("list", false, "list available database profiles and exit")
+		scale   = flag.Float64("scale", 0.001, "scale factor on the sequence count")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		out     = flag.String("out", "db.fasta", "database FASTA output path")
+		queries = flag.Int("queries", 40, "number of query sequences (0 to skip)")
+		minQ    = flag.Int("minq", 100, "smallest query length")
+		maxQ    = flag.Int("maxq", 5000, "largest query length")
+		qout    = flag.String("qout", "queries.fasta", "query FASTA output path")
+		pack    = flag.Bool("pack", false, "also write the packed binary format (.swpkd)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range dataset.TableII() {
+			fmt.Printf("%-24s %8d sequences, mean length %.0f, ~%d residues\n",
+				p.Name, p.NumSeqs, p.MeanLen, p.Residues())
+		}
+		return
+	}
+	profile, err := dataset.ProfileByName(*dbName)
+	if err != nil {
+		fail("%v\navailable: %s", err, strings.Join(names(), ", "))
+	}
+	if *scale > 0 && *scale != 1 {
+		profile = profile.Scale(*scale)
+	}
+	db := dataset.Generate(profile, *seed)
+	if err := fasta.WriteFile(*out, db); err != nil {
+		fail("writing %s: %v", *out, err)
+	}
+	n, err := seqio.Build(*out, seqio.IndexPath(*out))
+	if err != nil {
+		fail("indexing %s: %v", *out, err)
+	}
+	var residues int64
+	for _, s := range db {
+		residues += int64(s.Len())
+	}
+	fmt.Printf("wrote %s: %d sequences, %d residues (indexed %d records -> %s)\n",
+		*out, len(db), residues, n, seqio.IndexPath(*out))
+	if *pack {
+		info, err := seqio.Pack(*out, seqio.PackedPath(*out), nil)
+		if err != nil {
+			fail("packing: %v", err)
+		}
+		fmt.Printf("packed -> %s (%d sequences, %d residues, max len %d)\n",
+			seqio.PackedPath(*out), info.Count, info.Residues, info.MaxLen)
+	}
+
+	if *queries > 0 {
+		qs := dataset.Queries(db, *queries, *minQ, *maxQ, *seed+1)
+		if err := fasta.WriteFile(*qout, qs); err != nil {
+			fail("writing %s: %v", *qout, err)
+		}
+		if _, err := seqio.Build(*qout, seqio.IndexPath(*qout)); err != nil {
+			fail("indexing %s: %v", *qout, err)
+		}
+		fmt.Printf("wrote %s: %d queries, lengths %d..%d\n", *qout, len(qs), *minQ, *maxQ)
+	}
+}
+
+func names() []string {
+	var out []string
+	for _, p := range dataset.TableII() {
+		out = append(out, fmt.Sprintf("%q", p.Name))
+	}
+	return out
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "makedb: "+format+"\n", args...)
+	os.Exit(1)
+}

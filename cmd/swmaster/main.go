@@ -1,0 +1,139 @@
+// Command swmaster runs the master process of the distributed task
+// execution environment over TCP (the paper's two-host Gigabit Ethernet
+// deployment). Slaves (cmd/swslave) connect, register and pull tasks; the
+// master merges results and prints them when the job completes.
+//
+// Usage:
+//
+//	swmaster -queries queries.fasta -db-residues 12100000 \
+//	         -listen :7777 -policy PSS -adjust -slaves 2
+//
+// -db-residues must match the database resident on the slaves (swslave
+// prints it at startup); alternatively pass -db db.fasta to read it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/fasta"
+	"repro/internal/gcups"
+	"repro/internal/master"
+	"repro/internal/sched"
+)
+
+func main() {
+	var (
+		qPath    = flag.String("queries", "", "query FASTA file")
+		dbPath   = flag.String("db", "", "database FASTA (only to count residues)")
+		residues = flag.Int64("db-residues", 0, "database residue count (alternative to -db)")
+		listen   = flag.String("listen", ":7777", "TCP listen address")
+		policy   = flag.String("policy", "PSS", "allocation policy")
+		adjust   = flag.Bool("adjust", true, "enable the workload adjustment mechanism")
+		omega    = flag.Int("omega", 0, "PSS history window")
+		timeout  = flag.Duration("timeout", time.Hour, "job timeout")
+		topShow  = flag.Int("show", 3, "hits to print per query")
+		ckpt     = flag.String("checkpoint", "", "checkpoint file: resumed if present, saved every 30s and on completion")
+	)
+	flag.Parse()
+	if *qPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	queries, err := fasta.ReadFile(*qPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *dbPath != "" {
+		db, err := fasta.ReadFile(*dbPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		*residues = 0
+		for _, d := range db {
+			*residues += int64(d.Len())
+		}
+	}
+	if *residues <= 0 {
+		fail("need -db or a positive -db-residues")
+	}
+	pol, err := sched.NewPolicy(*policy)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	cfg := master.Config{
+		Queries:    queries,
+		DBResidues: *residues,
+		Policy:     pol,
+		Adjust:     *adjust,
+		Omega:      *omega,
+	}
+	var m *master.Master
+	if *ckpt != "" {
+		if f, err := os.Open(*ckpt); err == nil {
+			m, err = master.LoadCheckpoint(f, cfg)
+			f.Close()
+			if err != nil {
+				fail("resuming %s: %v", *ckpt, err)
+			}
+			fmt.Printf("master: resumed from %s (%d/%d tasks already finished)\n",
+				*ckpt, m.Coordinator().Pool().Finished(), len(queries))
+		}
+	}
+	if m == nil {
+		var err error
+		m, err = master.New(cfg)
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+	if *ckpt != "" {
+		saveCheckpoint := func() {
+			tmp := *ckpt + ".tmp"
+			f, err := os.Create(tmp)
+			if err != nil {
+				return
+			}
+			if err := m.SaveCheckpoint(f); err == nil && f.Close() == nil {
+				os.Rename(tmp, *ckpt)
+			} else {
+				f.Close()
+			}
+		}
+		defer saveCheckpoint()
+		go func() {
+			for range time.Tick(30 * time.Second) {
+				saveCheckpoint()
+			}
+		}()
+	}
+	l, err := m.Listen(*listen)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer l.Close()
+	fmt.Printf("master: %d tasks (%d queries x database of %d residues), policy %s, adjust=%v\n",
+		len(queries), len(queries), *residues, pol.Name(), *adjust)
+	fmt.Printf("master: listening on %s, waiting for slaves...\n", l.Addr())
+
+	if err := m.Wait(*timeout); err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("master: job complete in %s s\n", gcups.Seconds(m.Elapsed()))
+	for _, r := range m.Results() {
+		fmt.Printf("%s: slave %d at %s s", r.Query, r.Slave, gcups.Seconds(r.Elapsed))
+		n := min(*topShow, len(r.Hits))
+		for _, h := range r.Hits[:n] {
+			fmt.Printf("  %s=%d", h.SeqID, h.Score)
+		}
+		fmt.Println()
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "swmaster: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command swserve exposes the hybrid Smith-Waterman search engine as a
+// small HTTP/JSON service over a resident database.
+//
+// Usage:
+//
+//	swserve -db db.fasta -listen :8080 -gpus 1 -sse 2
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness and uptime
+//	GET  /database  database name/size
+//	POST /search    {"queries_fasta": ">q\nACDE...", "top_k": 5, "align": true}
+//	POST /align     {"a": "MKVL...", "b": "MKIL...", "global": false}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	hybridsw "repro"
+	"repro/internal/fasta"
+	"repro/internal/httpapi"
+	"repro/internal/seq"
+	"repro/internal/seqio"
+)
+
+func main() {
+	var (
+		dbPath = flag.String("db", "", "database FASTA or packed (.swpkd) file")
+		listen = flag.String("listen", ":8080", "HTTP listen address")
+		gpus   = flag.Int("gpus", 1, "simulated GPU engines")
+		sse    = flag.Int("sse", 2, "SSE-core engines")
+		policy = flag.String("policy", "PSS", "default allocation policy")
+		adjust = flag.Bool("adjust", true, "enable the workload adjustment mechanism")
+	)
+	flag.Parse()
+	if *dbPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var db []*seq.Sequence
+	var err error
+	if strings.HasSuffix(*dbPath, ".swpkd") {
+		db, _, err = seqio.ReadPacked(*dbPath)
+	} else {
+		db, err = fasta.ReadFile(*dbPath)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	srv, err := httpapi.New(*dbPath, db, hybridsw.Platform{
+		GPUs:     *gpus,
+		SSECores: *sse,
+		Policy:   *policy,
+		Adjust:   *adjust,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("swserve: %d sequences loaded from %s; listening on %s\n", len(db), *dbPath, *listen)
+	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+		fail("%v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "swserve: "+format+"\n", args...)
+	os.Exit(1)
+}

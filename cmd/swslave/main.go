@@ -1,0 +1,95 @@
+// Command swslave runs one slave of the distributed task execution
+// environment: it loads the database, connects to the master, registers,
+// and executes tasks until the job finishes.
+//
+// Usage:
+//
+//	swslave -db db.fasta -master host:7777 -engine sse -name sse1
+//	swslave -db db.fasta -master host:7777 -engine gpu -name gpu1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cudasw"
+	"repro/internal/fasta"
+	"repro/internal/score"
+	"repro/internal/seq"
+	"repro/internal/seqio"
+	"repro/internal/slave"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		dbPath  = flag.String("db", "", "database FASTA file (resident on this node)")
+		addr    = flag.String("master", "127.0.0.1:7777", "master address")
+		engine  = flag.String("engine", "sse", `engine: "sse" (adapted Farrar), "swipe", "multicore" or "gpu"`)
+		cores   = flag.Int("cores", 0, "workers for the multicore engine (0 = all)")
+		name    = flag.String("name", "", "slave name (default: engine type + pid)")
+		topK    = flag.Int("top", 0, "hits per task shipped to the master (0 = all)")
+		notify  = flag.Duration("notify", 500*time.Millisecond, "progress notification interval")
+		declare = flag.Float64("declare", 0, "declared speed in cells/s (for the WFixed baseline)")
+	)
+	flag.Parse()
+	if *dbPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	db, err := loadDB(*dbPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *name == "" {
+		*name = fmt.Sprintf("%s-%d", *engine, os.Getpid())
+	}
+
+	var eng slave.Engine
+	switch *engine {
+	case "sse":
+		eng, err = slave.NewFarrarEngine(*name, score.DefaultProtein(), db, *declare)
+	case "swipe":
+		eng, err = slave.NewSwipeEngine(*name, score.DefaultProtein(), db, *declare)
+	case "multicore":
+		eng, err = slave.NewMulticoreEngine(*name, score.DefaultProtein(), db, *cores, *declare)
+	case "gpu":
+		eng, err = slave.NewGPUEngine(*name, cudasw.GTX580(), score.DefaultProtein(), db, *declare)
+	default:
+		fail("unknown engine %q", *engine)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("slave %s: database %s loaded (%d sequences, %d residues)\n",
+		*name, *dbPath, len(db), eng.DatabaseResidues())
+
+	client, err := wire.Dial(*addr)
+	if err != nil {
+		fail("connecting to master: %v", err)
+	}
+	defer client.Close()
+	n, err := slave.Run(client, eng, slave.Options{NotifyEvery: *notify, TopK: *topK})
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("slave %s: job done, executed %d task(s)\n", *name, n)
+}
+
+// loadDB reads either the packed binary format (by extension or magic) or
+// FASTA.
+func loadDB(path string) ([]*seq.Sequence, error) {
+	if strings.HasSuffix(path, ".swpkd") {
+		db, _, err := seqio.ReadPacked(path)
+		return db, err
+	}
+	return fasta.ReadFile(path)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "swslave: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Hybridsearch compares the platform configurations of the paper's Table V
+// on a real (scaled-down) workload: the same query set is searched on
+// SSE-only, GPU-only and hybrid in-process platforms, and the wall-clock
+// times and GCUPS are reported side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hybridsw "repro"
+)
+
+func main() {
+	db, err := hybridsw.GenerateDatabase("Ensembl Dog Proteins", 0.002, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := hybridsw.GenerateQueries(db, 8, 60, 400, 8)
+	var residues int64
+	for _, d := range db {
+		residues += int64(d.Len())
+	}
+	fmt.Printf("workload: %d queries x %d sequences (%d residues)\n\n", len(queries), len(db), residues)
+
+	configs := []struct {
+		name       string
+		gpus, sses int
+	}{
+		{"1 SSE core ", 0, 1},
+		{"2 SSE cores", 0, 2},
+		{"1 GPU      ", 1, 0},
+		{"1 GPU+2 SSE", 1, 2},
+	}
+	fmt.Println("configuration   time (s)   GCUPS")
+	for _, c := range configs {
+		rep, err := hybridsw.Search(queries, db, hybridsw.Platform{
+			GPUs:     c.gpus,
+			SSECores: c.sses,
+			Policy:   "PSS",
+			Adjust:   true,
+			TopK:     1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s    %8.2f  %6.3f\n", c.name, rep.Elapsed.Seconds(), rep.GCUPS())
+	}
+	fmt.Println("\nNote: this is a real computation on this machine, so absolute")
+	fmt.Println("numbers reflect the Go kernels, not the 2013 testbed; run")
+	fmt.Println("cmd/benchtables for the calibrated virtual-time reproduction.")
+}

@@ -1,0 +1,279 @@
+// Package hybridsw is a Go reproduction of "Biological Sequence Comparison
+// on Hybrid Platforms with Dynamic Workload Adjustment" (Mendonça & de
+// Melo, IEEE IPDPSW 2013).
+//
+// It provides, end to end:
+//
+//   - exact Smith-Waterman database search with the adapted Farrar striped
+//     kernel (emulated SSE2) and a CUDASW++ 2.0-style engine with a
+//     simulated GPU device model;
+//   - the paper's master/slave task execution environment with the SS and
+//     PSS allocation policies, the Fixed/WFixed baselines, and the dynamic
+//     workload adjustment mechanism (task replication to idle slaves);
+//   - a calibrated virtual-time platform that reproduces the paper's
+//     evaluation (Tables III-V, Figures 5-8) without the 2013 GPU testbed.
+//
+// # Quick start
+//
+//	db := hybridsw.GenerateDatabase("UniProtKB/SwissProt", 0.0001, 1)
+//	queries := hybridsw.GenerateQueries(db, 4, 100, 500, 2)
+//	report, err := hybridsw.Search(queries, db, hybridsw.Platform{
+//		GPUs: 1, SSECores: 2, Policy: "PSS", Adjust: true, TopK: 5,
+//	})
+//
+// Search runs a real computation on the calling machine (the "GPUs" are
+// simulated devices computing true scores). Simulate runs the same
+// scheduler against the calibrated virtual-time platform to predict the
+// behaviour of the paper's 4-GPU/8-core testbed; see also cmd/benchtables.
+package hybridsw
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cudasw"
+	"repro/internal/dataset"
+	"repro/internal/master"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/score"
+	"repro/internal/seq"
+	"repro/internal/slave"
+	"repro/internal/stats"
+	"repro/internal/sw"
+	"repro/internal/wire"
+)
+
+// Sequence is a named biological sequence.
+type Sequence = seq.Sequence
+
+// Scheme bundles a substitution matrix with gap penalties.
+type Scheme = score.Scheme
+
+// Alignment is a traceback alignment (see Align).
+type Alignment = sw.Alignment
+
+// Hit is one query-vs-database-sequence score.
+type Hit = wire.Hit
+
+// QueryResult is the merged search outcome for one query.
+type QueryResult = master.QueryResult
+
+// DefaultScheme returns the paper's scoring: BLOSUM62, gap open 10,
+// gap extend 2.
+func DefaultScheme() Scheme { return score.DefaultProtein() }
+
+// Score computes the optimal Smith-Waterman local alignment score.
+func Score(query, target []byte, s Scheme) int { return sw.Score(query, target, s) }
+
+// Align computes an optimal local alignment with full traceback.
+func Align(query, target []byte, s Scheme) *Alignment { return sw.Align(query, target, s) }
+
+// AlignLinearSpace computes an optimal local alignment in O(m+n) memory
+// (Myers-Miller), for sequences whose DP matrix would not fit.
+func AlignLinearSpace(query, target []byte, s Scheme) *Alignment {
+	return sw.AlignLinearSpace(query, target, s)
+}
+
+// GenerateDatabase builds a deterministic synthetic database with the size
+// profile of one of the paper's Table II databases (see DatabaseNames),
+// scaled by the given factor.
+func GenerateDatabase(name string, scale float64, seed int64) ([]*Sequence, error) {
+	p, err := dataset.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if scale > 0 && scale != 1 {
+		p = p.Scale(scale)
+	}
+	return dataset.Generate(p, seed), nil
+}
+
+// DatabaseNames lists the Table II database profiles.
+func DatabaseNames() []string {
+	var out []string
+	for _, p := range dataset.TableII() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// GenerateQueries derives n queries with lengths equally distributed in
+// [minLen, maxLen] from database content, the paper's query-selection rule.
+func GenerateQueries(db []*Sequence, n, minLen, maxLen int, seed int64) []*Sequence {
+	return dataset.Queries(db, n, minLen, maxLen, seed)
+}
+
+// Platform describes the local hybrid platform for Search.
+type Platform struct {
+	GPUs     int    // simulated CUDASW++ devices (real scores, modeled cost)
+	SSECores int    // CPU engines
+	Policy   string // "SS", "PSS" (default), "Fixed", "WFixed"
+	Adjust   bool   // enable the workload adjustment mechanism
+	Omega    int    // PSS history window; 0 = default
+	TopK     int    // hits returned per query; 0 = all
+	Scheme   Scheme // zero value = DefaultScheme
+
+	// CPUKernel selects the CPU engines' algorithm: "farrar" (default, the
+	// paper's adapted striped kernel), "swipe" (inter-sequence SIMD per
+	// Rognes [17]) or "multicore" (whole-host Fig. 3b engine; see
+	// CoresPerHost).
+	CPUKernel string
+	// CoresPerHost sets the worker count of each "multicore" engine;
+	// 0 uses all available cores.
+	CoresPerHost int
+	// AlignBest ships the traceback alignment of each query's best hit.
+	AlignBest bool
+}
+
+// Report is the outcome of a Search.
+type Report struct {
+	PerQuery []QueryResult
+	Elapsed  time.Duration
+	Cells    int64 // total unique DP cells of the job
+}
+
+// GCUPS returns the achieved billions of cell updates per second.
+func (r *Report) GCUPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Cells) / r.Elapsed.Seconds() / 1e9
+}
+
+// Search compares every query against the database on an in-process hybrid
+// platform: the master/slave environment runs with real engines on real
+// data, wall-clock time, and the selected allocation policy.
+func Search(queries, db []*Sequence, p Platform) (*Report, error) {
+	if p.GPUs+p.SSECores == 0 {
+		p.SSECores = 1
+	}
+	if p.Policy == "" {
+		p.Policy = "PSS"
+	}
+	if p.Scheme.Matrix == nil {
+		p.Scheme = DefaultScheme()
+	}
+	pol, err := sched.NewPolicy(p.Policy)
+	if err != nil {
+		return nil, err
+	}
+	var residues int64
+	for _, d := range db {
+		residues += int64(d.Len())
+	}
+	m, err := master.New(master.Config{
+		Queries:    queries,
+		DBResidues: residues,
+		Policy:     pol,
+		Adjust:     p.Adjust,
+		Omega:      p.Omega,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var engines []slave.Engine
+	for i := 0; i < p.GPUs; i++ {
+		eng, err := slave.NewGPUEngine(fmt.Sprintf("GPU%d", i+1), cudasw.GTX580(), p.Scheme, db, 0)
+		if err != nil {
+			return nil, err
+		}
+		engines = append(engines, eng)
+	}
+	for i := 0; i < p.SSECores; i++ {
+		var eng slave.Engine
+		var err error
+		name := fmt.Sprintf("SSE%d", i+1)
+		switch p.CPUKernel {
+		case "", "farrar":
+			eng, err = slave.NewFarrarEngine(name, p.Scheme, db, 0)
+		case "swipe":
+			eng, err = slave.NewSwipeEngine(name, p.Scheme, db, 0)
+		case "multicore":
+			eng, err = slave.NewMulticoreEngine(name, p.Scheme, db, p.CoresPerHost, 0)
+		default:
+			return nil, fmt.Errorf("hybridsw: unknown CPU kernel %q", p.CPUKernel)
+		}
+		if err != nil {
+			return nil, err
+		}
+		engines = append(engines, eng)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(engines))
+	for i, eng := range engines {
+		wg.Add(1)
+		go func(i int, eng slave.Engine) {
+			defer wg.Done()
+			_, errs[i] = slave.Run(wire.Local{H: m}, eng, slave.Options{
+				NotifyEvery: 50 * time.Millisecond,
+				Poll:        10 * time.Millisecond,
+				TopK:        p.TopK,
+				AlignBest:   p.AlignBest,
+			})
+		}(i, eng)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Wait(time.Second); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{PerQuery: m.Results(), Elapsed: m.Elapsed()}
+	for _, q := range queries {
+		rep.Cells += int64(q.Len()) * residues
+	}
+	return rep, nil
+}
+
+// HitEValue returns the Karlin-Altschul E-value of a raw hit score for a
+// query of queryLen residues against a database of dbResidues total
+// residues, and whether exact statistical parameters were tabulated for the
+// scheme (otherwise a conservative fallback is used; exact=false with an
+// unusable result means the scheme has no statistics at all).
+func HitEValue(s Scheme, raw, queryLen int, dbResidues int64) (evalue float64, exact bool) {
+	p, exact := stats.Lookup(s)
+	if p.Validate() != nil {
+		return 0, false
+	}
+	return p.EValue(raw, queryLen, dbResidues), exact
+}
+
+// SimResult is the outcome of a virtual-time Simulate run.
+type SimResult = platform.Result
+
+// Simulate predicts the behaviour of the paper's testbed: the same
+// scheduler code runs against the calibrated discrete-event platform
+// (GTX 580 GPUs, 2.71-GCUPS SSE cores) for the named Table II database and
+// the paper's 40-query workload.
+func Simulate(database string, gpus, sseCores int, policy string, adjust bool, seed int64) (*SimResult, error) {
+	p, err := dataset.ProfileByName(database)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := sched.NewPolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	lengths := dataset.QueryLengths(40, 100, 5000)
+	tasks := make([]sched.Task, len(lengths))
+	for i, n := range lengths {
+		tasks[i] = sched.Task{QueryID: fmt.Sprintf("Q%02d", i), Cells: int64(n) * p.Residues()}
+	}
+	return platform.Run(platform.Experiment{
+		Tasks:       tasks,
+		PEs:         platform.Hybrid(gpus, sseCores),
+		Policy:      pol,
+		Adjust:      adjust,
+		CommLatency: 200 * time.Microsecond,
+		NotifyEvery: 500 * time.Millisecond,
+		Seed:        seed,
+	})
+}

@@ -1,0 +1,224 @@
+package hybridsw_test
+
+import (
+	"strings"
+	"testing"
+
+	hybridsw "repro"
+)
+
+func TestDatabaseNames(t *testing.T) {
+	names := hybridsw.DatabaseNames()
+	if len(names) != 5 {
+		t.Fatalf("%d database names", len(names))
+	}
+	found := false
+	for _, n := range names {
+		if n == "UniProtKB/SwissProt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("SwissProt missing")
+	}
+}
+
+func TestGenerateDatabaseAndQueries(t *testing.T) {
+	db, err := hybridsw.GenerateDatabase("Ensembl Dog Proteins", 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db) != 25 {
+		t.Fatalf("scaled Dog database has %d sequences, want 25", len(db))
+	}
+	qs := hybridsw.GenerateQueries(db, 3, 50, 150, 2)
+	if len(qs) != 3 || qs[0].Len() != 50 || qs[2].Len() != 150 {
+		t.Fatalf("queries = %v", qs)
+	}
+	if _, err := hybridsw.GenerateDatabase("nope", 1, 1); err == nil {
+		t.Error("unknown database accepted")
+	}
+}
+
+func TestScoreAndAlign(t *testing.T) {
+	s := hybridsw.DefaultScheme()
+	q := []byte("MKVLATGFFDE")
+	if got := hybridsw.Score(q, q, s); got <= 0 {
+		t.Fatalf("self score = %d", got)
+	}
+	a := hybridsw.Align(q, []byte("MKVLAGFFDE"), s)
+	if a.Score <= 0 || len(a.QueryRow) == 0 {
+		t.Fatalf("alignment = %+v", a)
+	}
+	lin := hybridsw.AlignLinearSpace(q, []byte("MKVLAGFFDE"), s)
+	if lin.Score != a.Score {
+		t.Errorf("linear-space score %d != %d", lin.Score, a.Score)
+	}
+}
+
+func TestSearchEndToEnd(t *testing.T) {
+	db, err := hybridsw.GenerateDatabase("Ensembl Dog Proteins", 0.0008, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := hybridsw.GenerateQueries(db, 4, 40, 120, 4)
+	rep, err := hybridsw.Search(queries, db, hybridsw.Platform{
+		GPUs: 1, SSECores: 2, Policy: "PSS", Adjust: true, TopK: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerQuery) != 4 {
+		t.Fatalf("%d results", len(rep.PerQuery))
+	}
+	for _, r := range rep.PerQuery {
+		if len(r.Hits) != 3 {
+			t.Fatalf("query %s: %d hits, want TopK=3", r.Query, len(r.Hits))
+		}
+		for i := 1; i < len(r.Hits); i++ {
+			if r.Hits[i].Score > r.Hits[i-1].Score {
+				t.Fatal("hits not sorted best-first")
+			}
+		}
+		// Queries are stitched from database fragments, so real homology
+		// must surface as a clearly positive top score.
+		if r.Hits[0].Score < 20 {
+			t.Errorf("query %s: top score %d suspiciously low", r.Query, r.Hits[0].Score)
+		}
+	}
+	if rep.Cells <= 0 || rep.GCUPS() <= 0 {
+		t.Errorf("report metrics: %+v", rep)
+	}
+}
+
+func TestSearchDefaults(t *testing.T) {
+	db, _ := hybridsw.GenerateDatabase("Ensembl Dog Proteins", 0.0004, 5)
+	queries := hybridsw.GenerateQueries(db, 1, 60, 60, 6)
+	rep, err := hybridsw.Search(queries, db, hybridsw.Platform{}) // all defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerQuery) != 1 || len(rep.PerQuery[0].Hits) != len(db) {
+		t.Fatalf("defaults: %+v", rep.PerQuery)
+	}
+}
+
+func TestSearchBadPolicy(t *testing.T) {
+	db, _ := hybridsw.GenerateDatabase("Ensembl Dog Proteins", 0.0004, 5)
+	queries := hybridsw.GenerateQueries(db, 1, 60, 60, 6)
+	if _, err := hybridsw.Search(queries, db, hybridsw.Platform{Policy: "bogus"}); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	res, err := hybridsw.Simulate("UniProtKB/SwissProt", 4, 4, "PSS", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := res.Makespan.Seconds()
+	if secs < 90 || secs > 200 {
+		t.Errorf("simulated 4G+4S SwissProt = %.0f s, want the paper's ballpark (~112)", secs)
+	}
+	if _, err := hybridsw.Simulate("nope", 1, 1, "PSS", true, 1); err == nil {
+		t.Error("unknown database accepted")
+	}
+	if _, err := hybridsw.Simulate("UniProtKB/SwissProt", 1, 1, "bogus", true, 1); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestPackagePathIsTidy(t *testing.T) {
+	// Guard against accidentally leaking internal types in exported API
+	// signatures beyond the documented aliases: the aliases must resolve.
+	var _ = hybridsw.Sequence{}
+	var _ = hybridsw.Scheme{}
+	var _ = hybridsw.Hit{}
+	if !strings.Contains("hybridsw", "sw") {
+		t.Skip()
+	}
+}
+
+func TestSearchAlternativeKernels(t *testing.T) {
+	db, _ := hybridsw.GenerateDatabase("Ensembl Dog Proteins", 0.0006, 13)
+	queries := hybridsw.GenerateQueries(db, 2, 50, 90, 14)
+	base, err := hybridsw.Search(queries, db, hybridsw.Platform{SSECores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kernel := range []string{"swipe", "multicore"} {
+		rep, err := hybridsw.Search(queries, db, hybridsw.Platform{
+			SSECores: 1, CPUKernel: kernel, CoresPerHost: 2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kernel, err)
+		}
+		for qi := range base.PerQuery {
+			if len(rep.PerQuery[qi].Hits) != len(base.PerQuery[qi].Hits) {
+				t.Fatalf("%s: hit counts differ", kernel)
+			}
+			for hi := range base.PerQuery[qi].Hits {
+				if rep.PerQuery[qi].Hits[hi].Score != base.PerQuery[qi].Hits[hi].Score {
+					t.Fatalf("%s: query %d hit %d differs", kernel, qi, hi)
+				}
+			}
+		}
+	}
+	if _, err := hybridsw.Search(queries, db, hybridsw.Platform{SSECores: 1, CPUKernel: "magic"}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestHitEValue(t *testing.T) {
+	e1, exact := hybridsw.HitEValue(hybridsw.DefaultScheme(), 300, 250, 190_000_000)
+	if !exact {
+		t.Error("paper default scheme should have exact statistics")
+	}
+	e2, _ := hybridsw.HitEValue(hybridsw.DefaultScheme(), 50, 250, 190_000_000)
+	if e1 >= e2 {
+		t.Errorf("E-values not ordered: %g vs %g", e1, e2)
+	}
+	if e1 > 1e-6 {
+		t.Errorf("strong hit E = %g, want tiny", e1)
+	}
+}
+
+func TestSearchAlignBest(t *testing.T) {
+	db, _ := hybridsw.GenerateDatabase("Ensembl Dog Proteins", 0.0006, 15)
+	queries := hybridsw.GenerateQueries(db, 2, 60, 120, 16)
+	rep, err := hybridsw.Search(queries, db, hybridsw.Platform{
+		SSECores: 1, TopK: 3, AlignBest: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := hybridsw.DefaultScheme()
+	for qi, r := range rep.PerQuery {
+		best := r.Hits[0]
+		if len(best.QueryRow) == 0 || len(best.QueryRow) != len(best.TargetRow) {
+			t.Fatalf("query %s: no alignment rows on the best hit", r.Query)
+		}
+		// The shipped alignment must rescore to the reported score.
+		a := hybridsw.Alignment{
+			Score:    best.Score,
+			QueryRow: best.QueryRow, TargetRow: best.TargetRow,
+		}
+		re, err := a.Rescore(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re != best.Score {
+			t.Fatalf("query %s: alignment rescores to %d, hit score %d", r.Query, re, best.Score)
+		}
+		// Coordinates must reference the query.
+		q := queries[qi]
+		gotQ := strings.ReplaceAll(string(best.QueryRow), "-", "")
+		if gotQ != string(q.Residues[best.QueryStart:best.QueryEnd]) {
+			t.Fatalf("query %s: alignment coords inconsistent", r.Query)
+		}
+		// Lower hits carry no rows.
+		if len(r.Hits) > 1 && len(r.Hits[1].QueryRow) != 0 {
+			t.Error("non-best hit carries alignment rows")
+		}
+	}
+}

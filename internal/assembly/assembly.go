@@ -1,0 +1,255 @@
+// Package assembly implements a greedy overlap-layout assembler — the
+// second of the paper's §VI future-work applications ("DNA
+// Assembly/Scaffolding") — built on the dynamic-programming machinery of
+// this repository.
+//
+// The pipeline is the classic greedy OLC:
+//
+//  1. overlap: score every ordered read pair with an *overlap alignment*
+//     (a suffix of read A against a prefix of read B; A's leading residues
+//     and B's trailing residues are free, gaps inside the overlap pay the
+//     affine penalties);
+//  2. layout: repeatedly merge the highest-scoring remaining overlap whose
+//     ends are still free, chaining reads into contigs;
+//  3. consensus: a merged contig is A plus the non-overlapping tail of B
+//     (pairwise merging needs no voting step).
+//
+// Reads are assumed to come from the same strand; callers wanting
+// double-stranded assembly can add each read's seq.ReverseComplement to the
+// input.
+package assembly
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/score"
+	"repro/internal/seq"
+)
+
+const negInf = -(1 << 30)
+
+// Overlap describes the best suffix(A)-prefix(B) alignment of two reads.
+type Overlap struct {
+	A, B  int // read indices
+	Score int
+	LenA  int // residues of A's suffix inside the overlap
+	LenB  int // residues of B's prefix inside the overlap
+}
+
+// OverlapScore computes the best overlap alignment of a's suffix with b's
+// prefix: free leading residues in a, free trailing residues in b, affine
+// gaps inside. It returns the score and the overlap extents on both reads
+// (0 extents when even an empty overlap beats every real one).
+func OverlapScore(a, b []byte, s score.Scheme) Overlap {
+	m, n := len(a), len(b)
+	o := Overlap{}
+	if m == 0 || n == 0 {
+		return o
+	}
+	open, ext := s.Gap.Open, s.Gap.Extend
+
+	// H[i][j]: best score aligning a[i0..i) to b[0..j) for some free i0.
+	// Row 0..m over a, col 0..n over b. H[i][0] = 0 (suffix may start
+	// anywhere); H[0][j] forces b's prefix into a gap (costly).
+	H := make([][]int, m+1)
+	E := make([][]int, m+1)
+	F := make([][]int, m+1)
+	for i := 0; i <= m; i++ {
+		H[i] = make([]int, n+1)
+		E[i] = make([]int, n+1)
+		F[i] = make([]int, n+1)
+	}
+	for j := 1; j <= n; j++ {
+		E[0][j] = -open - j*ext
+		H[0][j] = E[0][j]
+		F[0][j] = negInf
+	}
+	for i := 1; i <= m; i++ {
+		E[i][0], F[i][0] = negInf, negInf
+		for j := 1; j <= n; j++ {
+			E[i][j] = max(H[i][j-1]-open-ext, E[i][j-1]-ext)
+			F[i][j] = max(H[i-1][j]-open-ext, F[i-1][j]-ext)
+			H[i][j] = max(H[i-1][j-1]+s.Matrix.Score(a[i-1], b[j-1]), E[i][j], F[i][j])
+		}
+	}
+	// The overlap ends at a's end (row m), anywhere in b.
+	bestJ := 0
+	for j := 1; j <= n; j++ {
+		if H[m][j] > H[m][bestJ] {
+			bestJ = j
+		}
+	}
+	if bestJ == 0 || H[m][bestJ] <= 0 {
+		return o
+	}
+	o.Score = H[m][bestJ]
+	o.LenB = bestJ
+	// Walk back to find where the suffix of a begins.
+	i, j := m, bestJ
+	st := 0 // 0=H 1=E 2=F
+	for j > 0 {
+		switch st {
+		case 0:
+			switch {
+			case i > 0 && H[i][j] == H[i-1][j-1]+s.Matrix.Score(a[i-1], b[j-1]):
+				i, j = i-1, j-1
+			case H[i][j] == E[i][j]:
+				st = 1
+			default:
+				st = 2
+			}
+		case 1:
+			if j == 1 || E[i][j] == H[i][j-1]-open-ext {
+				st = 0
+			}
+			j--
+		case 2:
+			if F[i][j] == H[i-1][j]-open-ext {
+				st = 0
+			}
+			i--
+		}
+	}
+	o.LenA = m - i
+	return o
+}
+
+// Contig is one assembled sequence with the indices of the reads that built
+// it, in layout order.
+type Contig struct {
+	Residues []byte
+	Reads    []int
+}
+
+// Options tunes the assembler.
+type Options struct {
+	// MinScore is the smallest overlap score worth merging; overlaps below
+	// it are ignored (controls misassembly on noisy data).
+	MinScore int
+	// MinOverlap discards overlaps shorter than this many residues on
+	// either read.
+	MinOverlap int
+	// Scheme scores the overlaps; zero value = match +2 / mismatch -3,
+	// gap open 5 extend 2 over DNA (BLAST-like megablast defaults).
+	Scheme score.Scheme
+}
+
+func (o *Options) fill() {
+	if o.Scheme.Matrix == nil {
+		o.Scheme = score.Scheme{
+			Matrix: score.NewMatchMismatch(seq.DNA, 2, -3),
+			Gap:    score.AffineGap(5, 2),
+		}
+	}
+	if o.MinOverlap < 1 {
+		o.MinOverlap = 16
+	}
+	if o.MinScore < 1 {
+		o.MinScore = o.MinOverlap // ~break-even for the default scheme
+	}
+}
+
+// Assemble runs the greedy pipeline over the reads.
+func Assemble(reads []*seq.Sequence, opts Options) ([]Contig, error) {
+	opts.fill()
+	if err := opts.Scheme.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(reads)
+	if n == 0 {
+		return nil, fmt.Errorf("assembly: no reads")
+	}
+
+	// Phase 1: all ordered overlaps above the thresholds.
+	var overlaps []Overlap
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			o := OverlapScore(reads[a].Residues, reads[b].Residues, opts.Scheme)
+			o.A, o.B = a, b
+			if o.Score >= opts.MinScore && o.LenA >= opts.MinOverlap && o.LenB >= opts.MinOverlap {
+				// A contained read adds nothing to the layout.
+				if o.LenB < len(reads[b].Residues) || len(reads[b].Residues) <= len(reads[a].Residues) {
+					overlaps = append(overlaps, o)
+				}
+			}
+		}
+	}
+	sort.SliceStable(overlaps, func(i, j int) bool {
+		if overlaps[i].Score != overlaps[j].Score {
+			return overlaps[i].Score > overlaps[j].Score
+		}
+		if overlaps[i].A != overlaps[j].A {
+			return overlaps[i].A < overlaps[j].A
+		}
+		return overlaps[i].B < overlaps[j].B
+	})
+
+	// Phase 2: greedy layout. Each read may donate its right end once and
+	// its left end once, and merges must not close a cycle.
+	next := make([]int, n) // next[a] = b when a's right end joins b
+	prev := make([]int, n)
+	for i := range next {
+		next[i], prev[i] = -1, -1
+	}
+	lenB := make([]int, n) // overlap consumed from read i's front when merged
+	for _, o := range overlaps {
+		if next[o.A] != -1 || prev[o.B] != -1 {
+			continue
+		}
+		// Reject cycles: walking forward from B must not reach A.
+		end := o.B
+		for next[end] != -1 {
+			end = next[end]
+		}
+		if end == o.A {
+			continue
+		}
+		next[o.A] = o.B
+		prev[o.B] = o.A
+		lenB[o.B] = o.LenB
+	}
+
+	// Phase 3: emit contigs from chain heads.
+	var contigs []Contig
+	for i := 0; i < n; i++ {
+		if prev[i] != -1 {
+			continue // not a head
+		}
+		c := Contig{Residues: append([]byte{}, reads[i].Residues...), Reads: []int{i}}
+		for cur := next[i]; cur != -1; cur = next[cur] {
+			tail := reads[cur].Residues
+			if lenB[cur] < len(tail) {
+				c.Residues = append(c.Residues, tail[lenB[cur]:]...)
+			}
+			c.Reads = append(c.Reads, cur)
+		}
+		contigs = append(contigs, c)
+	}
+	sort.SliceStable(contigs, func(i, j int) bool { return len(contigs[i].Residues) > len(contigs[j].Residues) })
+	return contigs, nil
+}
+
+// N50 returns the standard assembly contiguity metric: the length L such
+// that contigs of length >= L cover at least half the total assembled
+// bases.
+func N50(contigs []Contig) int {
+	var total int
+	lengths := make([]int, len(contigs))
+	for i, c := range contigs {
+		lengths[i] = len(c.Residues)
+		total += lengths[i]
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lengths)))
+	run := 0
+	for _, l := range lengths {
+		run += l
+		if 2*run >= total {
+			return l
+		}
+	}
+	return 0
+}

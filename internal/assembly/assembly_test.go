@@ -1,0 +1,194 @@
+package assembly
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/score"
+	"repro/internal/seq"
+)
+
+func dnaScheme() score.Scheme {
+	return score.Scheme{Matrix: score.NewMatchMismatch(seq.DNA, 2, -3), Gap: score.AffineGap(5, 2)}
+}
+
+func randDNA(rng *rand.Rand, n int) []byte {
+	letters := []byte("ATGC")
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = letters[rng.Intn(4)]
+	}
+	return out
+}
+
+// shred cuts a genome into overlapping reads covering it completely.
+func shred(genome []byte, readLen, step int) []*seq.Sequence {
+	var reads []*seq.Sequence
+	for start := 0; ; start += step {
+		end := start + readLen
+		if end > len(genome) {
+			end = len(genome)
+		}
+		reads = append(reads, seq.New("r", "", genome[start:end]))
+		if end == len(genome) {
+			break
+		}
+	}
+	return reads
+}
+
+func TestOverlapScoreExact(t *testing.T) {
+	s := dnaScheme()
+	a := []byte("AAAATTTTGGGG")
+	b := []byte("TTTTGGGGCCCC")
+	o := OverlapScore(a, b, s)
+	// Suffix TTTTGGGG (8) matches prefix exactly: 8 matches * 2.
+	if o.Score != 16 || o.LenA != 8 || o.LenB != 8 {
+		t.Fatalf("overlap = %+v, want score 16 len 8/8", o)
+	}
+}
+
+func TestOverlapScoreNoOverlap(t *testing.T) {
+	s := dnaScheme()
+	o := OverlapScore([]byte("AAAAAAA"), []byte("GGGGGGG"), s)
+	if o.Score > 2 { // at best a trivial 1-base fluke; must not fake overlaps
+		t.Fatalf("unrelated reads overlap = %+v", o)
+	}
+	if got := OverlapScore(nil, []byte("AC"), s); got.Score != 0 {
+		t.Errorf("empty a overlap = %+v", got)
+	}
+}
+
+func TestOverlapScoreWithGap(t *testing.T) {
+	s := dnaScheme()
+	// Suffix of a and prefix of b match except b lost one base.
+	a := []byte("CCCCATGATGATG")
+	b := []byte("ATGATATGCCCC") // ATGAT-ATG with the G deleted
+	o := OverlapScore(a, b, s)
+	if o.Score <= 0 {
+		t.Fatalf("gapped overlap not found: %+v", o)
+	}
+	if o.LenA < 8 || o.LenB < 8 {
+		t.Fatalf("gapped overlap extents too small: %+v", o)
+	}
+}
+
+func TestAssemblePerfectReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	genome := randDNA(rng, 1200)
+	reads := shred(genome, 150, 100) // 50 bp overlaps
+	// Shuffle so assembly cannot rely on input order.
+	rng.Shuffle(len(reads), func(i, j int) { reads[i], reads[j] = reads[j], reads[i] })
+
+	contigs, err := Assemble(reads, Options{MinOverlap: 30, MinScore: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) != 1 {
+		lens := []int{}
+		for _, c := range contigs {
+			lens = append(lens, len(c.Residues))
+		}
+		t.Fatalf("%d contigs (lengths %v), want 1", len(contigs), lens)
+	}
+	if !bytes.Equal(contigs[0].Residues, genome) {
+		t.Fatalf("assembled contig (%d bp) != genome (%d bp)", len(contigs[0].Residues), len(genome))
+	}
+	if len(contigs[0].Reads) != len(reads) {
+		t.Errorf("contig used %d of %d reads", len(contigs[0].Reads), len(reads))
+	}
+}
+
+func TestAssembleTwoChromosomes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	chr1 := randDNA(rng, 700)
+	chr2 := randDNA(rng, 500)
+	reads := append(shred(chr1, 120, 80), shred(chr2, 120, 80)...)
+	rng.Shuffle(len(reads), func(i, j int) { reads[i], reads[j] = reads[j], reads[i] })
+	contigs, err := Assemble(reads, Options{MinOverlap: 30, MinScore: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) != 2 {
+		t.Fatalf("%d contigs, want 2", len(contigs))
+	}
+	got := map[int]bool{len(contigs[0].Residues): true, len(contigs[1].Residues): true}
+	if !got[700] || !got[500] {
+		t.Fatalf("contig lengths %d/%d, want 700/500", len(contigs[0].Residues), len(contigs[1].Residues))
+	}
+}
+
+func TestAssembleNoisyReads(t *testing.T) {
+	// 1% substitution noise: contigs should still be few and long, though
+	// not necessarily perfect.
+	rng := rand.New(rand.NewSource(3))
+	genome := randDNA(rng, 1000)
+	var reads []*seq.Sequence
+	letters := []byte("ATGC")
+	for _, r := range shred(genome, 160, 110) {
+		res := append([]byte{}, r.Residues...)
+		for i := range res {
+			if rng.Float64() < 0.01 {
+				res[i] = letters[rng.Intn(4)]
+			}
+		}
+		reads = append(reads, seq.New("r", "", res))
+	}
+	contigs, err := Assemble(reads, Options{MinOverlap: 30, MinScore: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n50 := N50(contigs); n50 < 500 {
+		t.Errorf("noisy assembly N50 = %d, want >= 500", n50)
+	}
+}
+
+func TestAssembleRejectsEmpty(t *testing.T) {
+	if _, err := Assemble(nil, Options{}); err == nil {
+		t.Error("no reads accepted")
+	}
+}
+
+func TestAssembleSingleRead(t *testing.T) {
+	reads := []*seq.Sequence{seq.New("r", "", []byte("ATGCATGC"))}
+	contigs, err := Assemble(reads, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) != 1 || string(contigs[0].Residues) != "ATGCATGC" {
+		t.Fatalf("contigs = %+v", contigs)
+	}
+}
+
+func TestAssembleFromDatasetGenerator(t *testing.T) {
+	// End-to-end with the synthetic DNA generator.
+	db := dataset.GenerateDNA(dataset.DNAProfile{
+		Name: "genome", NumSeqs: 1, MeanLen: 900, SigmaLn: 0.01, MinLen: 800, MaxLen: 1000,
+	}, 9)
+	genome := db[0].Residues
+	reads := shred(genome, 140, 90)
+	contigs, err := Assemble(reads, Options{MinOverlap: 30, MinScore: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) != 1 || !bytes.Equal(contigs[0].Residues, genome) {
+		t.Fatalf("failed to reassemble synthetic genome: %d contigs", len(contigs))
+	}
+}
+
+func TestN50(t *testing.T) {
+	contigs := []Contig{
+		{Residues: make([]byte, 100)},
+		{Residues: make([]byte, 60)},
+		{Residues: make([]byte, 40)},
+	}
+	// total 200; 100 covers half.
+	if got := N50(contigs); got != 100 {
+		t.Errorf("N50 = %d, want 100", got)
+	}
+	if got := N50(nil); got != 0 {
+		t.Errorf("N50(nil) = %d", got)
+	}
+}

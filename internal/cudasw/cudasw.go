@@ -1,0 +1,273 @@
+// Package cudasw implements a CUDASW++ 2.0-style Smith-Waterman database
+// search engine with a simulated GPU device model.
+//
+// The paper runs CUDASW++ 2.0 (Liu, Schmidt, Maskell 2010) on its GPU
+// slaves. That engine's observable structure, reproduced here:
+//
+//   - the database is sorted by sequence length and packed into warp-sized
+//     batches, so the threads of a warp align similarly-sized sequences and
+//     divergence/padding stays small;
+//   - sequences up to a length threshold are aligned by the *inter-task*
+//     SIMT kernel (one alignment per thread); longer sequences fall back to
+//     the *intra-task* kernel built on a virtualized SIMD abstraction;
+//   - per-search costs (kernel launches, host transfers) amortize over the
+//     database, which is why measured GCUPS grows with database size — the
+//     effect behind Table IV's SwissProt-vs-small-database gap.
+//
+// Scores are computed for real (bit-exact with internal/sw, via the striped
+// kernel of internal/farrar as the compute core). Time is *simulated*: a
+// cycle-level cost model of the device returns the duration the search
+// would take, which the discrete-event experiments consume. No actual GPU
+// is involved (the machine has none); DESIGN.md documents this substitution.
+package cudasw
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/farrar"
+	"repro/internal/score"
+	"repro/internal/seq"
+	"repro/internal/sw"
+	"time"
+)
+
+// Device describes the simulated GPU. The defaults model the NVIDIA GTX 580
+// (Fermi GF110) used by the paper's testbed.
+type Device struct {
+	Name       string
+	SMs        int     // streaming multiprocessors
+	CoresPerSM int     // CUDA cores per SM
+	ClockHz    float64 // shader clock
+	// CellsPerCoreCycle is the sustained DP-cell throughput per core per
+	// cycle for the inter-task kernel, calibrated so that peak GCUPS
+	// matches CUDASW++ 2.0 on this device (~35 GCUPS on a GTX 580:
+	// 16 SMs * 32 cores * 1.544 GHz * 0.044 ≈ 35e9 cells/s).
+	CellsPerCoreCycle float64
+	// IntraTaskEfficiency discounts the intra-task (long-sequence) kernel
+	// relative to the inter-task one.
+	IntraTaskEfficiency float64
+	// LaunchOverhead is charged once per kernel launch; TransferBytesPerSec
+	// models host->device sequence upload for the query.
+	LaunchOverhead      time.Duration
+	TransferBytesPerSec float64
+	// SearchOverhead is charged once per query search (result download,
+	// host-side setup) — the cost that small databases cannot amortize.
+	SearchOverhead time.Duration
+	// MemoryBytes is the device memory available for database residues.
+	// A database larger than this is processed in resident chunks, paying
+	// an extra host->device transfer of the chunk per search. 0 means
+	// unlimited.
+	MemoryBytes int64
+}
+
+// GTX580 returns the device model of the paper's GPUs.
+func GTX580() Device {
+	return Device{
+		Name:                "GeForce GTX 580",
+		SMs:                 16,
+		CoresPerSM:          32,
+		ClockHz:             1.544e9,
+		CellsPerCoreCycle:   0.0443,
+		IntraTaskEfficiency: 0.60,
+		LaunchOverhead:      80 * time.Microsecond,
+		TransferBytesPerSec: 5e9, // PCIe 2.0 x16 effective
+		SearchOverhead:      350 * time.Millisecond,
+		MemoryBytes:         1536 << 20, // GTX 580: 1.5 GB
+	}
+}
+
+// PeakCellsPerSecond returns the device's theoretical inter-task throughput.
+func (d Device) PeakCellsPerSecond() float64 {
+	return float64(d.SMs) * float64(d.CoresPerSM) * d.ClockHz * d.CellsPerCoreCycle
+}
+
+const (
+	// interTaskMaxLen is the CUDASW++ 2.0 length threshold: database
+	// sequences at most this long use the inter-task SIMT kernel.
+	interTaskMaxLen = 3072
+	// warpSize is the CUDA warp width; the inter-task kernel pads every
+	// warp's sequences to the longest in the warp.
+	warpSize = 32
+	// seqsPerLaunch bounds how many alignments one kernel launch covers.
+	seqsPerLaunch = 64 * 1024
+)
+
+// Hit is the score of the query against one database sequence.
+type Hit struct {
+	Index int    // position in the original (unsorted) database
+	ID    string // database sequence ID
+	Score int
+}
+
+// Report describes one simulated search: where the time went and how the
+// work split across kernels.
+type Report struct {
+	Cells          int64 // useful DP cells (the GCUPS numerator)
+	PaddedCells    int64 // cells including warp padding
+	InterTaskSeqs  int
+	IntraTaskSeqs  int
+	KernelLaunches int
+	Elapsed        time.Duration // simulated wall time on the device
+}
+
+// GCUPS returns the search's simulated billions of cell updates per second.
+func (r Report) GCUPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Cells) / r.Elapsed.Seconds() / 1e9
+}
+
+// Engine is a loaded database ready to be searched, the moral equivalent of
+// a CUDASW++ process with the database resident on the device.
+type Engine struct {
+	dev    Device
+	scheme score.Scheme
+
+	seqs     []*seq.Sequence // sorted by length, ascending
+	origIdx  []int           // sorted position -> original index
+	residues int64
+	nInter   int // sequences handled by the inter-task kernel
+}
+
+// NewEngine sorts and "uploads" the database. The sort by length is the
+// CUDASW++ preprocessing step that keeps warps convergent.
+func NewEngine(dev Device, s score.Scheme, db []*seq.Sequence) (*Engine, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(db) == 0 {
+		return nil, fmt.Errorf("cudasw: empty database")
+	}
+	e := &Engine{dev: dev, scheme: s}
+	e.origIdx = make([]int, len(db))
+	for i := range e.origIdx {
+		e.origIdx[i] = i
+	}
+	sort.SliceStable(e.origIdx, func(a, b int) bool {
+		return db[e.origIdx[a]].Len() < db[e.origIdx[b]].Len()
+	})
+	e.seqs = make([]*seq.Sequence, len(db))
+	for pos, oi := range e.origIdx {
+		e.seqs[pos] = db[oi]
+		e.residues += int64(db[oi].Len())
+	}
+	e.nInter = sort.Search(len(e.seqs), func(i int) bool { return e.seqs[i].Len() > interTaskMaxLen })
+	return e, nil
+}
+
+// DatabaseResidues returns the total residue count of the loaded database.
+func (e *Engine) DatabaseResidues() int64 { return e.residues }
+
+// DatabaseSeqs returns the number of database sequences.
+func (e *Engine) DatabaseSeqs() int { return len(e.seqs) }
+
+// Search aligns the query against the whole database, returning hits in
+// original database order plus the simulated cost report.
+func (e *Engine) Search(query []byte, compute bool) ([]Hit, Report, error) {
+	if len(query) == 0 {
+		return nil, Report{}, fmt.Errorf("cudasw: empty query")
+	}
+	var kern *farrar.Kernel
+	if compute {
+		var err error
+		kern, err = farrar.NewKernel(query, e.scheme)
+		if err != nil {
+			return nil, Report{}, err
+		}
+	}
+	m := int64(len(query))
+	rep := Report{}
+	hits := make([]Hit, len(e.seqs))
+
+	// Inter-task kernel: warps of 32 similar-length sequences, padded to
+	// the warp maximum.
+	for base := 0; base < e.nInter; base += warpSize {
+		end := min(base+warpSize, e.nInter)
+		maxLen := 0
+		for i := base; i < end; i++ {
+			n := e.seqs[i].Len()
+			if n > maxLen {
+				maxLen = n
+			}
+			rep.Cells += m * int64(n)
+			hits[i] = e.hit(i, kern)
+		}
+		rep.PaddedCells += m * int64(maxLen) * int64(end-base)
+	}
+	rep.InterTaskSeqs = e.nInter
+	if e.nInter > 0 {
+		rep.KernelLaunches += (e.nInter + seqsPerLaunch - 1) / seqsPerLaunch
+	}
+
+	// Intra-task kernel: one launch per long sequence.
+	for i := e.nInter; i < len(e.seqs); i++ {
+		n := int64(e.seqs[i].Len())
+		rep.Cells += m * n
+		rep.PaddedCells += m * n
+		rep.IntraTaskSeqs++
+		rep.KernelLaunches++
+		hits[i] = e.hit(i, kern)
+	}
+
+	rep.Elapsed = e.cost(m, rep)
+
+	// Undo the length sort so callers see database order.
+	out := make([]Hit, len(hits))
+	for pos, h := range hits {
+		out[e.origIdx[pos]] = h
+	}
+	return out, rep, nil
+}
+
+func (e *Engine) hit(pos int, kern *farrar.Kernel) Hit {
+	h := Hit{Index: e.origIdx[pos], ID: e.seqs[pos].ID}
+	if kern != nil {
+		h.Score = kern.Score(e.seqs[pos].Residues)
+	}
+	return h
+}
+
+// cost is the device cost model: query transfer, per-launch overheads, and
+// padded cells at kernel-specific throughput, plus the fixed per-search
+// overhead. Long-sequence cells run at the discounted intra-task rate.
+func (e *Engine) cost(m int64, rep Report) time.Duration {
+	peak := e.dev.PeakCellsPerSecond()
+	interPadded := rep.PaddedCells
+	var intraCells int64
+	for i := e.nInter; i < len(e.seqs); i++ {
+		intraCells += m * int64(e.seqs[i].Len())
+	}
+	interPadded -= intraCells
+
+	secs := float64(interPadded) / peak
+	if intraCells > 0 {
+		eff := e.dev.IntraTaskEfficiency
+		if eff <= 0 {
+			eff = 1
+		}
+		secs += float64(intraCells) / (peak * eff)
+	}
+	d := time.Duration(secs * float64(time.Second))
+	d += time.Duration(rep.KernelLaunches) * e.dev.LaunchOverhead
+	if e.dev.TransferBytesPerSec > 0 {
+		d += time.Duration(float64(m) / e.dev.TransferBytesPerSec * float64(time.Second))
+		// A database that does not fit in device memory is streamed in
+		// chunks: every chunk beyond the resident first one re-uploads
+		// its residues for this search.
+		if e.dev.MemoryBytes > 0 && e.residues > e.dev.MemoryBytes {
+			chunks := (e.residues + e.dev.MemoryBytes - 1) / e.dev.MemoryBytes
+			extra := float64((chunks-1)*e.dev.MemoryBytes) / e.dev.TransferBytesPerSec
+			d += time.Duration(extra * float64(time.Second))
+		}
+	}
+	d += e.dev.SearchOverhead
+	return d
+}
+
+// ScoreOnly is a convenience that verifies one query/target pair against
+// the engine's scheme with the reference kernel; used by tests.
+func (e *Engine) ScoreOnly(query, target []byte) int {
+	return sw.Score(query, target, e.scheme)
+}

@@ -1,0 +1,358 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/gcups"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// Fig5Result is the §IV-A.3 walkthrough: 20 unit tasks, one GPU six times
+// faster than three SSE cores, with and without the adjustment mechanism.
+type Fig5Result struct {
+	With, Without *platform.Result
+}
+
+// Fig5 runs the walkthrough. The paper's exact numbers are 14 s with the
+// mechanism and 18 s without.
+func Fig5() (*Fig5Result, error) {
+	mk := func(adjust bool) platform.Experiment {
+		tasks := make([]sched.Task, 20)
+		for i := range tasks {
+			tasks[i] = sched.Task{QueryID: fmt.Sprintf("t%d", i+1), Cells: 6}
+		}
+		pes := []*platform.PE{{Name: "GPU1", Kind: sched.KindGPU, CellsPerSec: 6}}
+		for i := 1; i <= 3; i++ {
+			pes = append(pes, &platform.PE{Name: fmt.Sprintf("SSE%d", i), Kind: sched.KindCPU, CellsPerSec: 1})
+		}
+		return platform.Experiment{
+			Tasks:       tasks,
+			PEs:         pes,
+			Policy:      &sched.PSS{},
+			Adjust:      adjust,
+			NotifyEvery: 500 * time.Millisecond,
+		}
+	}
+	with, err := platform.Run(mk(true))
+	if err != nil {
+		return nil, err
+	}
+	without, err := platform.Run(mk(false))
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5Result{With: with, Without: without}, nil
+}
+
+// Gantt renders an assignment log as a small text Gantt chart, one line per
+// PE, for the Fig. 5 report.
+func Gantt(res *platform.Result) string {
+	var b strings.Builder
+	for i, pe := range res.PerPE {
+		fmt.Fprintf(&b, "%-5s:", pe.Name)
+		for _, a := range res.Assignments {
+			if int(a.Slave) != i {
+				continue
+			}
+			mark := ""
+			if a.Replica {
+				mark = "*"
+			}
+			ids := make([]string, len(a.Tasks))
+			for k, id := range a.Tasks {
+				ids[k] = fmt.Sprintf("t%d%s", int(id)+1, mark)
+			}
+			fmt.Fprintf(&b, " [%s @%s]", strings.Join(ids, ","), gcups.Seconds(a.Time))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "total execution time: %s s\n", gcups.Seconds(res.Makespan))
+	return b.String()
+}
+
+// Fig6Row is one bar pair of Fig. 6: a configuration's GCUPS with and
+// without the workload adjustment mechanism on SwissProt.
+type Fig6Row struct {
+	Config            string
+	Without, With     float64 // GCUPS
+	WithoutT, WithT   time.Duration
+	GainPercent       float64 // (With-Without)/Without * 100
+	TimeReducePercent float64 // (WithoutT-WithT)/WithoutT * 100
+}
+
+// Fig6 reproduces "GCUPS for comparing the databases with and without the
+// workload adjustment mechanism" (UniProtKB/SwissProt, six configurations).
+func Fig6() ([]Fig6Row, *gcups.Table, error) {
+	db, err := dataset.ProfileByName("UniProtKB/SwissProt")
+	if err != nil {
+		return nil, nil, err
+	}
+	configs := []struct {
+		Name       string
+		GPUs, SSEs int
+	}{
+		{"1 GPU", 1, 0},
+		{"1 GPU + 4 SSE", 1, 4},
+		{"2 GPU", 2, 0},
+		{"2 GPU + 4 SSE", 2, 4},
+		{"4 GPU", 4, 0},
+		{"4 GPU + 4 SSE", 4, 4},
+	}
+	var rows []Fig6Row
+	t := &gcups.Table{
+		Title:  "Fig. 6: workload adjustment impact on SwissProt",
+		Header: []string{"Configuration", "GCUPS w/o", "GCUPS w/", "gain %", "time w/o (s)", "time w/ (s)", "reduction %"},
+	}
+	for i, c := range configs {
+		pes := platform.Hybrid(c.GPUs, c.SSEs)
+		without, err := runConfig(db, pes, false, nil, baseSeed+int64(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		with, err := runConfig(db, platform.Hybrid(c.GPUs, c.SSEs), true, nil, baseSeed+int64(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Fig6Row{
+			Config:   c.Name,
+			Without:  without.GCUPS(),
+			With:     with.GCUPS(),
+			WithoutT: without.Makespan,
+			WithT:    with.Makespan,
+		}
+		if row.Without > 0 {
+			row.GainPercent = (row.With - row.Without) / row.Without * 100
+		}
+		if row.WithoutT > 0 {
+			row.TimeReducePercent = float64(row.WithoutT-row.WithT) / float64(row.WithoutT) * 100
+		}
+		rows = append(rows, row)
+		t.AddRow(c.Name, row.Without, row.With,
+			fmt.Sprintf("%.1f", row.GainPercent),
+			row.WithoutT, row.WithT,
+			fmt.Sprintf("%.1f", row.TimeReducePercent))
+	}
+	return rows, t, nil
+}
+
+// FigTimeline is the outcome of the Fig. 7 / Fig. 8 experiments: per-core
+// GCUPS series over the run.
+type FigTimeline struct {
+	Makespan time.Duration
+	Series   []gcups.Series
+}
+
+// fig7Experiment compares 40 queries against Ensembl Dog on 4 dedicated SSE
+// cores; loaded adds the §V-C local load: a compute-intensive benchmark
+// (superpi in the paper) steals ~55% of core 0 from t=60 s on.
+func figTimeline(loaded bool) (*FigTimeline, error) {
+	db, err := dataset.ProfileByName("Ensembl Dog Proteins")
+	if err != nil {
+		return nil, err
+	}
+	pes := platform.Hybrid(0, 4)
+	if loaded {
+		pes[0].Load = []platform.LoadPhase{{From: 60 * time.Second, Capacity: 0.45}}
+	}
+	res, err := platform.Run(platform.Experiment{
+		Tasks:       Tasks(db),
+		PEs:         pes,
+		Policy:      &sched.PSS{},
+		Adjust:      true,
+		Omega:       Omega,
+		CommLatency: CommLatency,
+		NotifyEvery: NotifyEvery,
+		Seed:        baseSeed + 7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &FigTimeline{Makespan: res.Makespan}
+	for _, pe := range res.PerPE {
+		times := make([]time.Duration, len(pe.Timeline))
+		rates := make([]float64, len(pe.Timeline))
+		for i, s := range pe.Timeline {
+			times[i], rates[i] = s.T, s.Rate
+		}
+		out.Series = append(out.Series, gcups.Bucketize(pe.Name, times, rates, 2*time.Second, res.Makespan))
+	}
+	return out, nil
+}
+
+// Fig7 is the dedicated 4-core execution.
+func Fig7() (*FigTimeline, error) { return figTimeline(false) }
+
+// Fig8 is the non-dedicated execution with local load at core 0.
+func Fig8() (*FigTimeline, error) { return figTimeline(true) }
+
+// PolicyAblation compares SS, PSS, Fixed and WFixed on the heterogeneous
+// 4 GPU + 4 SSE platform over SwissProt — the design space of the paper's
+// Table I (related-work allocation policies), measured under one roof.
+func PolicyAblation(adjust bool) (*gcups.Table, error) {
+	db, err := dataset.ProfileByName("UniProtKB/SwissProt")
+	if err != nil {
+		return nil, err
+	}
+	t := &gcups.Table{
+		Title:  fmt.Sprintf("Policy ablation on 4 GPU + 4 SSE, SwissProt (adjustment=%v)", adjust),
+		Header: []string{"Policy", "Time (s)", "GCUPS", "Interactions"},
+	}
+	for _, name := range []string{"SS", "PSS", "Fixed", "WFixed"} {
+		pol, err := sched.NewPolicy(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runConfig(db, platform.Hybrid(4, 4), adjust, pol, baseSeed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, res.Makespan, res.GCUPS(), len(res.Assignments))
+	}
+	return t, nil
+}
+
+// OmegaAblation sweeps the PSS notification window Ω under the Fig. 8 local
+// load, showing the adaptation-speed/stability trade-off the paper
+// describes for small vs large Ω.
+func OmegaAblation() (*gcups.Table, error) {
+	db, err := dataset.ProfileByName("Ensembl Dog Proteins")
+	if err != nil {
+		return nil, err
+	}
+	t := &gcups.Table{
+		Title:  "PSS Ω-window ablation (4 SSE cores, load on core 0 at 60 s)",
+		Header: []string{"Omega", "Time (s)", "GCUPS"},
+	}
+	for _, omega := range []int{1, 2, 4, 8, 16, 32} {
+		pes := platform.Hybrid(0, 4)
+		pes[0].Load = []platform.LoadPhase{{From: 60 * time.Second, Capacity: 0.45}}
+		res, err := platform.Run(platform.Experiment{
+			Tasks:       Tasks(db),
+			PEs:         pes,
+			Policy:      &sched.PSS{},
+			Adjust:      true,
+			Omega:       omega,
+			CommLatency: CommLatency,
+			NotifyEvery: NotifyEvery,
+			Seed:        baseSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(omega, res.Makespan, res.GCUPS())
+	}
+	return t, nil
+}
+
+// LatencyAblation sweeps master<->slave latency for SS vs PSS on the Dog
+// database (many small tasks): SS pays one round trip per task, PSS
+// amortizes them, so SS degrades faster.
+func LatencyAblation() (*gcups.Table, error) {
+	db, err := dataset.ProfileByName("Ensembl Dog Proteins")
+	if err != nil {
+		return nil, err
+	}
+	t := &gcups.Table{
+		Title:  "Communication latency ablation (4 GPU + 4 SSE, Ensembl Dog)",
+		Header: []string{"One-way latency", "SS time (s)", "PSS time (s)"},
+	}
+	for _, lat := range []time.Duration{0, time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond, 500 * time.Millisecond} {
+		times := map[string]time.Duration{}
+		for _, name := range []string{"SS", "PSS"} {
+			pol, _ := sched.NewPolicy(name)
+			res, err := platform.Run(platform.Experiment{
+				Tasks:       Tasks(db),
+				PEs:         platform.Hybrid(4, 4),
+				Policy:      pol,
+				Adjust:      true,
+				Omega:       Omega,
+				CommLatency: lat,
+				NotifyEvery: NotifyEvery,
+				Seed:        baseSeed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			times[name] = res.Makespan
+		}
+		t.AddRow(lat.String(), times["SS"], times["PSS"])
+	}
+	return t, nil
+}
+
+// ThresholdAblation sweeps the adjustment mechanism's replication gain
+// threshold on the heterogeneous headline platform: too eager (0) wastes
+// replica work on marginal gains, too conservative (1+) rescues slow tasks
+// late. This is the design choice DESIGN.md calls out in the replica
+// selector.
+func ThresholdAblation() (*gcups.Table, error) {
+	db, err := dataset.ProfileByName("UniProtKB/SwissProt")
+	if err != nil {
+		return nil, err
+	}
+	t := &gcups.Table{
+		Title:  "Replication gain-threshold ablation (4 GPU + 4 SSE, SwissProt)",
+		Header: []string{"Threshold", "Time (s)", "GCUPS", "Replicas", "Wasted Gcells"},
+	}
+	for _, th := range []float64{-1, 0.05, 0.1, 0.25, 0.5, 1.0, 4.0} {
+		res, err := platform.Run(platform.Experiment{
+			Tasks:         Tasks(db),
+			PEs:           platform.Hybrid(4, 4),
+			Policy:        &sched.PSS{},
+			Adjust:        true,
+			Omega:         Omega,
+			GainThreshold: th,
+			CommLatency:   CommLatency,
+			NotifyEvery:   NotifyEvery,
+			Seed:          baseSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%.2f", th)
+		if th < 0 {
+			label = "any gain"
+		}
+		t.AddRow(label, res.Makespan, res.GCUPS(), res.Replicas,
+			fmt.Sprintf("%.1f", float64(res.WastedCells)/1e9))
+	}
+	return t, nil
+}
+
+// BurstAblation sweeps the PSS MaxBurst cap on the headline platform,
+// showing the trade-off between master interactions and allocation balance.
+func BurstAblation() (*gcups.Table, error) {
+	db, err := dataset.ProfileByName("UniProtKB/SwissProt")
+	if err != nil {
+		return nil, err
+	}
+	t := &gcups.Table{
+		Title:  "PSS MaxBurst ablation (4 GPU + 4 SSE, SwissProt)",
+		Header: []string{"MaxBurst", "Time (s)", "GCUPS", "Interactions"},
+	}
+	for _, burst := range []int{0, 1, 2, 4, 8, 16} {
+		res, err := platform.Run(platform.Experiment{
+			Tasks:       Tasks(db),
+			PEs:         platform.Hybrid(4, 4),
+			Policy:      &sched.PSS{MaxBurst: burst},
+			Adjust:      true,
+			Omega:       Omega,
+			CommLatency: CommLatency,
+			NotifyEvery: NotifyEvery,
+			Seed:        baseSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%d", burst)
+		if burst == 0 {
+			label = "uncapped"
+		}
+		t.AddRow(label, res.Makespan, res.GCUPS(), len(res.Assignments))
+	}
+	return t, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/gcups"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// FutureWork runs the paper's §VI future-work scenarios, which this
+// reproduction implements ahead of the original: integrating an FPGA
+// accelerator into the hybrid platform, and nodes joining/leaving while an
+// application executes.
+func FutureWork() (*gcups.Table, error) {
+	db, err := dataset.ProfileByName("UniProtKB/SwissProt")
+	if err != nil {
+		return nil, err
+	}
+	t := &gcups.Table{
+		Title:  "Future-work scenarios (SwissProt, PSS + adjustment)",
+		Header: []string{"Scenario", "Time (s)", "GCUPS", "Replicas"},
+	}
+	run := func(name string, pes []*platform.PE) error {
+		res, err := platform.Run(platform.Experiment{
+			Tasks:       Tasks(db),
+			PEs:         pes,
+			Policy:      &sched.PSS{},
+			Adjust:      true,
+			Omega:       Omega,
+			CommLatency: CommLatency,
+			NotifyEvery: NotifyEvery,
+			Seed:        baseSeed,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		t.AddRow(name, res.Makespan, res.GCUPS(), res.Replicas)
+		return nil
+	}
+
+	if err := run("4 GPU + 4 SSE (baseline)", platform.Hybrid(4, 4)); err != nil {
+		return nil, err
+	}
+	withFPGA := append(platform.Hybrid(4, 4), platform.FPGAPE("FPGA1"))
+	if err := run("4 GPU + 4 SSE + 1 FPGA", withFPGA); err != nil {
+		return nil, err
+	}
+
+	// Churn: GPU4 crashes at t=30 s; a replacement GPU joins at t=60 s.
+	churn := platform.Hybrid(4, 4)
+	churn[3].LeaveAt = 30 * time.Second
+	late := platform.GPUPE("GPU5")
+	late.JoinAt = 60 * time.Second
+	churn = append(churn, late)
+	if err := run("GPU4 leaves @30s, GPU5 joins @60s", churn); err != nil {
+		return nil, err
+	}
+
+	// Worst case: a GPU leaves and nothing replaces it.
+	lost := platform.Hybrid(4, 4)
+	lost[3].LeaveAt = 30 * time.Second
+	if err := run("GPU4 leaves @30s, no replacement", lost); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

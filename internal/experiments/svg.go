@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/platform"
+	"repro/internal/svgplot"
+)
+
+// Fig6SVG renders the adjustment-impact bars as an SVG chart.
+func Fig6SVG() (string, error) {
+	rows, _, err := Fig6()
+	if err != nil {
+		return "", err
+	}
+	c := &svgplot.BarChart{
+		Title:  "Fig. 6: GCUPS with and without the workload adjustment mechanism (SwissProt)",
+		YLabel: "GCUPS",
+	}
+	for _, r := range rows {
+		c.Groups = append(c.Groups, svgplot.BarGroup{
+			Label: r.Config,
+			Bars: []svgplot.Bar{
+				{Label: "without load adjustment", Value: r.Without},
+				{Label: "with load adjustment", Value: r.With},
+			},
+		})
+	}
+	return c.Render(), nil
+}
+
+// timelineSVG renders a Figs. 7/8-style per-core GCUPS chart.
+func timelineSVG(title string, res *FigTimeline) string {
+	c := &svgplot.LineChart{
+		Title:  fmt.Sprintf("%s (wall clock %.1f s)", title, res.Makespan.Seconds()),
+		XLabel: "time (s)",
+		YLabel: "GCUPS",
+	}
+	for _, s := range res.Series {
+		ls := svgplot.LineSeries{Name: s.Name}
+		for _, p := range s.Points {
+			ls.Points = append(ls.Points, svgplot.Point{X: p.T.Seconds(), Y: p.GCUPS})
+		}
+		c.Series = append(c.Series, ls)
+	}
+	return c.Render()
+}
+
+// Fig7SVG renders the dedicated 4-core timeline.
+func Fig7SVG() (string, error) {
+	res, err := Fig7()
+	if err != nil {
+		return "", err
+	}
+	return timelineSVG("Fig. 7: dedicated execution with 4 cores", res), nil
+}
+
+// Fig8SVG renders the non-dedicated timeline with the load injection.
+func Fig8SVG() (string, error) {
+	res, err := Fig8()
+	if err != nil {
+		return "", err
+	}
+	return timelineSVG("Fig. 8: non-dedicated execution, local load at core 0 from 60 s", res), nil
+}
+
+// WriteSVGs renders every figure chart into dir, returning the file paths.
+func WriteSVGs(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var out []string
+	figs5, err := Fig5SVG()
+	if err != nil {
+		return nil, err
+	}
+	for i, svg := range figs5 {
+		path := filepath.Join(dir, fmt.Sprintf("fig5%c.svg", 'a'+i))
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return nil, err
+		}
+		out = append(out, path)
+	}
+	for _, f := range []struct {
+		name   string
+		render func() (string, error)
+	}{
+		{"fig6.svg", Fig6SVG},
+		{"fig7.svg", Fig7SVG},
+		{"fig8.svg", Fig8SVG},
+	} {
+		svg, err := f.render()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f.name, err)
+		}
+		path := filepath.Join(dir, f.name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return nil, err
+		}
+		out = append(out, path)
+	}
+	return out, nil
+}
+
+// Fig5SVG renders the Fig. 5 schedules (with and without the adjustment
+// mechanism) as two Gantt charts, returned in that order.
+func Fig5SVG() ([]string, error) {
+	res, err := Fig5()
+	if err != nil {
+		return nil, err
+	}
+	mk := func(title string, r *platform.Result) string {
+		c := &svgplot.GanttChart{Title: title, XLabel: "time (s)"}
+		for _, pe := range r.PerPE {
+			for _, ex := range pe.Executions {
+				c.Bars = append(c.Bars, svgplot.GanttBar{
+					Row:     pe.Name,
+					Start:   ex.Start.Seconds(),
+					End:     ex.End.Seconds(),
+					Label:   fmt.Sprintf("t%d", int(ex.Task)+1),
+					Replica: ex.Replica,
+				})
+			}
+		}
+		return c.Render()
+	}
+	return []string{
+		mk(fmt.Sprintf("Fig. 5a: with workload adjustment (%.0f s)", res.With.Makespan.Seconds()), res.With),
+		mk(fmt.Sprintf("Fig. 5b: without workload adjustment (%.0f s)", res.Without.Makespan.Seconds()), res.Without),
+	}, nil
+}

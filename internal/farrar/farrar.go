@@ -1,0 +1,299 @@
+// Package farrar implements Farrar's striped Smith-Waterman algorithm
+// (Farrar 2007, "Striped Smith-Waterman speeds database searches six times
+// over other SIMD implementations") on the emulated SSE2 ISA of
+// internal/simd.
+//
+// This is the algorithm the paper runs on its multicore SSE slaves (§IV-C),
+// in the paper's *adapted* form: where Farrar's original held DP values as
+// biased unsigned integers, the adaptation uses signed integers, raising the
+// representable maximum score to 255 in the 8-bit kernel and 32767 in the
+// 16-bit kernel. The query is laid out in the striped pattern: with L vector
+// lanes and segment length segLen = ceil(m/L), vector element (lane l,
+// segment s) holds query position l*segLen + s, which moves the inter-lane
+// dependency of the F (vertical gap) recurrence out of the inner loop into a
+// rare correction pass.
+//
+// A Kernel precomputes the striped query profile once and scores many
+// database sequences against it, trying the 8-bit kernel first and falling
+// back to the 16-bit kernel — and ultimately to the scalar reference — on
+// score overflow, exactly like the SSE original.
+package farrar
+
+import (
+	"fmt"
+
+	"repro/internal/score"
+	"repro/internal/simd"
+	"repro/internal/sw"
+)
+
+const (
+	lanes8  = 16 // byte lanes in a 128-bit register
+	lanes16 = 8  // 16-bit lanes in a 128-bit register
+)
+
+// Stats counts kernel dispatch decisions across the lifetime of a Kernel.
+type Stats struct {
+	Scored8    int64 // sequences fully resolved by the 8-bit kernel
+	Fallback16 int64 // sequences that overflowed 8-bit and used 16-bit
+	FallbackSW int64 // sequences that overflowed 16-bit and used the scalar reference
+}
+
+// Kernel holds the striped query profiles for one query sequence.
+type Kernel struct {
+	query  []byte
+	scheme score.Scheme
+
+	bias    int // -matrix.Min(), added to 8-bit profile entries
+	segLen8 int
+	prof8   [][]simd.U8x16 // prof8[residueIndex][segment]
+
+	segLen16 int
+	prof16   [][]simd.I16x8 // built lazily on first 8-bit overflow
+
+	stats Stats
+}
+
+// NewKernel validates the inputs and builds the 8-bit striped profile.
+func NewKernel(query []byte, s score.Scheme) (*Kernel, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(query) == 0 {
+		return nil, fmt.Errorf("farrar: empty query")
+	}
+	if err := s.Matrix.Alphabet().Validate(query); err != nil {
+		return nil, fmt.Errorf("farrar: query: %w", err)
+	}
+	k := &Kernel{query: query, scheme: s, bias: -s.Matrix.Min()}
+	if k.bias < 0 {
+		k.bias = 0
+	}
+	k.buildProfile8()
+	return k, nil
+}
+
+// Query returns the query sequence the kernel was built for.
+func (k *Kernel) Query() []byte { return k.query }
+
+// Stats returns cumulative kernel dispatch counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+func (k *Kernel) buildProfile8() {
+	m := len(k.query)
+	k.segLen8 = (m + lanes8 - 1) / lanes8
+	alpha := k.scheme.Matrix.Alphabet()
+	// One row per alphabet residue plus a final all-minimum row used for
+	// database residues outside the alphabet (matching the scalar
+	// reference, which scores them at the matrix minimum).
+	k.prof8 = make([][]simd.U8x16, alpha.Size()+1)
+	for r := 0; r <= alpha.Size(); r++ {
+		segs := make([]simd.U8x16, k.segLen8)
+		var row []int
+		if r < alpha.Size() {
+			row = k.scheme.Matrix.Row(r)
+		}
+		for s := 0; s < k.segLen8; s++ {
+			var v simd.U8x16
+			for l := 0; l < lanes8; l++ {
+				qi := l*k.segLen8 + s
+				sc := k.scheme.Matrix.Min() // padding lanes and invalid residues score worst
+				if qi < m && row != nil {
+					sc = row[alpha.Index(k.query[qi])]
+				}
+				v[l] = uint8(sc + k.bias)
+			}
+			segs[s] = v
+		}
+		k.prof8[r] = segs
+	}
+}
+
+func (k *Kernel) buildProfile16() {
+	m := len(k.query)
+	k.segLen16 = (m + lanes16 - 1) / lanes16
+	alpha := k.scheme.Matrix.Alphabet()
+	k.prof16 = make([][]simd.I16x8, alpha.Size()+1)
+	for r := 0; r <= alpha.Size(); r++ {
+		segs := make([]simd.I16x8, k.segLen16)
+		var row []int
+		if r < alpha.Size() {
+			row = k.scheme.Matrix.Row(r)
+		}
+		for s := 0; s < k.segLen16; s++ {
+			var v simd.I16x8
+			for l := 0; l < lanes16; l++ {
+				qi := l*k.segLen16 + s
+				sc := k.scheme.Matrix.Min()
+				if qi < m && row != nil {
+					sc = row[alpha.Index(k.query[qi])]
+				}
+				v[l] = int16(sc)
+			}
+			segs[s] = v
+		}
+		k.prof16[r] = segs
+	}
+}
+
+// Score returns the optimal local alignment score of the kernel's query vs
+// target, automatically escalating 8-bit -> 16-bit -> scalar on overflow.
+func (k *Kernel) Score(target []byte) int {
+	if sc, ok := k.ScoreU8(target); ok {
+		k.stats.Scored8++
+		return sc
+	}
+	if sc, ok := k.ScoreI16(target); ok {
+		k.stats.Fallback16++
+		return sc
+	}
+	k.stats.FallbackSW++
+	return sw.Score(k.query, target, k.scheme)
+}
+
+// Cells returns the DP cell count of scoring target, the GCUPS currency.
+func (k *Kernel) Cells(target []byte) int64 {
+	return sw.Cells(len(k.query), len(target))
+}
+
+// ScoreU8 runs the 8-bit saturating kernel. ok is false when the score may
+// have overflowed the 8-bit range, in which case the result is unusable and
+// the caller must rerun with a wider kernel.
+func (k *Kernel) ScoreU8(target []byte) (sc int, ok bool) {
+	if len(target) == 0 {
+		return 0, true
+	}
+	segLen := k.segLen8
+	alpha := k.scheme.Matrix.Alphabet()
+	vBias := simd.SplatU8(uint8(k.bias))
+	vGapOE := simd.SplatU8(uint8(k.scheme.Gap.Open + k.scheme.Gap.Extend))
+	vGapE := simd.SplatU8(uint8(k.scheme.Gap.Extend))
+	var vMax simd.U8x16
+
+	vHLoad := make([]simd.U8x16, segLen)
+	vHStore := make([]simd.U8x16, segLen)
+	vE := make([]simd.U8x16, segLen)
+
+	for _, c := range target {
+		ri := alpha.Index(c)
+		if ri < 0 {
+			ri = alpha.Size() // all-minimum row for out-of-alphabet residues
+		}
+		prof := k.prof8[ri]
+
+		var vF simd.U8x16
+		// H of query position l*segLen-1 feeds lane l segment 0: shift the
+		// last stored segment left one lane (zero fill = H[0][j-1] = 0).
+		vH := simd.ShiftLanesLeftU8(vHLoad[segLen-1], 1)
+		for s := 0; s < segLen; s++ {
+			vH = simd.SubSatU8(simd.AddSatU8(vH, prof[s]), vBias)
+			vH = simd.MaxU8(vH, vE[s])
+			vH = simd.MaxU8(vH, vF)
+			vMax = simd.MaxU8(vMax, vH)
+			vHStore[s] = vH
+
+			vHGap := simd.SubSatU8(vH, vGapOE)
+			vE[s] = simd.MaxU8(simd.SubSatU8(vE[s], vGapE), vHGap)
+			vF = simd.MaxU8(simd.SubSatU8(vF, vGapE), vHGap)
+			vH = vHLoad[s]
+		}
+
+		// Lazy-F correction (Farrar's loop): keep sweeping the decaying F
+		// carry through the striped column while it can still beat the
+		// fresh gap openings the main pass already accounted for. The
+		// carry only decays, so the loop terminates; guard bounds it
+		// defensively.
+		vF = simd.ShiftLanesLeftU8(vF, 1)
+		for s, guard := 0, segLen*(lanes8+1); simd.AnyGtU8(vF, simd.SubSatU8(vHStore[s], vGapOE)) && guard > 0; guard-- {
+			nh := simd.MaxU8(vHStore[s], vF)
+			if nh != vHStore[s] {
+				vHStore[s] = nh
+				vMax = simd.MaxU8(vMax, nh)
+				// A raised H can feed a horizontal gap in the next column.
+				vE[s] = simd.MaxU8(vE[s], simd.SubSatU8(nh, vGapOE))
+			}
+			vF = simd.SubSatU8(vF, vGapE)
+			if s++; s == segLen {
+				s = 0
+				vF = simd.ShiftLanesLeftU8(vF, 1)
+			}
+		}
+
+		vHLoad, vHStore = vHStore, vHLoad
+	}
+	best := int(simd.HMaxU8(vMax))
+	if best+k.bias >= 255 {
+		return 0, false // a saturating add may have clipped the true score
+	}
+	return best, true
+}
+
+// ScoreI16 runs the 16-bit signed kernel (the paper's adapted variant). ok
+// is false when the score reached the int16 ceiling.
+func (k *Kernel) ScoreI16(target []byte) (sc int, ok bool) {
+	if len(target) == 0 {
+		return 0, true
+	}
+	if k.prof16 == nil {
+		k.buildProfile16()
+	}
+	segLen := k.segLen16
+	alpha := k.scheme.Matrix.Alphabet()
+	vGapOE := simd.SplatI16(int16(k.scheme.Gap.Open + k.scheme.Gap.Extend))
+	vGapE := simd.SplatI16(int16(k.scheme.Gap.Extend))
+	var vZero simd.I16x8
+	vMax := simd.SplatI16(0)
+
+	vHLoad := make([]simd.I16x8, segLen)
+	vHStore := make([]simd.I16x8, segLen)
+	vE := make([]simd.I16x8, segLen)
+
+	for _, c := range target {
+		ri := alpha.Index(c)
+		if ri < 0 {
+			ri = alpha.Size()
+		}
+		prof := k.prof16[ri]
+
+		vF := vZero
+		vH := simd.ShiftLanesLeftI16(vHLoad[segLen-1], 1, 0)
+		for s := 0; s < segLen; s++ {
+			vH = simd.AddSatI16(vH, prof[s])
+			vH = simd.MaxI16(vH, vE[s])
+			vH = simd.MaxI16(vH, vF)
+			vH = simd.MaxI16(vH, vZero) // the Smith-Waterman 0 floor
+			vMax = simd.MaxI16(vMax, vH)
+			vHStore[s] = vH
+
+			vHGap := simd.SubSatI16(vH, vGapOE)
+			vE[s] = simd.MaxI16(simd.SubSatI16(vE[s], vGapE), vHGap)
+			vF = simd.MaxI16(simd.SubSatI16(vF, vGapE), vHGap)
+			vH = vHLoad[s]
+		}
+
+		// Lazy-F correction, signed flavor. The shift fills with the int16
+		// minimum (F of the row-0 boundary is -infinity); filling with 0
+		// would keep the carry alive forever against negative thresholds.
+		vF = simd.ShiftLanesLeftI16(vF, 1, -32768)
+		for s, guard := 0, segLen*(lanes16+1); simd.AnyGtI16(vF, simd.SubSatI16(vHStore[s], vGapOE)) && guard > 0; guard-- {
+			nh := simd.MaxI16(vHStore[s], vF)
+			if nh != vHStore[s] {
+				vHStore[s] = nh
+				vMax = simd.MaxI16(vMax, nh)
+				vE[s] = simd.MaxI16(vE[s], simd.SubSatI16(nh, vGapOE))
+			}
+			vF = simd.SubSatI16(vF, vGapE)
+			if s++; s == segLen {
+				s = 0
+				vF = simd.ShiftLanesLeftI16(vF, 1, -32768)
+			}
+		}
+
+		vHLoad, vHStore = vHStore, vHLoad
+	}
+	best := int(simd.HMaxI16(vMax))
+	if best >= 32767 {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,78 @@
+package farrar
+
+import (
+	"fmt"
+
+	"repro/internal/score"
+)
+
+// SegmentedKernel scores with the long-query strategy of Meng & Chaudhary
+// [13], which the paper's related work describes: accelerators with a
+// bounded query size split long queries into overlapping segments, score
+// each segment independently, and report the best segment score. The
+// result is a lower bound on the true Smith-Waterman score — exact
+// whenever the optimal alignment's query span fits inside one segment,
+// under-estimating otherwise. As the paper notes, "depending on the degree
+// of overlapping, the sensitivity of the SW algorithm is reduced"; the
+// Sensitive method reports whether a given alignment span is safe.
+type SegmentedKernel struct {
+	segLen  int
+	overlap int
+	kernels []*Kernel
+}
+
+// NewSegmentedKernel splits query into segments of segLen residues whose
+// starts advance by segLen-overlap, building one striped kernel per
+// segment.
+func NewSegmentedKernel(query []byte, s score.Scheme, segLen, overlap int) (*SegmentedKernel, error) {
+	if segLen < 2 {
+		return nil, fmt.Errorf("farrar: segment length %d too small", segLen)
+	}
+	if overlap < 0 || overlap >= segLen {
+		return nil, fmt.Errorf("farrar: overlap %d outside [0, segLen)", overlap)
+	}
+	if len(query) == 0 {
+		return nil, fmt.Errorf("farrar: empty query")
+	}
+	sk := &SegmentedKernel{segLen: segLen, overlap: overlap}
+	step := segLen - overlap
+	for start := 0; ; start += step {
+		end := min(start+segLen, len(query))
+		k, err := NewKernel(query[start:end], s)
+		if err != nil {
+			return nil, err
+		}
+		sk.kernels = append(sk.kernels, k)
+		if end == len(query) {
+			break
+		}
+	}
+	return sk, nil
+}
+
+// Segments returns how many segments the query produced.
+func (sk *SegmentedKernel) Segments() int { return len(sk.kernels) }
+
+// Score returns the best segment-vs-target score: a lower bound on the
+// full-query Smith-Waterman score.
+func (sk *SegmentedKernel) Score(target []byte) int {
+	best := 0
+	for _, k := range sk.kernels {
+		if v := k.Score(target); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Sensitive reports whether an optimal alignment spanning `span` query
+// residues is guaranteed to be scored exactly: with starts advancing by
+// segLen-overlap, every window of overlap+1 residues lies inside some
+// segment, so spans up to overlap+1 are always safe (as is any span up to
+// segLen when only one segment exists).
+func (sk *SegmentedKernel) Sensitive(span int) bool {
+	if len(sk.kernels) == 1 {
+		return span <= sk.segLen
+	}
+	return span <= sk.overlap+1
+}

@@ -1,0 +1,117 @@
+package farrar
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sw"
+)
+
+func TestNewSegmentedKernelValidation(t *testing.T) {
+	q := []byte("ACDEFGHIKL")
+	if _, err := NewSegmentedKernel(q, protScheme(), 1, 0); err == nil {
+		t.Error("segLen 1 accepted")
+	}
+	if _, err := NewSegmentedKernel(q, protScheme(), 5, 5); err == nil {
+		t.Error("overlap == segLen accepted")
+	}
+	if _, err := NewSegmentedKernel(q, protScheme(), 5, -1); err == nil {
+		t.Error("negative overlap accepted")
+	}
+	if _, err := NewSegmentedKernel(nil, protScheme(), 5, 2); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestSegmentCount(t *testing.T) {
+	q := make([]byte, 100)
+	for i := range q {
+		q[i] = 'A'
+	}
+	sk, err := NewSegmentedKernel(q, protScheme(), 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// starts 0, 30, 60; the segment at 60 reaches the query end.
+	if sk.Segments() != 3 {
+		t.Errorf("Segments = %d, want 3", sk.Segments())
+	}
+	one, _ := NewSegmentedKernel(q[:30], protScheme(), 40, 10)
+	if one.Segments() != 1 {
+		t.Errorf("short query Segments = %d, want 1", one.Segments())
+	}
+}
+
+func TestSegmentedExactWhenAlignmentFits(t *testing.T) {
+	// Plant a strong local match well inside one segment: the segmented
+	// score must equal the full score.
+	rng := rand.New(rand.NewSource(1))
+	motif := randProtein(rng, 30)
+	q := append(append(randProtein(rng, 100), motif...), randProtein(rng, 100)...)
+	target := append(append(randProtein(rng, 20), motif...), randProtein(rng, 20)...)
+
+	full := sw.Score(q, target, protScheme())
+	sk, err := NewSegmentedKernel(q, protScheme(), 80, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sk.Score(target); got != full {
+		// The motif may straddle a boundary by construction chance; with
+		// overlap 40 > len(motif) 30 it cannot.
+		t.Errorf("segmented = %d, full = %d", got, full)
+	}
+	if !sk.Sensitive(30) {
+		t.Error("span 30 should be safe with overlap 40")
+	}
+}
+
+func TestSegmentedIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 30; iter++ {
+		q := randProtein(rng, 150+rng.Intn(150))
+		d := mutate(rng, q, 0.3)
+		full := sw.Score(q, d, protScheme())
+		sk, err := NewSegmentedKernel(q, protScheme(), 50, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sk.Score(d)
+		if got > full {
+			t.Fatalf("iter %d: segmented %d exceeds full %d", iter, got, full)
+		}
+		if got <= 0 && full > 30 {
+			t.Fatalf("iter %d: segmented lost the alignment entirely (full %d)", iter, full)
+		}
+	}
+}
+
+func TestSegmentedSensitivityLossIsReal(t *testing.T) {
+	// A long exact alignment spanning several segments must be
+	// under-scored — the effect the paper warns about.
+	rng := rand.New(rand.NewSource(3))
+	q := randProtein(rng, 300)
+	d := append([]byte{}, q...) // identical target: alignment spans all 300
+	full := sw.Score(q, d, protScheme())
+	sk, _ := NewSegmentedKernel(q, protScheme(), 60, 10)
+	got := sk.Score(d)
+	if got >= full {
+		t.Fatalf("segmented %d not below full %d for a 300-residue identity", got, full)
+	}
+	if sk.Sensitive(300) {
+		t.Error("span 300 claimed safe")
+	}
+	if !sk.Sensitive(11) {
+		t.Error("span overlap+1 should be safe")
+	}
+}
+
+func TestSegmentedQueryNotAliased(t *testing.T) {
+	q := bytes.Repeat([]byte("ACDEFGHIKL"), 10)
+	orig := append([]byte{}, q...)
+	sk, _ := NewSegmentedKernel(q, protScheme(), 30, 5)
+	sk.Score([]byte("ACDEFGHIKL"))
+	if !bytes.Equal(q, orig) {
+		t.Error("query mutated")
+	}
+}

@@ -1,0 +1,216 @@
+// Package fasta reads and writes FASTA-formatted sequence files.
+//
+// Biological "databases" such as UniProtKB/SwissProt are distributed as huge
+// flat FASTA files: a '>' header line followed by one or more residue lines
+// per record. This package provides a streaming Reader that tolerates the
+// format variations found in real databases (CRLF endings, blank lines,
+// ';' comment lines, lower-case residues) and a Writer with configurable
+// line wrapping.
+package fasta
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/seq"
+)
+
+// Reader streams sequences from FASTA input.
+type Reader struct {
+	br   *bufio.Reader
+	line int    // current line number, 1-based, for errors
+	next []byte // buffered header line starting with '>' (without '>')
+	eof  bool
+}
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Read returns the next sequence, or io.EOF after the last one.
+func (r *Reader) Read() (*seq.Sequence, error) {
+	header, err := r.header()
+	if err != nil {
+		return nil, err
+	}
+	var residues []byte
+	for {
+		line, err := r.readLine()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(line) == 0 || line[0] == ';' {
+			continue
+		}
+		if line[0] == '>' {
+			r.next = line[1:]
+			break
+		}
+		residues = append(residues, line...)
+	}
+	id, desc := SplitHeader(string(header))
+	if id == "" {
+		return nil, fmt.Errorf("fasta: empty header at line %d", r.line)
+	}
+	return seq.New(id, desc, residues), nil
+}
+
+// ReadAll drains the reader and returns every remaining sequence.
+func (r *Reader) ReadAll() ([]*seq.Sequence, error) {
+	var out []*seq.Sequence
+	for {
+		s, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+// header scans forward to the next '>' line and returns its content.
+func (r *Reader) header() ([]byte, error) {
+	if r.next != nil {
+		h := r.next
+		r.next = nil
+		return h, nil
+	}
+	for {
+		line, err := r.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if len(line) == 0 || line[0] == ';' {
+			continue
+		}
+		if line[0] == '>' {
+			return line[1:], nil
+		}
+		return nil, fmt.Errorf("fasta: line %d: expected '>' header, got %q", r.line, preview(line))
+	}
+}
+
+// readLine returns the next line with the trailing newline (and any CR)
+// stripped. Returns io.EOF only when no data remains at all.
+func (r *Reader) readLine() ([]byte, error) {
+	if r.eof {
+		return nil, io.EOF
+	}
+	line, err := r.br.ReadBytes('\n')
+	if err == io.EOF {
+		r.eof = true
+		if len(line) == 0 {
+			return nil, io.EOF
+		}
+		err = nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.line++
+	line = bytes.TrimRight(line, "\r\n")
+	return line, nil
+}
+
+func preview(b []byte) string {
+	if len(b) > 20 {
+		return string(b[:20]) + "..."
+	}
+	return string(b)
+}
+
+// SplitHeader splits a FASTA header into its first word (the ID) and the
+// remaining description.
+func SplitHeader(h string) (id, desc string) {
+	h = strings.TrimSpace(h)
+	if i := strings.IndexAny(h, " \t"); i >= 0 {
+		return h[:i], strings.TrimSpace(h[i+1:])
+	}
+	return h, ""
+}
+
+// ReadFile parses an entire FASTA file from disk.
+func ReadFile(path string) ([]*seq.Sequence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	seqs, err := NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("fasta: %s: %w", path, err)
+	}
+	return seqs, nil
+}
+
+// Writer emits FASTA records with residue lines wrapped at Wrap columns.
+type Writer struct {
+	w    *bufio.Writer
+	Wrap int // residues per line; <= 0 means a single unwrapped line
+}
+
+// NewWriter returns a Writer targeting w with the conventional 60-column wrap.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), Wrap: 60}
+}
+
+// Write emits one sequence record.
+func (w *Writer) Write(s *seq.Sequence) error {
+	w.w.WriteByte('>')
+	w.w.WriteString(s.ID)
+	if s.Description != "" {
+		w.w.WriteByte(' ')
+		w.w.WriteString(s.Description)
+	}
+	w.w.WriteByte('\n')
+	r := s.Residues
+	if w.Wrap <= 0 {
+		w.w.Write(r)
+		w.w.WriteByte('\n')
+	} else {
+		for len(r) > 0 {
+			n := min(w.Wrap, len(r))
+			w.w.Write(r[:n])
+			w.w.WriteByte('\n')
+			r = r[n:]
+		}
+		if s.Len() == 0 {
+			w.w.WriteByte('\n')
+		}
+	}
+	return w.w.Flush()
+}
+
+// WriteAll emits every sequence in order.
+func (w *Writer) WriteAll(seqs []*seq.Sequence) error {
+	for _, s := range seqs {
+		if err := w.Write(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile writes sequences to a FASTA file on disk.
+func WriteFile(path string, seqs []*seq.Sequence) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := NewWriter(f)
+	if err := w.WriteAll(seqs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

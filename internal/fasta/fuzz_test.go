@@ -1,0 +1,84 @@
+package fasta
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// TestReaderNeverPanicsOnGarbage feeds random byte soup — including '>'
+// and newline-rich soup — and requires the reader to either parse or fail
+// cleanly, never panic or loop.
+func TestReaderNeverPanicsOnGarbage(t *testing.T) {
+	alphabet := []byte(">;\r\nACGTacgt \t|0123_")
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 300; iter++ {
+		n := rng.Intn(400)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		r := NewReader(bytes.NewReader(buf))
+		for {
+			_, err := r.Read()
+			if err != nil {
+				break
+			}
+		}
+	}
+}
+
+// TestReaderGarbageThenValid checks the reader reports a clean error for
+// junk prefixes rather than silently skipping them.
+func TestReaderGarbageThenValid(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("junk\n>ok\nACGT\n")).Read(); err == nil {
+		t.Error("junk before first header accepted")
+	}
+}
+
+// TestRoundTripRandomRecords writes random well-formed records and reads
+// them back identically for many shapes of ID, description and length.
+func TestRoundTripRandomRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	letters := "ACDEFGHIKLMNPQRSTVWY"
+	for iter := 0; iter < 100; iter++ {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.Wrap = 1 + rng.Intn(90)
+		nRec := 1 + rng.Intn(8)
+		type rec struct{ id, desc, res string }
+		var want []rec
+		for i := 0; i < nRec; i++ {
+			id := "id" + string(rune('a'+i))
+			desc := ""
+			if rng.Intn(2) == 0 {
+				desc = "some words here"
+			}
+			res := make([]byte, rng.Intn(300))
+			for j := range res {
+				res[j] = letters[rng.Intn(len(letters))]
+			}
+			want = append(want, rec{id, desc, string(res)})
+			if err := w.Write(newSeq(id, desc, res)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := NewReader(&buf).ReadAll()
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if len(got) != nRec {
+			t.Fatalf("iter %d: %d records, want %d", iter, len(got), nRec)
+		}
+		for i, g := range got {
+			if g.ID != want[i].id || g.Description != want[i].desc || string(g.Residues) != want[i].res {
+				t.Fatalf("iter %d record %d mismatch", iter, i)
+			}
+		}
+	}
+}
+
+func newSeq(id, desc string, res []byte) *seq.Sequence { return seq.New(id, desc, res) }

@@ -1,0 +1,205 @@
+// Package httpapi exposes the hybrid search engine as a small REST service
+// (cmd/swserve): a database is loaded at startup and queries are submitted
+// over HTTP, making the task execution environment usable from any
+// language. JSON in, JSON out, stdlib only.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	hybridsw "repro"
+	"repro/internal/fasta"
+	"repro/internal/seq"
+	"repro/internal/stats"
+)
+
+// Server serves search requests against one resident database.
+type Server struct {
+	db       []*seq.Sequence
+	dbName   string
+	residues int64
+	platform hybridsw.Platform
+	started  time.Time
+}
+
+// New builds a server over a database with a default platform configuration
+// (individual request fields can override parts of it).
+func New(dbName string, db []*seq.Sequence, platform hybridsw.Platform) (*Server, error) {
+	if len(db) == 0 {
+		return nil, fmt.Errorf("httpapi: empty database")
+	}
+	s := &Server{db: db, dbName: dbName, platform: platform, started: time.Now()}
+	for _, d := range db {
+		s.residues += int64(d.Len())
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /database", s.handleDatabase)
+	mux.HandleFunc("POST /search", s.handleSearch)
+	mux.HandleFunc("POST /align", s.handleAlign)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleDatabase(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":      s.dbName,
+		"sequences": len(s.db),
+		"residues":  s.residues,
+	})
+}
+
+// SearchRequest is the POST /search payload.
+type SearchRequest struct {
+	// QueriesFasta holds one or more FASTA records.
+	QueriesFasta string `json:"queries_fasta"`
+	TopK         int    `json:"top_k,omitempty"`
+	Policy       string `json:"policy,omitempty"`
+	Align        bool   `json:"align,omitempty"`
+}
+
+// SearchHit is one reported hit.
+type SearchHit struct {
+	SeqID  string   `json:"seq_id"`
+	Score  int      `json:"score"`
+	EValue *float64 `json:"evalue,omitempty"`
+
+	QueryRow  string `json:"query_row,omitempty"`
+	TargetRow string `json:"target_row,omitempty"`
+}
+
+// SearchResult is one query's outcome.
+type SearchResult struct {
+	Query string      `json:"query"`
+	Hits  []SearchHit `json:"hits"`
+}
+
+// SearchResponse is the POST /search reply.
+type SearchResponse struct {
+	Results  []SearchResult `json:"results"`
+	Elapsed  float64        `json:"elapsed_s"`
+	GCUPS    float64        `json:"gcups"`
+	Database string         `json:"database"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	queries, err := fasta.NewReader(strings.NewReader(req.QueriesFasta)).ReadAll()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "queries_fasta: %v", err)
+		return
+	}
+	if len(queries) == 0 {
+		writeErr(w, http.StatusBadRequest, "queries_fasta contains no sequences")
+		return
+	}
+	p := s.platform
+	if req.TopK > 0 {
+		p.TopK = req.TopK
+	}
+	if req.Policy != "" {
+		p.Policy = req.Policy
+	}
+	p.AlignBest = req.Align
+
+	rep, err := hybridsw.Search(queries, s.db, p)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "search: %v", err)
+		return
+	}
+	scheme := p.Scheme
+	if scheme.Matrix == nil {
+		scheme = hybridsw.DefaultScheme()
+	}
+	params, haveStats := stats.Lookup(scheme)
+	queryLen := map[string]int{}
+	for _, q := range queries {
+		queryLen[q.ID] = q.Len()
+	}
+	resp := SearchResponse{
+		Elapsed:  rep.Elapsed.Seconds(),
+		GCUPS:    rep.GCUPS(),
+		Database: s.dbName,
+	}
+	for _, qr := range rep.PerQuery {
+		res := SearchResult{Query: qr.Query}
+		for _, h := range qr.Hits {
+			hit := SearchHit{SeqID: h.SeqID, Score: h.Score}
+			if haveStats {
+				e := params.EValue(h.Score, queryLen[qr.Query], s.residues)
+				hit.EValue = &e
+			}
+			if len(h.QueryRow) > 0 {
+				hit.QueryRow = string(h.QueryRow)
+				hit.TargetRow = string(h.TargetRow)
+			}
+			res.Hits = append(res.Hits, hit)
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// AlignRequest is the POST /align payload: two literal sequences.
+type AlignRequest struct {
+	A      string `json:"a"`
+	B      string `json:"b"`
+	Global bool   `json:"global,omitempty"`
+}
+
+// AlignResponse is the POST /align reply.
+type AlignResponse struct {
+	Score     int     `json:"score"`
+	Identity  float64 `json:"identity"`
+	QueryRow  string  `json:"query_row"`
+	TargetRow string  `json:"target_row"`
+}
+
+func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	var req AlignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.A == "" || req.B == "" {
+		writeErr(w, http.StatusBadRequest, "both a and b are required")
+		return
+	}
+	scheme := hybridsw.DefaultScheme()
+	a := hybridsw.Align([]byte(strings.ToUpper(req.A)), []byte(strings.ToUpper(req.B)), scheme)
+	writeJSON(w, http.StatusOK, AlignResponse{
+		Score:     a.Score,
+		Identity:  a.Identity(),
+		QueryRow:  string(a.QueryRow),
+		TargetRow: string(a.TargetRow),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,152 @@
+package master_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/master"
+	"repro/internal/sched"
+	"repro/internal/score"
+	"repro/internal/seq"
+	"repro/internal/slave"
+	"repro/internal/wire"
+)
+
+// TestCheckpointResume completes part of a job, snapshots it, rebuilds a
+// master from the checkpoint, and finishes the rest. Finished tasks must
+// not re-run, and the merged results must cover every query.
+func TestCheckpointResume(t *testing.T) {
+	db, queries := testJob(t, 6)
+	cfg := master.Config{
+		Queries:    queries,
+		DBResidues: dbResidues(db),
+		Policy:     sched.SS{},
+		Adjust:     true,
+	}
+	m1, err := master.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Complete exactly two tasks by hand through the protocol.
+	eng, _ := slave.NewFarrarEngine("partial", score.DefaultProtein(), db, 0)
+	resp := m1.Dispatch(wire.Envelope{Register: &wire.RegisterMsg{Name: "partial"}})
+	id := resp.RegisterAck.Slave
+	preDone := map[sched.TaskID]bool{}
+	for k := 0; k < 2; k++ {
+		assign := m1.Dispatch(wire.Envelope{Request: &wire.RequestMsg{Slave: id}})
+		spec := assign.Assign.Tasks[0]
+		hits, err := eng.Search(queryOf(queries, spec.QueryID), nil, make(chan struct{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1.Dispatch(wire.Envelope{Complete: &wire.CompleteMsg{
+			Slave: id, Task: spec.ID, Hits: slave.TopK(hits, 2),
+		}})
+		preDone[spec.ID] = true
+	}
+
+	var buf bytes.Buffer
+	if err := m1.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh master and finish the job with a new slave.
+	m2, err := master.LoadCheckpoint(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Coordinator().Pool().Finished(); got != 2 {
+		t.Fatalf("restored master has %d finished tasks, want 2", got)
+	}
+	for tid := range preDone {
+		if m2.Coordinator().Pool().StateOf(tid) != sched.Finished {
+			t.Fatalf("pre-checkpoint task %d not finished after restore", tid)
+		}
+	}
+	eng2, _ := slave.NewFarrarEngine("finisher", score.DefaultProtein(), db, 0)
+	done, err := slave.Run(wire.Local{H: m2}, eng2, slave.Options{
+		NotifyEvery: time.Millisecond, Poll: time.Millisecond, TopK: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 4 {
+		t.Errorf("finisher ran %d tasks, want the remaining 4", done)
+	}
+	if err := m2.Wait(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	results := m2.Results()
+	if len(results) != len(queries) {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, r := range results {
+		if len(r.Hits) != 2 {
+			t.Fatalf("query %s has %d hits", r.Query, len(r.Hits))
+		}
+	}
+}
+
+func TestCheckpointOfFinishedJobIsDone(t *testing.T) {
+	db, queries := testJob(t, 2)
+	cfg := master.Config{Queries: queries, DBResidues: dbResidues(db), Policy: sched.SS{}}
+	m1, _ := master.New(cfg)
+	eng, _ := slave.NewFarrarEngine("s", score.DefaultProtein(), db, 0)
+	runLocal(t, m1, []slave.Engine{eng})
+	if err := m1.Wait(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m1.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := master.LoadCheckpoint(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-m2.Done():
+	default:
+		t.Error("restored finished job is not Done")
+	}
+	if len(m2.Results()) != 2 {
+		t.Error("results lost across checkpoint")
+	}
+}
+
+func TestLoadCheckpointValidation(t *testing.T) {
+	db, queries := testJob(t, 3)
+	cfg := master.Config{Queries: queries, DBResidues: dbResidues(db)}
+	m1, _ := master.New(cfg)
+	var buf bytes.Buffer
+	m1.SaveCheckpoint(&buf)
+
+	// Garbage stream.
+	if _, err := master.LoadCheckpoint(bytes.NewReader([]byte("junk")), cfg); err == nil {
+		t.Error("garbage checkpoint accepted")
+	}
+	// Mismatched query count.
+	short := cfg
+	short.Queries = queries[:2]
+	if _, err := master.LoadCheckpoint(bytes.NewReader(buf.Bytes()), short); err == nil {
+		t.Error("short query list accepted")
+	}
+	// Mismatched query identity.
+	swapped := cfg
+	swapped.Queries = append([]*seq.Sequence{}, queries...)
+	swapped.Queries[0], swapped.Queries[1] = swapped.Queries[1], swapped.Queries[0]
+	if _, err := master.LoadCheckpoint(bytes.NewReader(buf.Bytes()), swapped); err == nil {
+		t.Error("reordered queries accepted")
+	}
+}
+
+func queryOf(queries []*seq.Sequence, id string) *seq.Sequence {
+	for _, q := range queries {
+		if q.ID == id {
+			return q
+		}
+	}
+	return nil
+}

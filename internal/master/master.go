@@ -1,0 +1,304 @@
+// Package master implements the wall-clock master process of the task
+// execution environment (§IV, Fig. 4): it acquires the query sequences,
+// builds one very coarse-grained task per query, registers slaves, assigns
+// tasks through the configured allocation policy (with the workload
+// adjustment mechanism), merges the results and reports them to the user.
+//
+// The scheduling brain is the same sched.Coordinator that drives the
+// virtual-time experiments; this package only adds the clock, the mutex and
+// the protocol plumbing.
+package master
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/seq"
+	"repro/internal/wire"
+)
+
+// Config describes one job.
+type Config struct {
+	Queries    []*seq.Sequence
+	DBResidues int64        // database size, for task cell counts
+	Policy     sched.Policy // nil means PSS
+	Adjust     bool
+	Omega      int
+}
+
+// QueryResult is the merged outcome for one query.
+type QueryResult struct {
+	Query    string
+	Hits     []wire.Hit // best-first
+	Slave    sched.SlaveID
+	Elapsed  time.Duration // completion time relative to job start
+	Replicas int           // how many extra copies the adjustment mechanism ran
+}
+
+// Master serves one job to any number of slaves.
+type Master struct {
+	mu      sync.Mutex
+	coord   *sched.Coordinator
+	queries []*seq.Sequence
+	start   time.Time
+	done    chan struct{}
+	closed  bool
+	// pendingCancel queues cancellations per slave: the protocol is
+	// slave-initiated, so a slave learns that its copy of a task became
+	// moot on its next Progress or Complete acknowledgement.
+	pendingCancel map[sched.SlaveID][]sched.TaskID
+}
+
+// New builds a master for the job.
+func New(cfg Config) (*Master, error) {
+	if len(cfg.Queries) == 0 {
+		return nil, fmt.Errorf("master: no queries")
+	}
+	if cfg.DBResidues <= 0 {
+		return nil, fmt.Errorf("master: DBResidues = %d", cfg.DBResidues)
+	}
+	tasks := make([]sched.Task, len(cfg.Queries))
+	for i, q := range cfg.Queries {
+		if q.Len() == 0 {
+			return nil, fmt.Errorf("master: query %d (%s) is empty", i, q.ID)
+		}
+		tasks[i] = sched.Task{
+			QueryID: q.ID,
+			Cells:   int64(q.Len()) * cfg.DBResidues,
+		}
+	}
+	return &Master{
+		coord: sched.NewCoordinator(tasks, sched.Config{
+			Policy: cfg.Policy,
+			Adjust: cfg.Adjust,
+			Omega:  cfg.Omega,
+		}),
+		queries:       cfg.Queries,
+		start:         time.Now(),
+		done:          make(chan struct{}),
+		pendingCancel: map[sched.SlaveID][]sched.TaskID{},
+	}, nil
+}
+
+func (m *Master) now() time.Duration { return time.Since(m.start) }
+
+// Dispatch implements wire.Handler: the single protocol entry point.
+// Malformed messages (unknown slave or task IDs) get an error envelope
+// instead of crashing the server: the master faces the network.
+func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	badSlave := func(id sched.SlaveID) bool {
+		return id < 0 || int(id) >= m.coord.Slaves()
+	}
+	badTask := func(id sched.TaskID) bool {
+		return id < 0 || int(id) >= m.coord.Pool().Len()
+	}
+	switch {
+	case req.Register != nil:
+		id := m.coord.Register(sched.SlaveInfo{
+			Name:          req.Register.Name,
+			Kind:          req.Register.Kind,
+			DeclaredSpeed: req.Register.DeclaredSpeed,
+		}, now)
+		return wire.Envelope{RegisterAck: &wire.RegisterAckMsg{Slave: id}}
+
+	case req.Request != nil:
+		if badSlave(req.Request.Slave) {
+			return wire.Envelope{Error: fmt.Sprintf("unknown slave %d", req.Request.Slave)}
+		}
+		if m.coord.Done() {
+			return wire.Envelope{Assign: &wire.AssignMsg{Done: true}}
+		}
+		tasks, replica := m.coord.RequestWork(req.Request.Slave, now)
+		if len(tasks) == 0 {
+			return wire.Envelope{Assign: &wire.AssignMsg{Standby: true, Done: m.coord.Done()}}
+		}
+		specs := make([]wire.TaskSpec, len(tasks))
+		for i, t := range tasks {
+			specs[i] = wire.TaskSpec{
+				ID:       t.ID,
+				QueryID:  t.QueryID,
+				Residues: m.queries[t.ID].Residues,
+				Cells:    t.Cells,
+			}
+		}
+		return wire.Envelope{Assign: &wire.AssignMsg{Tasks: specs, Replica: replica}}
+
+	case req.Progress != nil:
+		if badSlave(req.Progress.Slave) {
+			return wire.Envelope{Error: fmt.Sprintf("unknown slave %d", req.Progress.Slave)}
+		}
+		m.coord.ProgressRate(req.Progress.Slave, req.Progress.Rate, req.Progress.Cells, now)
+		return wire.Envelope{ProgressAck: &wire.ProgressAckMsg{
+			Cancel: m.takeCancels(req.Progress.Slave),
+			Done:   m.coord.Done(),
+		}}
+
+	case req.Complete != nil:
+		if badSlave(req.Complete.Slave) {
+			return wire.Envelope{Error: fmt.Sprintf("unknown slave %d", req.Complete.Slave)}
+		}
+		if badTask(req.Complete.Task) {
+			return wire.Envelope{Error: fmt.Sprintf("unknown task %d", req.Complete.Task)}
+		}
+		accepted, canceledSlaves := m.coord.Complete(req.Complete.Slave, req.Complete.Task, req.Complete.Hits, now)
+		for _, o := range canceledSlaves {
+			m.pendingCancel[o] = append(m.pendingCancel[o], req.Complete.Task)
+		}
+		if m.coord.Done() && !m.closed {
+			m.closed = true
+			close(m.done)
+		}
+		return wire.Envelope{CompleteAck: &wire.CompleteAckMsg{
+			Accepted: accepted,
+			Cancel:   m.takeCancels(req.Complete.Slave),
+			Done:     m.coord.Done(),
+		}}
+
+	default:
+		return wire.Envelope{Error: "unknown message"}
+	}
+}
+
+// takeCancels pops the queued cancellations for a slave. Callers hold m.mu.
+func (m *Master) takeCancels(id sched.SlaveID) []sched.TaskID {
+	out := m.pendingCancel[id]
+	delete(m.pendingCancel, id)
+	return out
+}
+
+// SlaveGone implements wire.Handler: a slave's connection dropped, so its
+// tasks return to the pool (the paper's future-work scenario of nodes
+// leaving mid-run).
+func (m *Master) SlaveGone(id sched.SlaveID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id < 0 || int(id) >= m.coord.Slaves() {
+		return
+	}
+	m.coord.SlaveDied(id)
+}
+
+// Done returns a channel closed when every task has a result.
+func (m *Master) Done() <-chan struct{} { return m.done }
+
+// Wait blocks until the job completes or the timeout elapses.
+func (m *Master) Wait(timeout time.Duration) error {
+	select {
+	case <-m.done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("master: job not finished after %v", timeout)
+	}
+}
+
+// Results merges and returns the per-query outcomes, in query order.
+func (m *Master) Results() []QueryResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	raw := m.coord.Results()
+	out := make([]QueryResult, 0, len(raw))
+	replicas := map[sched.TaskID]int{}
+	for _, a := range m.coord.AssignmentLog() {
+		if a.Replica {
+			for _, t := range a.Tasks {
+				replicas[t]++
+			}
+		}
+	}
+	for _, r := range raw {
+		qr := QueryResult{
+			Query:    r.QueryID,
+			Slave:    r.Slave,
+			Elapsed:  r.At,
+			Replicas: replicas[r.Task],
+		}
+		if hits, ok := r.Payload.([]wire.Hit); ok {
+			qr.Hits = append(qr.Hits, hits...)
+			sort.SliceStable(qr.Hits, func(i, j int) bool {
+				if qr.Hits[i].Score != qr.Hits[j].Score {
+					return qr.Hits[i].Score > qr.Hits[j].Score
+				}
+				return qr.Hits[i].Index < qr.Hits[j].Index
+			})
+		}
+		out = append(out, qr)
+	}
+	return out
+}
+
+// Elapsed returns the job's wall-clock duration so far (or final, once
+// done).
+func (m *Master) Elapsed() time.Duration { return m.now() }
+
+// Coordinator exposes the scheduling state for reports.
+func (m *Master) Coordinator() *sched.Coordinator { return m.coord }
+
+// ListenAndServe serves slaves over TCP until the listener fails. It
+// returns the bound listener so callers can learn the address and close it.
+func (m *Master) Listen(addr string) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go wire.Serve(l, m)
+	return l, nil
+}
+
+// SaveCheckpoint writes the job's durable state (task set + collected
+// results) as a gob stream. Restarting with LoadCheckpoint skips every
+// finished task; unfinished ones re-run. Hit payloads are gob-registered by
+// this package.
+func (m *Master) SaveCheckpoint(w io.Writer) error {
+	m.mu.Lock()
+	snap := m.coord.Snapshot()
+	m.mu.Unlock()
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadCheckpoint rebuilds a master from a checkpoint. The same queries (in
+// the same order) must be supplied — the checkpoint carries only scheduling
+// state, not sequence data — and are verified against the snapshot.
+func LoadCheckpoint(r io.Reader, cfg Config) (*Master, error) {
+	var snap sched.Snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("master: reading checkpoint: %w", err)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(snap.Tasks) != len(cfg.Queries) {
+		return nil, fmt.Errorf("master: checkpoint has %d tasks but %d queries were supplied",
+			len(snap.Tasks), len(cfg.Queries))
+	}
+	for i, t := range snap.Tasks {
+		if t.QueryID != cfg.Queries[i].ID {
+			return nil, fmt.Errorf("master: checkpoint task %d is %q but query %d is %q",
+				i, t.QueryID, i, cfg.Queries[i].ID)
+		}
+	}
+	m.coord = sched.Restore(&snap, sched.Config{
+		Policy: cfg.Policy,
+		Adjust: cfg.Adjust,
+		Omega:  cfg.Omega,
+	})
+	if m.coord.Done() && !m.closed {
+		m.closed = true
+		close(m.done)
+	}
+	return m, nil
+}
+
+func init() {
+	// Checkpoint payloads are the per-task hit lists.
+	gob.Register([]wire.Hit{})
+}

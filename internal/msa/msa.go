@@ -1,0 +1,251 @@
+// Package msa implements center-star progressive multiple sequence
+// alignment — the first of the paper's §VI future-work applications
+// ("Multiple Sequence Alignment") — on top of the pairwise engines this
+// repository already provides.
+//
+// The center-star method (Gusfield 1993) aligns k sequences in three steps:
+//
+//  1. compute all k·(k-1)/2 pairwise global alignment scores (these are
+//     independent tasks, exactly the shape the paper's master/slave
+//     environment schedules; Align accepts a worker count and fans the
+//     pairwise phase out over goroutines);
+//  2. pick the center: the sequence with the best score sum against all
+//     others;
+//  3. progressively merge each remaining sequence's pairwise alignment to
+//     the center into a growing multiple alignment under the
+//     "once a gap, always a gap" rule.
+//
+// For the sum-of-pairs objective with a metric-like scoring, center-star is
+// a 2-approximation; this implementation targets fidelity and testability,
+// not large-k performance.
+package msa
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/score"
+	"repro/internal/seq"
+	"repro/internal/sw"
+)
+
+// Result is a multiple alignment: Rows[i] is the gapped form of the i-th
+// input sequence (original order), all rows equal length.
+type Result struct {
+	Rows   [][]byte
+	Center int // index of the center sequence
+}
+
+// Columns returns the alignment length.
+func (r *Result) Columns() int {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	return len(r.Rows[0])
+}
+
+// SumOfPairs scores the alignment column-wise over all sequence pairs with
+// the given scheme (gap-gap columns score 0; each residue-gap pair charges
+// the extend penalty, plus open at gap starts).
+func (r *Result) SumOfPairs(s score.Scheme) int {
+	total := 0
+	n := len(r.Rows)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			total += pairScore(r.Rows[a], r.Rows[b], s)
+		}
+	}
+	return total
+}
+
+func pairScore(x, y []byte, s score.Scheme) int {
+	total := 0
+	inXGap, inYGap := false, false
+	for i := range x {
+		switch {
+		case x[i] == '-' && y[i] == '-':
+			// Column irrelevant for this pair.
+		case x[i] == '-':
+			if !inXGap {
+				total -= s.Gap.Open
+			}
+			total -= s.Gap.Extend
+			inXGap, inYGap = true, false
+		case y[i] == '-':
+			if !inYGap {
+				total -= s.Gap.Open
+			}
+			total -= s.Gap.Extend
+			inYGap, inXGap = true, false
+		default:
+			total += s.Matrix.Score(x[i], y[i])
+			inXGap, inYGap = false, false
+		}
+	}
+	return total
+}
+
+// Align computes the center-star multiple alignment of the inputs. workers
+// bounds the parallelism of the pairwise phase (<=0 means 1).
+func Align(seqs []*seq.Sequence, s score.Scheme, workers int) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(seqs)
+	if k == 0 {
+		return nil, fmt.Errorf("msa: no sequences")
+	}
+	for i, sq := range seqs {
+		if sq.Len() == 0 {
+			return nil, fmt.Errorf("msa: sequence %d (%s) is empty", i, sq.ID)
+		}
+	}
+	if k == 1 {
+		return &Result{Rows: [][]byte{append([]byte{}, seqs[0].Residues...)}}, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Phase 1: all pairwise global scores, fanned out over workers.
+	type pair struct{ a, b int }
+	pairs := make(chan pair)
+	scores := make([][]int, k)
+	for i := range scores {
+		scores[i] = make([]int, k)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range pairs {
+				sc := sw.AlignGlobal(seqs[p.a].Residues, seqs[p.b].Residues, s).Score
+				scores[p.a][p.b] = sc
+				scores[p.b][p.a] = sc
+			}
+		}()
+	}
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			pairs <- pair{a, b}
+		}
+	}
+	close(pairs)
+	wg.Wait()
+
+	// Phase 2: the center maximizes its score sum.
+	center, best := 0, int(-1)<<62
+	for i := 0; i < k; i++ {
+		sum := 0
+		for j := 0; j < k; j++ {
+			if i != j {
+				sum += scores[i][j]
+			}
+		}
+		if sum > best {
+			center, best = i, sum
+		}
+	}
+
+	// Phase 3: progressive merge against the center.
+	rows := make([][]byte, 0, k)
+	order := make([]int, 0, k) // input index of each row
+	rows = append(rows, append([]byte{}, seqs[center].Residues...))
+	order = append(order, center)
+	for i := 0; i < k; i++ {
+		if i == center {
+			continue
+		}
+		a := sw.AlignGlobal(seqs[center].Residues, seqs[i].Residues, s)
+		rows = merge(rows, a.QueryRow, a.TargetRow)
+		order = append(order, i)
+	}
+
+	// Restore input order.
+	out := make([][]byte, k)
+	for rowIdx, inputIdx := range order {
+		out[inputIdx] = rows[rowIdx]
+	}
+	return &Result{Rows: out, Center: center}, nil
+}
+
+// merge folds a new pairwise alignment (center row pc / new row pn, where
+// pc degaps to the original center) into the existing multiple alignment
+// whose first row is the center with accumulated gaps. It returns the
+// existing rows (gap columns inserted where the pairwise alignment adds
+// them) plus the new row as the last element.
+func merge(rows [][]byte, pc, pn []byte) [][]byte {
+	existing := rows[0]
+	var cols []mergeCol
+	i, j := 0, 0 // positions in existing center row / pairwise center row
+	for i < len(existing) || j < len(pc) {
+		switch {
+		case i < len(existing) && existing[i] == '-' && (j >= len(pc) || pc[j] != '-'):
+			// Gap column already in the multiple alignment: the new
+			// sequence gets a gap here.
+			cols = append(cols, mergeCol{fromExisting: true, exIdx: i, newCh: '-'})
+			i++
+		case j < len(pc) && pc[j] == '-':
+			// The pairwise alignment inserts a gap into the center: a
+			// fresh all-gap column for every existing row.
+			cols = append(cols, mergeCol{fromExisting: false, newCh: pn[j]})
+			j++
+		default:
+			// Both sides sit on the same center residue.
+			ch := byte('-')
+			if j < len(pc) {
+				ch = pn[j]
+			}
+			cols = append(cols, mergeCol{fromExisting: true, exIdx: i, newCh: ch})
+			i++
+			j++
+		}
+	}
+
+	out := make([][]byte, len(rows)+1)
+	for r := range rows {
+		row := make([]byte, len(cols))
+		for c, col := range cols {
+			if col.fromExisting {
+				row[c] = rows[r][col.exIdx]
+			} else {
+				row[c] = '-'
+			}
+		}
+		out[r] = row
+	}
+	newRow := make([]byte, len(cols))
+	for c, col := range cols {
+		newRow[c] = col.newCh
+	}
+	out[len(rows)] = newRow
+	return out
+}
+
+type mergeCol struct {
+	fromExisting bool
+	exIdx        int
+	newCh        byte
+}
+
+// Format renders the alignment in blocks of width columns with sequence IDs.
+func (r *Result) Format(ids []string, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	var b []byte
+	cols := r.Columns()
+	for off := 0; off < cols; off += width {
+		end := min(off+width, cols)
+		for i, row := range r.Rows {
+			id := fmt.Sprintf("seq%d", i)
+			if i < len(ids) {
+				id = ids[i]
+			}
+			b = append(b, fmt.Sprintf("%-12s %s\n", id, row[off:end])...)
+		}
+		b = append(b, '\n')
+	}
+	return string(b)
+}

@@ -1,0 +1,227 @@
+package msa
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/score"
+	"repro/internal/seq"
+	"repro/internal/sw"
+)
+
+func protScheme() score.Scheme { return score.DefaultProtein() }
+
+func randProtein(rng *rand.Rand, n int) []byte {
+	const canon = "ACDEFGHIKLMNPQRSTVWY"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = canon[rng.Intn(len(canon))]
+	}
+	return out
+}
+
+func mutate(rng *rand.Rand, s []byte, rate float64) []byte {
+	const canon = "ACDEFGHIKLMNPQRSTVWY"
+	var out []byte
+	for _, c := range s {
+		r := rng.Float64()
+		switch {
+		case r < rate/3:
+		case r < 2*rate/3:
+			out = append(out, c, canon[rng.Intn(len(canon))])
+		case r < rate:
+			out = append(out, canon[rng.Intn(len(canon))])
+		default:
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		out = []byte("A")
+	}
+	return out
+}
+
+func mkSeqs(rows ...string) []*seq.Sequence {
+	out := make([]*seq.Sequence, len(rows))
+	for i, r := range rows {
+		out[i] = seq.New(string(rune('a'+i)), "", []byte(r))
+	}
+	return out
+}
+
+func degap(row []byte) string { return strings.ReplaceAll(string(row), "-", "") }
+
+func checkWellFormed(t *testing.T, res *Result, seqs []*seq.Sequence) {
+	t.Helper()
+	if len(res.Rows) != len(seqs) {
+		t.Fatalf("%d rows for %d sequences", len(res.Rows), len(seqs))
+	}
+	cols := res.Columns()
+	for i, row := range res.Rows {
+		if len(row) != cols {
+			t.Fatalf("row %d has %d columns, want %d", i, len(row), cols)
+		}
+		if degap(row) != string(seqs[i].Residues) {
+			t.Fatalf("row %d does not degap to its input:\n%s\n%s", i, row, seqs[i].Residues)
+		}
+	}
+	// No all-gap columns should survive... actually center-star merging can
+	// leave none by construction only when every column holds a residue of
+	// at least the center or a new sequence; assert columns are non-empty.
+	for c := 0; c < cols; c++ {
+		allGap := true
+		for _, row := range res.Rows {
+			if row[c] != '-' {
+				allGap = false
+				break
+			}
+		}
+		if allGap {
+			t.Fatalf("column %d is all gaps", c)
+		}
+	}
+}
+
+func TestAlignValidation(t *testing.T) {
+	if _, err := Align(nil, protScheme(), 1); err == nil {
+		t.Error("no sequences accepted")
+	}
+	if _, err := Align(mkSeqs("ACD", ""), protScheme(), 1); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	if _, err := Align(mkSeqs("ACD"), score.Scheme{}, 1); err == nil {
+		t.Error("bad scheme accepted")
+	}
+}
+
+func TestAlignSingle(t *testing.T) {
+	res, err := Align(mkSeqs("ACDEF"), protScheme(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Rows[0]) != "ACDEF" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestAlignPairEqualsGlobal(t *testing.T) {
+	// A 2-sequence MSA is exactly the pairwise global alignment.
+	seqs := mkSeqs("MKVLATGLLACDE", "MKVLTTGLACDE")
+	res, err := Align(seqs, protScheme(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormed(t, res, seqs)
+	want := sw.AlignGlobal(seqs[0].Residues, seqs[1].Residues, protScheme()).Score
+	if got := res.SumOfPairs(protScheme()); got != want {
+		t.Errorf("SP score = %d, want pairwise global %d", got, want)
+	}
+}
+
+func TestAlignIdenticalSequences(t *testing.T) {
+	seqs := mkSeqs("ACDEFGHIKL", "ACDEFGHIKL", "ACDEFGHIKL")
+	res, err := Align(seqs, protScheme(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormed(t, res, seqs)
+	if res.Columns() != 10 {
+		t.Errorf("identical sequences should align gap-free, got %d columns", res.Columns())
+	}
+	for _, row := range res.Rows {
+		if bytes.ContainsRune(row, '-') {
+			t.Error("gap in identical-sequence alignment")
+		}
+	}
+}
+
+func TestAlignRelatedFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ancestor := randProtein(rng, 60)
+	var seqs []*seq.Sequence
+	for i := 0; i < 6; i++ {
+		seqs = append(seqs, seq.New(string(rune('a'+i)), "", mutate(rng, ancestor, 0.15)))
+	}
+	res, err := Align(seqs, protScheme(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormed(t, res, seqs)
+	// Related sequences must produce a strongly positive SP score, far
+	// above what unrelated sequences of the same lengths would get.
+	if sp := res.SumOfPairs(protScheme()); sp < 15*60 {
+		t.Errorf("SP score = %d, suspiciously low for a related family", sp)
+	}
+}
+
+func TestAlignUnrelatedStillWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var seqs []*seq.Sequence
+	for i := 0; i < 5; i++ {
+		seqs = append(seqs, seq.New(string(rune('a'+i)), "", randProtein(rng, 20+rng.Intn(40))))
+	}
+	res, err := Align(seqs, protScheme(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormed(t, res, seqs)
+}
+
+func TestAlignWorkerCountIrrelevant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ancestor := randProtein(rng, 40)
+	var seqs []*seq.Sequence
+	for i := 0; i < 5; i++ {
+		seqs = append(seqs, seq.New(string(rune('a'+i)), "", mutate(rng, ancestor, 0.2)))
+	}
+	r1, err := Align(seqs, protScheme(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Align(seqs, protScheme(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Center != r4.Center || r1.SumOfPairs(protScheme()) != r4.SumOfPairs(protScheme()) {
+		t.Error("worker count changed the result")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	seqs := mkSeqs("ACDEFGHIKL", "ACDFGHIKL")
+	res, _ := Align(seqs, protScheme(), 1)
+	out := res.Format([]string{"alpha", "beta"}, 5)
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Errorf("Format missing IDs:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 4 {
+		t.Errorf("Format too short:\n%s", out)
+	}
+	// Unnamed rows fall back to seqN.
+	out2 := res.Format(nil, 0)
+	if !strings.Contains(out2, "seq0") {
+		t.Error("fallback IDs missing")
+	}
+}
+
+func TestSumOfPairsGapAccounting(t *testing.T) {
+	r := &Result{Rows: [][]byte{
+		[]byte("AC-D"),
+		[]byte("ACCD"),
+		[]byte("----"),
+	}}
+	s := protScheme()
+	// pair(0,1): A:A + C:C + open+ext gap + D:D
+	want01 := s.Matrix.Score('A', 'A') + s.Matrix.Score('C', 'C') - s.Gap.Open - s.Gap.Extend + s.Matrix.Score('D', 'D')
+	// pair(0,2): row2 all gaps vs 3 residues: one gap run of 3 (the '-' vs
+	// '-' column contributes nothing and splits no run in row2's favor —
+	// row2's gap run continues).
+	want02 := -(s.Gap.Open + 3*s.Gap.Extend)
+	want12 := -(s.Gap.Open + 4*s.Gap.Extend)
+	if got := r.SumOfPairs(s); got != want01+want02+want12 {
+		t.Errorf("SP = %d, want %d", got, want01+want02+want12)
+	}
+}

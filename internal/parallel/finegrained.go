@@ -1,0 +1,115 @@
+package parallel
+
+import (
+	"sync"
+
+	"repro/internal/score"
+)
+
+// borderMsg carries one strip of DP border state from a column block to its
+// right-hand neighbour: for each row of the strip, H at the sender's last
+// column and E entering the receiver's first column, plus the corner value
+// H[firstRow-1][senderLastCol] for the receiver's first diagonal term.
+type borderMsg struct {
+	cornerH int
+	h, e    []int
+}
+
+// FineGrainedScore computes the local alignment score of one pair with the
+// paper's Fig. 3a scheme: the DP matrix is partitioned into `workers`
+// column blocks connected by channels, and each block processes the matrix
+// in horizontal strips of `strip` rows. At the beginning only the first
+// worker computes; the wavefront then fills the pipeline, and near the end
+// only the last worker is active — exactly the fill/drain behaviour §II-B
+// describes.
+func FineGrainedScore(q, t []byte, s score.Scheme, workers, strip int) int {
+	m, n := len(q), len(t)
+	if m == 0 || n == 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if strip < 1 {
+		strip = 64
+	}
+
+	open, ext := s.Gap.Open, s.Gap.Extend
+	bests := make([]int, workers)
+	var wg sync.WaitGroup
+
+	// chans[k] feeds worker k from worker k-1 (chans[0] is unused).
+	chans := make([]chan borderMsg, workers)
+	for i := 1; i < workers; i++ {
+		chans[i] = make(chan borderMsg, 4)
+	}
+
+	for k := 0; k < workers; k++ {
+		lo := k * n / workers       // first 0-based column of t in this block
+		hi := (k + 1) * n / workers // past-end column
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			width := hi - lo
+			F := make([]int, width)     // vertical-gap state per column
+			prevH := make([]int, width) // H of the last processed row (row 0: all zero)
+			for j := range F {
+				F[j] = negInf
+			}
+			best := 0
+
+			for rowStart := 1; rowStart <= m; rowStart += strip {
+				rowEnd := min(rowStart+strip-1, m)
+				rows := rowEnd - rowStart + 1
+				var in borderMsg
+				if k > 0 {
+					in = <-chans[k]
+				} else {
+					// The true left border of the matrix: H[i][0] = 0 and
+					// no horizontal gap can enter from column 0.
+					in = borderMsg{cornerH: 0, h: make([]int, rows), e: make([]int, rows)}
+					for r := range in.e {
+						in.e[r] = negInf
+					}
+				}
+
+				outCorner := prevH[width-1]
+				outH := make([]int, 0, rows)
+				outE := make([]int, 0, rows)
+				diagLeft := in.cornerH // H[i-1][lo-1]
+				for i := rowStart; i <= rowEnd; i++ {
+					e := in.e[i-rowStart] // E[i][lo], computed by the sender
+					diag := diagLeft
+					for j := 0; j < width; j++ {
+						F[j] = max(prevH[j]-open-ext, F[j]-ext)
+						h := max(diag+s.Matrix.Score(q[i-1], t[lo+j]), e, F[j], 0)
+						diag = prevH[j]
+						prevH[j] = h
+						if h > best {
+							best = h
+						}
+						e = max(h-open-ext, e-ext) // E[i][lo+j+1]
+					}
+					outH = append(outH, prevH[width-1])
+					outE = append(outE, e) // E entering the next block
+					diagLeft = in.h[i-rowStart]
+				}
+				if k+1 < workers {
+					chans[k+1] <- borderMsg{cornerH: outCorner, h: outH, e: outE}
+				}
+			}
+			bests[k] = best
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	best := 0
+	for _, b := range bests {
+		if b > best {
+			best = b
+		}
+	}
+	return best
+}

@@ -1,0 +1,120 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+func churnTasks(n int, cells int64) []sched.Task {
+	tasks := make([]sched.Task, n)
+	for i := range tasks {
+		tasks[i] = sched.Task{QueryID: "q", Cells: cells}
+	}
+	return tasks
+}
+
+func TestSlaveLeavesTasksRequeue(t *testing.T) {
+	// Two equal PEs, one dies mid-run; the job must still finish with all
+	// tasks accounted for, on the survivor.
+	dying := &PE{Name: "dying", CellsPerSec: 10, LeaveAt: 5 * time.Second}
+	survivor := &PE{Name: "survivor", CellsPerSec: 10}
+	res, err := Run(Experiment{
+		Tasks:       churnTasks(8, 100), // 10 s per task per PE
+		PEs:         []*PE{dying, survivor},
+		Policy:      sched.SS{},
+		NotifyEvery: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The survivor alone carries ~all 800 cells: at 10 cells/s that is
+	// ~80 s (the dying PE completed nothing in 5 s of its 10 s task).
+	if res.Makespan < 70*time.Second || res.Makespan > 95*time.Second {
+		t.Errorf("makespan = %v, want ~80s on the survivor", res.Makespan)
+	}
+	if res.PerPE[1].TasksWon != 8 {
+		t.Errorf("survivor won %d tasks, want all 8", res.PerPE[1].TasksWon)
+	}
+}
+
+func TestSlaveJoinsMidRun(t *testing.T) {
+	// A second PE joining halfway shortens the makespan.
+	solo, err := Run(Experiment{
+		Tasks:       churnTasks(10, 100),
+		PEs:         []*PE{{Name: "a", CellsPerSec: 10}},
+		Policy:      sched.SS{},
+		NotifyEvery: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := Run(Experiment{
+		Tasks: churnTasks(10, 100),
+		PEs: []*PE{
+			{Name: "a", CellsPerSec: 10},
+			{Name: "late", CellsPerSec: 10, JoinAt: 30 * time.Second},
+		},
+		Policy:      sched.SS{},
+		NotifyEvery: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Makespan != 100*time.Second {
+		t.Errorf("solo makespan = %v, want 100s", solo.Makespan)
+	}
+	// Late joiner handles ~3-4 of the remaining 7 tasks: ~60-70 s total.
+	if joined.Makespan >= solo.Makespan || joined.Makespan > 75*time.Second {
+		t.Errorf("joined makespan = %v, want meaningfully below 100s", joined.Makespan)
+	}
+	if joined.PerPE[1].TasksWon == 0 {
+		t.Error("late joiner did no work")
+	}
+}
+
+func TestLeaveBeforeJoinRejected(t *testing.T) {
+	bad := &PE{Name: "x", CellsPerSec: 1, JoinAt: 10 * time.Second, LeaveAt: 5 * time.Second}
+	if err := bad.Validate(); err == nil {
+		t.Error("LeaveAt before JoinAt accepted")
+	}
+}
+
+func TestAllSlavesLeaveFailsCleanly(t *testing.T) {
+	// If every PE leaves, the simulation drains without finishing and Run
+	// must report it instead of hanging or panicking.
+	pe := &PE{Name: "only", CellsPerSec: 1, LeaveAt: time.Second}
+	_, err := Run(Experiment{
+		Tasks:       churnTasks(2, 100),
+		PEs:         []*PE{pe},
+		Policy:      sched.SS{},
+		NotifyEvery: time.Second,
+	})
+	if err == nil {
+		t.Fatal("expected an unfinished-job error")
+	}
+}
+
+func TestFPGAPEJoinsHybrid(t *testing.T) {
+	pes := append(Hybrid(1, 1), FPGAPE("FPGA1"))
+	res, err := Run(Experiment{
+		Tasks:       churnTasks(12, 20e9),
+		PEs:         pes,
+		Policy:      &sched.PSS{},
+		Adjust:      true,
+		NotifyEvery: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerPE[2].Kind != sched.KindFPGA {
+		t.Errorf("kind = %v", res.PerPE[2].Kind)
+	}
+	if res.PerPE[2].TasksWon == 0 {
+		t.Error("FPGA did no work")
+	}
+	if sched.KindFPGA.String() != "FPGA" {
+		t.Error("kind name")
+	}
+}

@@ -1,0 +1,111 @@
+// Package platform models the paper's hybrid execution platform — GPUs and
+// SSE multicore slaves, their speeds, local load, and master/slave
+// communication — and drives the scheduling core (internal/sched) over the
+// discrete-event simulator (internal/vtime) to run the paper's experiments
+// in virtual time.
+//
+// The same sched.Coordinator also runs on the wall clock (internal/master);
+// this package is the calibrated stand-in for the 2013 testbed (4x GTX 580
+// + 2x Core i7) that the repro environment does not have. Calibration
+// anchors are in calibration.go and DESIGN.md §2.
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// LoadPhase scales a PE's capacity inside a time window — how we model the
+// paper's §V-C experiment, where the superpi benchmark steals roughly half
+// of core 0 from t=60 s on.
+type LoadPhase struct {
+	From, To time.Duration // To = 0 means "until the end"
+	Capacity float64       // multiplier in (0, 1]
+}
+
+// PE models one simulated processing element.
+type PE struct {
+	Name string
+	Kind sched.SlaveKind
+
+	// CellsPerSec is the PE's base sustained throughput for this workload
+	// (already includes kernel efficiency; see calibration.go).
+	CellsPerSec float64
+	// TaskOverhead is charged once per task execution — GPU searches pay
+	// kernel-launch/transfer/setup costs that CPUs do not.
+	TaskOverhead time.Duration
+	// Jitter is the relative half-width of the per-slice speed noise that
+	// models OS services (Fig. 7 shows small GCUPS wobble even on a
+	// dedicated machine). 0 disables noise.
+	Jitter float64
+	// Load lists capacity-scaling windows (non-dedicated execution).
+	Load []LoadPhase
+	// Declared is the theoretical speed announced at registration, used
+	// by the WFixed baseline; 0 defaults to CellsPerSec.
+	Declared float64
+	// JoinAt delays the PE's registration: it only enters the platform at
+	// this virtual time (the paper's future-work scenario of nodes joining
+	// mid-run). Zero means present from the start.
+	JoinAt time.Duration
+	// LeaveAt removes the PE at this virtual time: its executing tasks are
+	// abandoned and requeue on the master (nodes leaving mid-run). Zero
+	// means the PE never leaves.
+	LeaveAt time.Duration
+}
+
+// CapacityAt returns the capacity multiplier in effect at time t.
+func (p *PE) CapacityAt(t time.Duration) float64 {
+	c := 1.0
+	for _, ph := range p.Load {
+		if t >= ph.From && (ph.To == 0 || t < ph.To) {
+			c *= ph.Capacity
+		}
+	}
+	if c <= 0 {
+		c = 1e-6 // a fully-starved PE still creeps forward
+	}
+	return c
+}
+
+// speedAt returns the effective speed at time t, with deterministic jitter
+// drawn from rng.
+func (p *PE) speedAt(t time.Duration, rng *rand.Rand) float64 {
+	v := p.CellsPerSec * p.CapacityAt(t)
+	if p.Jitter > 0 {
+		v *= 1 + p.Jitter*(2*rng.Float64()-1)
+	}
+	return v
+}
+
+// DeclaredSpeed returns the registration speed for WFixed.
+func (p *PE) DeclaredSpeed() float64 {
+	if p.Declared > 0 {
+		return p.Declared
+	}
+	return p.CellsPerSec
+}
+
+// Validate rejects unusable models.
+func (p *PE) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("platform: PE without a name")
+	}
+	if p.CellsPerSec <= 0 {
+		return fmt.Errorf("platform: PE %s: CellsPerSec = %v", p.Name, p.CellsPerSec)
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		return fmt.Errorf("platform: PE %s: jitter %v outside [0,1)", p.Name, p.Jitter)
+	}
+	for _, ph := range p.Load {
+		if ph.Capacity <= 0 || ph.Capacity > 1 {
+			return fmt.Errorf("platform: PE %s: load capacity %v outside (0,1]", p.Name, ph.Capacity)
+		}
+	}
+	if p.LeaveAt != 0 && p.LeaveAt <= p.JoinAt {
+		return fmt.Errorf("platform: PE %s: LeaveAt %v not after JoinAt %v", p.Name, p.LeaveAt, p.JoinAt)
+	}
+	return nil
+}

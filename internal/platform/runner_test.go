@@ -1,0 +1,331 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// fig5Experiment reproduces the paper's Fig. 5 walkthrough: 20 tasks of 1 s
+// GPU work, 1 GPU six times faster than 3 SSE cores, PSS policy, negligible
+// communication time.
+func fig5Experiment(adjust bool) Experiment {
+	tasks := make([]sched.Task, 20)
+	for i := range tasks {
+		tasks[i] = sched.Task{QueryID: "q", Cells: 6} // 6 cells at 6 cells/s = 1 s on the GPU
+	}
+	gpu := &PE{Name: "GPU1", Kind: sched.KindGPU, CellsPerSec: 6}
+	pes := []*PE{gpu}
+	for i := 1; i <= 3; i++ {
+		pes = append(pes, &PE{Name: "SSE" + string(rune('0'+i)), Kind: sched.KindCPU, CellsPerSec: 1})
+	}
+	return Experiment{
+		Tasks:       tasks,
+		PEs:         pes,
+		Policy:      &sched.PSS{},
+		Adjust:      adjust,
+		NotifyEvery: 500 * time.Millisecond,
+	}
+}
+
+func TestFig5WithAdjustment(t *testing.T) {
+	res, err := Run(fig5Experiment(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: total execution time is 14 s with the mechanism.
+	if got := res.Makespan.Round(time.Millisecond); got != 14*time.Second {
+		t.Errorf("makespan = %v, want 14s", got)
+	}
+	if res.Replicas != 1 {
+		t.Errorf("replicas = %d, want exactly 1 (t20 on the GPU)", res.Replicas)
+	}
+	// The replica goes to the GPU, not to the equally-slow SSEs.
+	last := res.Assignments[len(res.Assignments)-1]
+	if !last.Replica || last.Slave != 0 {
+		t.Errorf("last assignment = %+v, want replica on GPU (slave 0)", last)
+	}
+}
+
+func TestFig5WithoutAdjustment(t *testing.T) {
+	res, err := Run(fig5Experiment(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 18 s without the mechanism (SSE1 drags t20 to the end).
+	if got := res.Makespan.Round(time.Millisecond); got != 18*time.Second {
+		t.Errorf("makespan = %v, want 18s", got)
+	}
+	if res.Replicas != 0 {
+		t.Errorf("replicas = %d, want 0", res.Replicas)
+	}
+}
+
+func TestFig5AssignmentPattern(t *testing.T) {
+	// The paper's schedule: after its first task the GPU receives 6 tasks
+	// per request.
+	res, err := Run(fig5Experiment(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gpuGrants []int
+	for _, a := range res.Assignments {
+		if a.Slave == 0 && !a.Replica {
+			gpuGrants = append(gpuGrants, len(a.Tasks))
+		}
+	}
+	if len(gpuGrants) < 3 || gpuGrants[0] != 1 || gpuGrants[1] != 6 || gpuGrants[2] != 6 {
+		t.Errorf("GPU grants = %v, want [1 6 6]", gpuGrants)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Experiment{}); err == nil {
+		t.Error("empty experiment accepted")
+	}
+	if _, err := Run(Experiment{Tasks: []sched.Task{{Cells: 1}}}); err == nil {
+		t.Error("experiment without PEs accepted")
+	}
+	bad := Experiment{
+		Tasks: []sched.Task{{Cells: 1}},
+		PEs:   []*PE{{Name: "x", CellsPerSec: -1}},
+	}
+	if _, err := Run(bad); err == nil {
+		t.Error("invalid PE accepted")
+	}
+}
+
+func TestSingleSlowPE(t *testing.T) {
+	res, err := Run(Experiment{
+		Tasks:       []sched.Task{{Cells: 100}, {Cells: 100}},
+		PEs:         []*PE{{Name: "p", CellsPerSec: 10}},
+		Policy:      sched.SS{},
+		NotifyEvery: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Makespan.Round(10 * time.Millisecond); got != 20*time.Second {
+		t.Errorf("makespan = %v, want 20s", got)
+	}
+	if res.PerPE[0].TasksWon != 2 || res.PerPE[0].CellsDone != 200 {
+		t.Errorf("stats = %+v", res.PerPE[0])
+	}
+	if g := res.GCUPS(); g <= 0 {
+		t.Errorf("GCUPS = %v", g)
+	}
+}
+
+func TestTaskOverheadExtendsMakespan(t *testing.T) {
+	base := Experiment{
+		Tasks:       []sched.Task{{Cells: 100}},
+		PEs:         []*PE{{Name: "p", CellsPerSec: 10}},
+		Policy:      sched.SS{},
+		NotifyEvery: time.Second,
+	}
+	r1, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.PEs = []*PE{{Name: "p", CellsPerSec: 10, TaskOverhead: 2 * time.Second}}
+	r2, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := r2.Makespan - r1.Makespan; d.Round(10*time.Millisecond) != 2*time.Second {
+		t.Errorf("overhead delta = %v, want 2s", d)
+	}
+}
+
+func TestLoadPhaseSlowsPE(t *testing.T) {
+	// Full capacity: 100 cells at 10/s = 10 s. Capacity 0.5 throughout:
+	// 20 s.
+	exp := Experiment{
+		Tasks: []sched.Task{{Cells: 100}},
+		PEs: []*PE{{
+			Name: "p", CellsPerSec: 10,
+			Load: []LoadPhase{{From: 0, Capacity: 0.5}},
+		}},
+		Policy:      sched.SS{},
+		NotifyEvery: time.Second,
+	}
+	res, err := Run(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Makespan.Round(100 * time.Millisecond); got != 20*time.Second {
+		t.Errorf("makespan = %v, want 20s", got)
+	}
+}
+
+func TestLoadPhaseWindowed(t *testing.T) {
+	// 10/s for 5 s (50 cells), then half speed: remaining 50 cells take
+	// 10 s. Total 15 s.
+	exp := Experiment{
+		Tasks: []sched.Task{{Cells: 100}},
+		PEs: []*PE{{
+			Name: "p", CellsPerSec: 10,
+			Load: []LoadPhase{{From: 5 * time.Second, Capacity: 0.5}},
+		}},
+		Policy:      sched.SS{},
+		NotifyEvery: 500 * time.Millisecond,
+	}
+	res, err := Run(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Makespan.Round(100 * time.Millisecond); got != 15*time.Second {
+		t.Errorf("makespan = %v, want 15s", got)
+	}
+}
+
+func TestHeterogeneousFasterWithAdjustment(t *testing.T) {
+	// A generic heterogeneous endgame: adjustment must never hurt and
+	// should help when slow PEs hold the last tasks.
+	mk := func(adjust bool) Experiment {
+		tasks := make([]sched.Task, 12)
+		for i := range tasks {
+			tasks[i] = sched.Task{Cells: 1000}
+		}
+		return Experiment{
+			Tasks: tasks,
+			PEs: []*PE{
+				{Name: "fast", CellsPerSec: 1000, Kind: sched.KindGPU},
+				{Name: "slow1", CellsPerSec: 100},
+				{Name: "slow2", CellsPerSec: 100},
+			},
+			Policy:      &sched.PSS{},
+			Adjust:      adjust,
+			NotifyEvery: 200 * time.Millisecond,
+		}
+	}
+	with, err := Run(mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Makespan > without.Makespan {
+		t.Errorf("adjustment hurt: %v > %v", with.Makespan, without.Makespan)
+	}
+}
+
+func TestCommLatencyIncreasesMakespan(t *testing.T) {
+	mk := func(lat time.Duration) Experiment {
+		tasks := make([]sched.Task, 10)
+		for i := range tasks {
+			tasks[i] = sched.Task{Cells: 10}
+		}
+		return Experiment{
+			Tasks:       tasks,
+			PEs:         []*PE{{Name: "p", CellsPerSec: 10}},
+			Policy:      sched.SS{},
+			CommLatency: lat,
+			NotifyEvery: time.Second,
+		}
+	}
+	fast, err := Run(mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(mk(100 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Makespan <= fast.Makespan {
+		t.Errorf("latency had no cost: %v vs %v", slow.Makespan, fast.Makespan)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() Experiment {
+		tasks := make([]sched.Task, 8)
+		for i := range tasks {
+			tasks[i] = sched.Task{Cells: 500}
+		}
+		return Experiment{
+			Tasks:       tasks,
+			PEs:         []*PE{SSEPE("a"), SSEPE("b"), GPUPE("g")},
+			Policy:      &sched.PSS{},
+			Adjust:      true,
+			NotifyEvery: 100 * time.Millisecond,
+			Seed:        99,
+		}
+	}
+	r1, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan || r1.Replicas != r2.Replicas {
+		t.Errorf("runs differ: %v/%d vs %v/%d", r1.Makespan, r1.Replicas, r2.Makespan, r2.Replicas)
+	}
+}
+
+func TestTimelineRecorded(t *testing.T) {
+	res, err := Run(Experiment{
+		Tasks:       []sched.Task{{Cells: 100}},
+		PEs:         []*PE{{Name: "p", CellsPerSec: 10}},
+		Policy:      sched.SS{},
+		NotifyEvery: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := res.PerPE[0].Timeline
+	if len(tl) < 5 {
+		t.Fatalf("timeline has %d samples, want >= 5", len(tl))
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i].T <= tl[i-1].T {
+			t.Fatal("timeline not increasing")
+		}
+	}
+}
+
+func TestCapacityAt(t *testing.T) {
+	pe := &PE{Name: "p", CellsPerSec: 1, Load: []LoadPhase{
+		{From: 10 * time.Second, To: 20 * time.Second, Capacity: 0.5},
+		{From: 15 * time.Second, Capacity: 0.8},
+	}}
+	if got := pe.CapacityAt(5 * time.Second); got != 1 {
+		t.Errorf("capacity(5s) = %v", got)
+	}
+	if got := pe.CapacityAt(12 * time.Second); got != 0.5 {
+		t.Errorf("capacity(12s) = %v", got)
+	}
+	if got := pe.CapacityAt(17 * time.Second); got != 0.4 {
+		t.Errorf("capacity(17s) = %v, want stacked 0.4", got)
+	}
+	if got := pe.CapacityAt(25 * time.Second); got != 0.8 {
+		t.Errorf("capacity(25s) = %v", got)
+	}
+}
+
+func TestHybridConstructor(t *testing.T) {
+	pes := Hybrid(2, 4)
+	if len(pes) != 6 {
+		t.Fatalf("Hybrid(2,4) built %d PEs", len(pes))
+	}
+	if pes[0].Kind != sched.KindGPU || pes[5].Kind != sched.KindCPU {
+		t.Error("kinds wrong")
+	}
+	if pes[0].CellsPerSec <= pes[5].CellsPerSec {
+		t.Error("GPU not faster than SSE in calibration")
+	}
+}
+
+func TestCalibrationAnchors(t *testing.T) {
+	// 1 SSE core on SwissProt must land near the paper's 7,190 s.
+	cells := int64(102000) * int64(190814275)
+	secs := float64(cells) / (SSECoreGCUPS * 1e9)
+	if secs < 6800 || secs > 7600 {
+		t.Errorf("SSE SwissProt time = %.0f s, want ~7190", secs)
+	}
+}

@@ -1,0 +1,129 @@
+package platform
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// TraceEvent is one line of an exported run trace. Kind is "assign",
+// "sample" or "summary"; the other fields are populated per kind. Traces
+// are JSON-lines so standard tooling (jq, pandas) can consume them.
+type TraceEvent struct {
+	Kind    string  `json:"kind"`
+	TimeSec float64 `json:"t"`
+	PE      string  `json:"pe,omitempty"`
+
+	// assign
+	Tasks   []int `json:"tasks,omitempty"`
+	Replica bool  `json:"replica,omitempty"`
+
+	// sample
+	GCUPS float64 `json:"gcups,omitempty"`
+
+	// exec (one task occupancy window)
+	Task      int     `json:"task,omitempty"`
+	EndSec    float64 `json:"end,omitempty"`
+	Completed bool    `json:"completed,omitempty"`
+
+	// summary (one per PE plus one overall with PE == "")
+	CellsDone   int64   `json:"cells,omitempty"`
+	TasksWon    int     `json:"won,omitempty"`
+	BusySec     float64 `json:"busy_s,omitempty"`
+	MakespanSec float64 `json:"makespan_s,omitempty"`
+	TotalGCUPS  float64 `json:"total_gcups,omitempty"`
+}
+
+// WriteTrace streams the run as JSON lines: every assignment interaction,
+// every throughput sample, per-PE summaries and the overall summary.
+func WriteTrace(w io.Writer, res *Result) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	name := func(id sched.SlaveID) string {
+		if int(id) < len(res.PerPE) {
+			return res.PerPE[id].Name
+		}
+		return fmt.Sprintf("pe%d", id)
+	}
+	for _, a := range res.Assignments {
+		ids := make([]int, len(a.Tasks))
+		for i, t := range a.Tasks {
+			ids[i] = int(t)
+		}
+		if err := enc.Encode(TraceEvent{
+			Kind: "assign", TimeSec: a.Time.Seconds(), PE: name(a.Slave),
+			Tasks: ids, Replica: a.Replica,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, pe := range res.PerPE {
+		for _, s := range pe.Timeline {
+			if err := enc.Encode(TraceEvent{
+				Kind: "sample", TimeSec: s.T.Seconds(), PE: pe.Name, GCUPS: s.Rate / 1e9,
+			}); err != nil {
+				return err
+			}
+		}
+		for _, ex := range pe.Executions {
+			if err := enc.Encode(TraceEvent{
+				Kind: "exec", PE: pe.Name, Task: int(ex.Task),
+				TimeSec: ex.Start.Seconds(), EndSec: ex.End.Seconds(),
+				Completed: ex.Completed, Replica: ex.Replica,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, pe := range res.PerPE {
+		if err := enc.Encode(TraceEvent{
+			Kind: "summary", PE: pe.Name,
+			CellsDone: pe.CellsDone, TasksWon: pe.TasksWon, BusySec: pe.Busy.Seconds(),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(TraceEvent{
+		Kind:        "summary",
+		MakespanSec: res.Makespan.Seconds(),
+		CellsDone:   res.UsefulCells,
+		TotalGCUPS:  res.GCUPS(),
+	}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSON-lines trace back into events.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) {
+	var out []TraceEvent
+	dec := json.NewDecoder(r)
+	for {
+		var e TraceEvent
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("platform: trace line %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+}
+
+// TraceSummary extracts the overall summary event from a trace.
+func TraceSummary(events []TraceEvent) (TraceEvent, bool) {
+	for _, e := range events {
+		if e.Kind == "summary" && e.PE == "" {
+			return e, true
+		}
+	}
+	return TraceEvent{}, false
+}
+
+// Makespan is a convenience for tests and tools reading traces.
+func (e TraceEvent) Makespan() time.Duration {
+	return time.Duration(e.MakespanSec * float64(time.Second))
+}

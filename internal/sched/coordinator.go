@@ -1,0 +1,443 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// SlaveKind labels the hardware class of a slave for reports; the scheduler
+// itself is agnostic and only looks at observed speeds.
+type SlaveKind int
+
+const (
+	// KindCPU marks a multicore/SSE slave.
+	KindCPU SlaveKind = iota
+	// KindGPU marks a GPU slave.
+	KindGPU
+	// KindFPGA marks a reconfigurable-accelerator slave (the paper's
+	// future-work integration, modeled after Meng & Chaudhary [13]).
+	KindFPGA
+)
+
+// String returns the conventional label of the slave kind.
+func (k SlaveKind) String() string {
+	switch k {
+	case KindCPU:
+		return "CPU"
+	case KindGPU:
+		return "GPU"
+	case KindFPGA:
+		return "FPGA"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// SlaveInfo is what a slave announces at registration.
+type SlaveInfo struct {
+	Name string
+	Kind SlaveKind
+	// DeclaredSpeed is the slave's theoretical speed in cells/second, used
+	// by the WFixed baseline and as a fallback before any observation
+	// exists. Zero means undeclared.
+	DeclaredSpeed float64
+}
+
+// Result is one collected task result.
+type Result struct {
+	Task    TaskID
+	QueryID string
+	Slave   SlaveID       // who finished first
+	At      time.Duration // completion time
+	Payload any           // domain result (e.g. per-database-sequence scores)
+}
+
+// Assignment records one allocation interaction for traces and the Fig. 5
+// style Gantt reconstructions.
+type Assignment struct {
+	Time    time.Duration
+	Slave   SlaveID
+	Tasks   []TaskID
+	Replica bool // true when granted by the workload adjustment mechanism
+}
+
+// Config selects the coordinator's behaviour.
+type Config struct {
+	Policy Policy // task allocation policy; nil means PSS
+	Adjust bool   // enable the workload adjustment mechanism (§IV-A.3)
+	Omega  int    // PSS notification window; <1 means DefaultOmega
+	// GainThreshold is the minimum estimated completion-time improvement
+	// — as a fraction of the requester's own execution time — required
+	// before the adjustment mechanism replicates a task. 0 means the
+	// default (0.1); negative means replicate on any positive gain.
+	// Higher values avoid wasted replicas at the cost of slower rescue.
+	GainThreshold float64
+}
+
+type slaveState struct {
+	info      SlaveInfo
+	hist      *History
+	executing map[TaskID]bool
+	// order lists the slave's live assigned tasks oldest-first (its queue,
+	// as far as the master can know it); credit is the cell count the
+	// slave has reported done since its last completion. Together they let
+	// the workload adjustment mechanism estimate when a given queued task
+	// will finish: tasks deep in a backlogged queue have distant ETAs.
+	order  []TaskID
+	credit int64
+	dead   bool
+}
+
+// assign records a new live task at the back of the slave's queue.
+func (s *slaveState) assign(tid TaskID) {
+	s.executing[tid] = true
+	s.order = append(s.order, tid)
+}
+
+// drop removes a task from the slave's live set, absorbing the progress
+// credit the slave accumulated against it.
+func (s *slaveState) drop(tid TaskID, cells int64) {
+	if !s.executing[tid] {
+		return
+	}
+	delete(s.executing, tid)
+	for i, id := range s.order {
+		if id == tid {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.credit -= cells
+	if s.credit < 0 {
+		s.credit = 0
+	}
+}
+
+// Coordinator is the master-side scheduling state machine (§IV): it
+// registers slaves, grants tasks according to the configured policy,
+// ingests progress notifications, applies the workload adjustment
+// mechanism when the ready queue drains, and collects results (first
+// completion wins).
+//
+// The coordinator is deliberately passive: every method takes `now` and the
+// caller (wall-clock master or discrete-event simulation) owns the clock.
+// Methods are not safe for concurrent use; wrap with a mutex when driven
+// from multiple goroutines.
+type Coordinator struct {
+	cfg     Config
+	pool    *Pool
+	slaves  []*slaveState
+	results map[TaskID]Result
+	log     []Assignment
+}
+
+// NewCoordinator builds a coordinator over the job's tasks.
+func NewCoordinator(tasks []Task, cfg Config) *Coordinator {
+	if cfg.Policy == nil {
+		cfg.Policy = &PSS{}
+	}
+	if cfg.Omega < 1 {
+		cfg.Omega = DefaultOmega
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		pool:    NewPool(tasks),
+		results: make(map[TaskID]Result, len(tasks)),
+	}
+}
+
+// Pool exposes the underlying task pool (read-mostly; used by reports).
+func (c *Coordinator) Pool() *Pool { return c.pool }
+
+// Policy returns the active allocation policy.
+func (c *Coordinator) Policy() Policy { return c.cfg.Policy }
+
+// Register adds a slave and returns its ID.
+func (c *Coordinator) Register(info SlaveInfo, now time.Duration) SlaveID {
+	c.slaves = append(c.slaves, &slaveState{
+		info:      info,
+		hist:      NewHistory(c.cfg.Omega),
+		executing: map[TaskID]bool{},
+	})
+	return SlaveID(len(c.slaves) - 1)
+}
+
+// Slaves returns how many slaves have registered (including dead ones).
+func (c *Coordinator) Slaves() int { return len(c.slaves) }
+
+// SlaveInfoOf returns the registration info of a slave.
+func (c *Coordinator) SlaveInfoOf(id SlaveID) SlaveInfo { return c.slaves[id].info }
+
+// SpeedOf returns the best current speed estimate for a slave: the Ω-window
+// weighted mean if any notifications arrived, otherwise the declared speed,
+// otherwise 0 (unknown).
+func (c *Coordinator) SpeedOf(id SlaveID) float64 {
+	s := c.slaves[id]
+	if v, ok := s.hist.Speed(); ok {
+		return v
+	}
+	return s.info.DeclaredSpeed
+}
+
+// Progress ingests a periodic notification: cells processed by the slave
+// since its previous notification. The cells also feed the slave's backlog
+// estimate used by the workload adjustment mechanism.
+func (c *Coordinator) Progress(id SlaveID, cells int64, now time.Duration) {
+	c.slaves[id].hist.Observe(cells, now)
+	if cells > 0 {
+		c.slaves[id].credit += cells
+	}
+}
+
+// ProgressRate ingests a directly measured speed sample (cells/second) plus
+// the cells completed since the previous notification.
+func (c *Coordinator) ProgressRate(id SlaveID, cellsPerSecond float64, cells int64, now time.Duration) {
+	c.slaves[id].hist.ObserveRate(cellsPerSecond, now)
+	if cells > 0 {
+		c.slaves[id].credit += cells
+	}
+}
+
+// RequestWork grants tasks to an idle slave. The policy decides how many
+// ready tasks the slave receives; when the ready queue is empty and the
+// workload adjustment mechanism is enabled, the slave may instead receive a
+// copy of a task that is still executing elsewhere (replica = true). An
+// empty result with Done() false means the slave should stand by; with
+// Done() true the job is over.
+func (c *Coordinator) RequestWork(id SlaveID, now time.Duration) (tasks []Task, replica bool) {
+	if c.slaves[id].dead {
+		return nil, false
+	}
+	req := Request{
+		Slave:          id,
+		Ready:          c.pool.Ready(),
+		Total:          c.pool.Len(),
+		Slaves:         c.aliveSlaves(),
+		Speeds:         make([]float64, len(c.slaves)),
+		DeclaredSpeeds: make([]float64, len(c.slaves)),
+	}
+	for i, s := range c.slaves {
+		if s.dead {
+			continue
+		}
+		if v, ok := s.hist.Speed(); ok {
+			req.Speeds[i] = v
+		}
+		req.DeclaredSpeeds[i] = s.info.DeclaredSpeed
+	}
+	n := c.cfg.Policy.Grant(req)
+	if n == 0 && req.Ready > 0 {
+		// Recovery grant: static policies (Fixed/WFixed) hand out their
+		// quota once, so a task requeued later — because a slave died or
+		// abandoned it — would otherwise be stranded with no policy
+		// willing to grant it. Any idle slave asking while ready tasks
+		// exist gets one, degrading gracefully to self-scheduling for the
+		// recovered tail.
+		n = 1
+	}
+	if n > 0 {
+		tasks = c.pool.TakeReady(n, id, now)
+		for _, t := range tasks {
+			c.slaves[id].assign(t.ID)
+		}
+		if len(tasks) > 0 {
+			c.log = append(c.log, Assignment{Time: now, Slave: id, Tasks: taskIDs(tasks)})
+			return tasks, false
+		}
+	}
+	if c.pool.Ready() == 0 && c.cfg.Adjust {
+		if tid, ok := c.selectReplica(id, now); ok {
+			c.pool.AddExecutor(tid, id, now)
+			c.slaves[id].assign(tid)
+			c.log = append(c.log, Assignment{Time: now, Slave: id, Tasks: []TaskID{tid}, Replica: true})
+			return []Task{c.pool.Task(tid)}, true
+		}
+	}
+	return nil, false
+}
+
+// selectReplica implements the workload adjustment choice: among tasks in
+// the executing state that the requester is not already running, pick the
+// one whose estimated completion time the requester would improve the most.
+//
+// A task's completion estimate on a current executor accounts for queue
+// position and reported progress: ETA = now + (cells of the executor's live
+// tasks up to and including this one, minus its progress credit) / speed.
+// The requester would start fresh: myETA = now + cells/speed(requester). A
+// replica is only worthwhile when the gain clears 10% of the requester's
+// own execution time, which stops equally-slow peers from replicating each
+// other's nearly-finished tasks on speed-estimate noise.
+//
+// When speeds are unknown the estimates degenerate and the longest-assigned
+// task is chosen, matching the paper's plain description of the mechanism.
+func (c *Coordinator) selectReplica(id SlaveID, now time.Duration) (TaskID, bool) {
+	vr := c.SpeedOf(id)
+	bestGain := time.Duration(-1 << 62)
+	bestID := TaskID(-1)
+	var oldestStart time.Duration = 1 << 62
+	var oldestID TaskID = -1
+	for _, tid := range c.pool.ExecutingTasks() {
+		execs := c.pool.Executors(tid)
+		if _, mine := execs[id]; mine {
+			continue
+		}
+		task := c.pool.Task(tid)
+		// Earliest estimated completion among current executors.
+		var bestETA time.Duration = 1 << 62
+		known := false
+		var earliestStart time.Duration = 1 << 62
+		for sid, start := range execs {
+			if start < earliestStart {
+				earliestStart = start
+			}
+			ve := c.SpeedOf(sid)
+			if ve <= 0 {
+				continue
+			}
+			remaining := c.backlogThrough(sid, tid)
+			eta := now + time.Duration(float64(remaining)/ve*float64(time.Second))
+			known = true
+			if eta < bestETA {
+				bestETA = eta
+			}
+		}
+		if earliestStart < oldestStart {
+			oldestStart, oldestID = earliestStart, tid
+		}
+		if vr <= 0 || !known {
+			continue
+		}
+		myDur := time.Duration(float64(task.Cells) / vr * float64(time.Second))
+		gain := bestETA - (now + myDur)
+		threshold := time.Duration(float64(myDur) * c.gainThreshold())
+		if gain > threshold && gain > bestGain {
+			bestGain, bestID = gain, tid
+		}
+	}
+	if bestID >= 0 {
+		return bestID, true
+	}
+	if vr <= 0 && oldestID >= 0 {
+		// No speed information at all: fall back to replicating the task
+		// that has been assigned the longest.
+		return oldestID, true
+	}
+	return -1, false
+}
+
+// gainThreshold resolves the configured replication threshold.
+func (c *Coordinator) gainThreshold() float64 {
+	switch {
+	case c.cfg.GainThreshold > 0:
+		return c.cfg.GainThreshold
+	case c.cfg.GainThreshold < 0:
+		return 0
+	default:
+		return 0.1
+	}
+}
+
+// backlogThrough estimates the cells slave sid must still process before
+// task tid completes: the cells of its live queue up to and including tid,
+// less the progress it has reported.
+func (c *Coordinator) backlogThrough(sid SlaveID, tid TaskID) int64 {
+	s := c.slaves[sid]
+	var sum int64
+	for _, id := range s.order {
+		sum += c.pool.Task(id).Cells
+		if id == tid {
+			break
+		}
+	}
+	sum -= s.credit
+	if sum < 0 {
+		sum = 0
+	}
+	return sum
+}
+
+// Complete records that a slave finished a task. accepted is false when
+// another copy already finished (the result is discarded). cancel lists the
+// slaves still executing moot copies; the caller should notify them so they
+// can abandon the work and request something useful.
+func (c *Coordinator) Complete(id SlaveID, tid TaskID, payload any, now time.Duration) (accepted bool, cancel []SlaveID) {
+	task := c.pool.Task(tid)
+	if !c.slaves[id].executing[tid] {
+		// A completion for a task this slave does not hold: either the
+		// task already finished elsewhere (normal race) or the slave is
+		// confused/malicious. Either way the result is discarded.
+		return false, nil
+	}
+	c.slaves[id].drop(tid, task.Cells)
+	if c.pool.StateOf(tid) == Finished {
+		return false, nil
+	}
+	first, others := c.pool.Complete(tid, id, now)
+	if !first {
+		return false, nil
+	}
+	c.results[tid] = Result{Task: tid, QueryID: task.QueryID, Slave: id, At: now, Payload: payload}
+	for _, o := range others {
+		c.slaves[o].drop(tid, task.Cells)
+	}
+	return true, others
+}
+
+// Abandon records that a slave gave up a task (cancellation acknowledged).
+func (c *Coordinator) Abandon(id SlaveID, tid TaskID) {
+	c.slaves[id].drop(tid, c.pool.Task(tid).Cells)
+	c.pool.Abandon(tid, id)
+}
+
+// SlaveDied removes a slave: its executing tasks lose an executor and
+// return to ready if no other copy runs (the paper's future-work item of
+// nodes leaving mid-run).
+func (c *Coordinator) SlaveDied(id SlaveID) {
+	s := c.slaves[id]
+	if s.dead {
+		return
+	}
+	s.dead = true
+	for tid := range s.executing {
+		c.pool.Abandon(tid, id)
+	}
+	s.executing = map[TaskID]bool{}
+	s.order = nil
+	s.credit = 0
+}
+
+func (c *Coordinator) aliveSlaves() int {
+	n := 0
+	for _, s := range c.slaves {
+		if !s.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Done reports whether every task has a result.
+func (c *Coordinator) Done() bool { return c.pool.Done() }
+
+// Results returns the collected results ordered by task ID (the master's
+// "merge results" step).
+func (c *Coordinator) Results() []Result {
+	out := make([]Result, 0, len(c.results))
+	for _, r := range c.results {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	return out
+}
+
+// AssignmentLog returns every allocation interaction in time order.
+func (c *Coordinator) AssignmentLog() []Assignment { return c.log }
+
+func taskIDs(ts []Task) []TaskID {
+	out := make([]TaskID, len(ts))
+	for i, t := range ts {
+		out[i] = t.ID
+	}
+	return out
+}

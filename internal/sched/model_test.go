@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestCoordinatorModelRandomRuns drives the coordinator with randomized
+// slave behaviour — requests, progress, completions, cancel acknowledgments
+// and slave deaths in arbitrary interleavings — and checks the global
+// invariants after every step:
+//
+//   - ready + executing + finished always equals the task total;
+//   - a slave never holds a task the pool does not list it as executing;
+//   - the job always terminates with every task finished exactly once and
+//     a merged result per task.
+func TestCoordinatorModelRandomRuns(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		runCoordinatorModel(t, seed)
+	}
+}
+
+func runCoordinatorModel(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nTasks := 1 + rng.Intn(25)
+	nSlaves := 1 + rng.Intn(6)
+	policies := []Policy{SS{}, &PSS{}, &Fixed{}, &WFixed{}}
+	pol, _ := NewPolicy([]string{"SS", "PSS", "Fixed", "WFixed"}[rng.Intn(4)])
+	_ = policies
+	adjust := rng.Intn(2) == 0
+
+	tasks := make([]Task, nTasks)
+	for i := range tasks {
+		tasks[i] = Task{QueryID: "q", Cells: int64(100 + rng.Intn(10000))}
+	}
+	c := NewCoordinator(tasks, Config{Policy: pol, Adjust: adjust, Omega: 1 + rng.Intn(16)})
+
+	type slaveSim struct {
+		id    SlaveID
+		queue []Task
+		dead  bool
+	}
+	var slaves []*slaveSim
+	for i := 0; i < nSlaves; i++ {
+		info := SlaveInfo{Name: "s", DeclaredSpeed: float64(rng.Intn(3)) * 1000}
+		slaves = append(slaves, &slaveSim{id: c.Register(info, 0)})
+	}
+	alive := nSlaves
+
+	now := time.Duration(0)
+	checkInvariants := func() {
+		t.Helper()
+		p := c.Pool()
+		if p.Ready()+p.ExecutingCount()+p.Finished() != p.Len() {
+			t.Fatalf("seed %d: state counts diverge: %d+%d+%d != %d",
+				seed, p.Ready(), p.ExecutingCount(), p.Finished(), p.Len())
+		}
+	}
+
+	for steps := 0; !c.Done() && steps < 100000; steps++ {
+		now += time.Duration(rng.Intn(1000)) * time.Millisecond
+		s := slaves[rng.Intn(nSlaves)]
+		if s.dead {
+			continue
+		}
+		switch op := rng.Intn(10); {
+		case op < 4: // request work
+			got, _ := c.RequestWork(s.id, now)
+			s.queue = append(s.queue, got...)
+		case op < 7: // complete a queued task
+			if len(s.queue) > 0 {
+				i := rng.Intn(len(s.queue))
+				task := s.queue[i]
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				_, cancel := c.Complete(s.id, task.ID, nil, now)
+				// Canceled slaves drop their local copies.
+				for _, cid := range cancel {
+					for _, other := range slaves {
+						if other.id != cid {
+							continue
+						}
+						keep := other.queue[:0]
+						for _, q := range other.queue {
+							if q.ID != task.ID {
+								keep = append(keep, q)
+							}
+						}
+						other.queue = keep
+					}
+				}
+			}
+		case op < 9: // progress notification
+			c.ProgressRate(s.id, float64(1+rng.Intn(5000)), int64(rng.Intn(2000)), now)
+		default: // occasional death, but never the last slave
+			if alive > 1 && rng.Intn(4) == 0 {
+				c.SlaveDied(s.id)
+				s.dead = true
+				s.queue = nil
+				alive--
+			}
+		}
+		checkInvariants()
+	}
+
+	// Survivors drain whatever remains deterministically.
+	for guard := 0; !c.Done() && guard < nTasks*nSlaves*10+100; guard++ {
+		now += time.Second
+		for _, s := range slaves {
+			if s.dead {
+				continue
+			}
+			got, _ := c.RequestWork(s.id, now)
+			s.queue = append(s.queue, got...)
+			for len(s.queue) > 0 {
+				task := s.queue[0]
+				s.queue = s.queue[1:]
+				c.Complete(s.id, task.ID, nil, now)
+			}
+			checkInvariants()
+		}
+	}
+	if !c.Done() {
+		t.Fatalf("seed %d: job never finished (%d/%d)", seed, c.Pool().Finished(), c.Pool().Len())
+	}
+	res := c.Results()
+	if len(res) != nTasks {
+		t.Fatalf("seed %d: %d results for %d tasks", seed, len(res), nTasks)
+	}
+	seen := map[TaskID]bool{}
+	for _, r := range res {
+		if seen[r.Task] {
+			t.Fatalf("seed %d: duplicate result for task %d", seed, r.Task)
+		}
+		seen[r.Task] = true
+	}
+}

@@ -1,0 +1,193 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Request is everything a policy may consult when deciding how many ready
+// tasks to grant to a requesting slave.
+type Request struct {
+	Slave  SlaveID
+	Ready  int // ready tasks remaining in the pool
+	Total  int // total tasks in the job
+	Slaves int // registered slaves
+
+	// Speeds holds the estimated speed (cells/second) per slave, indexed
+	// by SlaveID; 0 means no estimate yet. DeclaredSpeeds holds the static
+	// speeds slaves announced at registration (used by WFixed).
+	Speeds         []float64
+	DeclaredSpeeds []float64
+}
+
+// Policy decides how many ready tasks a requesting slave receives. Policies
+// may be stateful (Fixed/WFixed hand out a one-time quota), so a fresh
+// instance is required per job.
+type Policy interface {
+	// Name identifies the policy in reports ("SS", "PSS", ...).
+	Name() string
+	// Grant returns how many of the Ready tasks to assign now; the
+	// coordinator clamps the result to [0, Ready].
+	Grant(req Request) int
+}
+
+// NewPolicy builds a policy by name: "SS", "PSS", "Fixed" or "WFixed"
+// (case-insensitive). PSS accepts an optional "PSS:<maxBurst>" suffix.
+func NewPolicy(name string) (Policy, error) {
+	u := strings.ToUpper(name)
+	switch {
+	case u == "SS":
+		return SS{}, nil
+	case u == "PSS":
+		return &PSS{}, nil
+	case strings.HasPrefix(u, "PSS:"):
+		var burst int
+		if _, err := fmt.Sscanf(u, "PSS:%d", &burst); err != nil || burst < 1 {
+			return nil, fmt.Errorf("sched: bad PSS burst in %q", name)
+		}
+		return &PSS{MaxBurst: burst}, nil
+	case u == "FIXED":
+		return &Fixed{}, nil
+	case u == "WFIXED":
+		return &WFixed{}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q (want SS, PSS, Fixed or WFixed)", name)
+	}
+}
+
+// SS is the Self-Scheduling policy (§IV-A.1): every request is granted
+// exactly one task, so the maximum idle wait is bounded by one task on the
+// slowest slave, at the price of one master interaction per task.
+type SS struct{}
+
+// Name implements Policy.
+func (SS) Name() string { return "SS" }
+
+// Grant implements Policy: always one task.
+func (SS) Grant(req Request) int {
+	if req.Ready <= 0 {
+		return 0
+	}
+	return 1
+}
+
+// PSS is the Package Weighted Adaptive Self-Scheduling policy (§IV-A.2):
+// PSS(p_i, N, P) = Allocate(N, p_i) * Φ(p_i, P), where Allocate is the SS
+// policy (one task) and Φ is the requesting slave's weight — its Ω-window
+// weighted mean speed relative to the slowest slave with a known speed. A
+// slave measured 6x faster than the slowest therefore receives 6 tasks per
+// request, cutting master interactions while keeping allocation adaptive.
+type PSS struct {
+	// MaxBurst caps Φ so one slave cannot drain the pool in a single
+	// request; 0 means no cap.
+	MaxBurst int
+}
+
+// Name implements Policy.
+func (p *PSS) Name() string { return "PSS" }
+
+// Grant implements Policy.
+func (p *PSS) Grant(req Request) int {
+	if req.Ready <= 0 {
+		return 0
+	}
+	mine := 0.0
+	if int(req.Slave) < len(req.Speeds) {
+		mine = req.Speeds[req.Slave]
+	}
+	if mine <= 0 {
+		return 1 // no history yet: behave like SS (the "first allocation")
+	}
+	slowest := math.Inf(1)
+	for _, v := range req.Speeds {
+		if v > 0 && v < slowest {
+			slowest = v
+		}
+	}
+	if math.IsInf(slowest, 1) {
+		return 1
+	}
+	phi := int(math.Round(mine / slowest))
+	if phi < 1 {
+		phi = 1
+	}
+	if p.MaxBurst > 0 && phi > p.MaxBurst {
+		phi = p.MaxBurst
+	}
+	if phi > req.Ready {
+		phi = req.Ready
+	}
+	return phi
+}
+
+// Fixed is the baseline of Singh & Aruni [10]: work is split evenly across
+// slaves on their first request, assuming every processing element has the
+// same computing power. Subsequent requests receive nothing.
+type Fixed struct {
+	granted map[SlaveID]bool
+}
+
+// Name implements Policy.
+func (f *Fixed) Name() string { return "Fixed" }
+
+// Grant implements Policy.
+func (f *Fixed) Grant(req Request) int {
+	if f.granted == nil {
+		f.granted = map[SlaveID]bool{}
+	}
+	if f.granted[req.Slave] || req.Ready <= 0 || req.Slaves <= 0 {
+		return 0
+	}
+	f.granted[req.Slave] = true
+	// Even share of the original total; the last requester takes any
+	// remainder left by rounding.
+	share := (req.Total + req.Slaves - 1) / req.Slaves
+	if len(f.granted) == req.Slaves {
+		share = req.Ready
+	}
+	return share
+}
+
+// WFixed is the baseline of Meng & Chaudhary [13]: work is split once,
+// proportionally to the *declared* (theoretical) speed of each processing
+// element from its registration, with no runtime adaptation.
+type WFixed struct {
+	granted map[SlaveID]bool
+}
+
+// Name implements Policy.
+func (w *WFixed) Name() string { return "WFixed" }
+
+// Grant implements Policy.
+func (w *WFixed) Grant(req Request) int {
+	if w.granted == nil {
+		w.granted = map[SlaveID]bool{}
+	}
+	if w.granted[req.Slave] || req.Ready <= 0 || req.Slaves <= 0 {
+		return 0
+	}
+	w.granted[req.Slave] = true
+	var total float64
+	for _, v := range req.DeclaredSpeeds {
+		if v > 0 {
+			total += v
+		}
+	}
+	mine := 0.0
+	if int(req.Slave) < len(req.DeclaredSpeeds) {
+		mine = req.DeclaredSpeeds[req.Slave]
+	}
+	if total <= 0 || mine <= 0 {
+		// No usable declarations: degrade to an even split.
+		return (req.Total + req.Slaves - 1) / req.Slaves
+	}
+	share := int(math.Round(float64(req.Total) * mine / total))
+	if share < 1 {
+		share = 1
+	}
+	if len(w.granted) == req.Slaves && req.Ready > share {
+		share = req.Ready // last requester sweeps rounding leftovers
+	}
+	return share
+}

@@ -1,0 +1,216 @@
+// Package sched implements the paper's task-execution core: the task pool
+// with its ready/executing/finished lifecycle, the user-selectable task
+// allocation policies (SS, PSS, and the Fixed/WFixed baselines from related
+// work), the Ω-window weighted speed estimator that feeds PSS, and the
+// dynamic workload-adjustment mechanism that re-assigns still-executing
+// tasks to idle processing elements.
+//
+// The package is a pure state machine: every method takes the current time
+// as an argument and performs no I/O, no sleeping and no goroutines. The
+// same code therefore drives both the wall-clock master (internal/master)
+// and the calibrated discrete-event experiments (internal/platform), which
+// is what makes the reproduced scheduling results meaningful.
+package sched
+
+import (
+	"fmt"
+	"time"
+)
+
+// TaskID identifies a task within one job.
+type TaskID int
+
+// SlaveID identifies a registered slave within one coordinator.
+type SlaveID int
+
+// Task is the paper's very coarse-grained work unit: the comparison of one
+// query sequence against the whole genomic database (§IV).
+type Task struct {
+	ID      TaskID
+	QueryID string // identifier of the query sequence
+	Cells   int64  // DP cells the comparison updates: |query| x database residues
+}
+
+// State is the lifecycle of a task in the pool (§IV-A.3).
+type State int
+
+const (
+	// Ready tasks have not been handed to any slave.
+	Ready State = iota
+	// Executing tasks are running on at least one slave. With the workload
+	// adjustment mechanism, several slaves may execute the same task.
+	Executing
+	// Finished tasks have a collected result.
+	Finished
+)
+
+// String returns the state name used in logs and traces.
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Executing:
+		return "executing"
+	case Finished:
+		return "finished"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+type poolEntry struct {
+	task       Task
+	state      State
+	executors  map[SlaveID]time.Duration // slave -> time it started this task
+	finishedBy SlaveID
+	finishedAt time.Duration
+}
+
+// Pool tracks every task of a job through the ready -> executing ->
+// finished lifecycle.
+type Pool struct {
+	entries   []poolEntry
+	readyFIFO []TaskID
+	nReady    int
+	nExec     int
+	nFinished int
+}
+
+// NewPool builds a pool over the given tasks, all Ready, dispensed in slice
+// order. Task IDs must equal their index; NewPool renumbers them to enforce
+// this.
+func NewPool(tasks []Task) *Pool {
+	p := &Pool{entries: make([]poolEntry, len(tasks)), nReady: len(tasks)}
+	p.readyFIFO = make([]TaskID, len(tasks))
+	for i, t := range tasks {
+		t.ID = TaskID(i)
+		p.entries[i] = poolEntry{task: t, state: Ready, executors: map[SlaveID]time.Duration{}, finishedBy: -1}
+		p.readyFIFO[i] = t.ID
+	}
+	return p
+}
+
+// Len returns the total number of tasks.
+func (p *Pool) Len() int { return len(p.entries) }
+
+// Ready returns the number of tasks not yet assigned.
+func (p *Pool) Ready() int { return p.nReady }
+
+// ExecutingCount returns the number of tasks currently in the executing state.
+func (p *Pool) ExecutingCount() int { return p.nExec }
+
+// Finished returns the number of completed tasks.
+func (p *Pool) Finished() int { return p.nFinished }
+
+// Done reports whether every task has a collected result.
+func (p *Pool) Done() bool { return p.nFinished == len(p.entries) }
+
+// Task returns the task with the given ID.
+func (p *Pool) Task(id TaskID) Task { return p.entries[id].task }
+
+// StateOf returns the lifecycle state of a task.
+func (p *Pool) StateOf(id TaskID) State { return p.entries[id].state }
+
+// TakeReady moves up to n ready tasks to the executing state on slave s,
+// returning them in FIFO order.
+func (p *Pool) TakeReady(n int, s SlaveID, now time.Duration) []Task {
+	if n > len(p.readyFIFO) {
+		n = len(p.readyFIFO)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Task, 0, n)
+	for _, id := range p.readyFIFO[:n] {
+		e := &p.entries[id]
+		e.state = Executing
+		e.executors[s] = now
+		out = append(out, e.task)
+	}
+	p.readyFIFO = p.readyFIFO[n:]
+	p.nReady -= n
+	p.nExec += n
+	return out
+}
+
+// AddExecutor records that slave s (additionally) executes task id — the
+// workload adjustment path. It panics if the task is not executing: only
+// executing tasks can be replicated.
+func (p *Pool) AddExecutor(id TaskID, s SlaveID, now time.Duration) {
+	e := &p.entries[id]
+	if e.state != Executing {
+		panic(fmt.Sprintf("sched: AddExecutor on %s task %d", e.state, id))
+	}
+	e.executors[s] = now
+}
+
+// Executors returns the slaves currently executing task id with their start
+// times. The returned map is the pool's own; callers must not mutate it.
+func (p *Pool) Executors(id TaskID) map[SlaveID]time.Duration {
+	return p.entries[id].executors
+}
+
+// ExecutingTasks returns the IDs of all tasks in the executing state, in
+// task order.
+func (p *Pool) ExecutingTasks() []TaskID {
+	var out []TaskID
+	for i := range p.entries {
+		if p.entries[i].state == Executing {
+			out = append(out, TaskID(i))
+		}
+	}
+	return out
+}
+
+// Complete records that slave s finished task id at time now. The first
+// completion wins (first = true); later completions of the same task by
+// replica executors are ignored (first = false). others lists the slaves
+// that still hold a now-moot copy, so the caller can notify them.
+func (p *Pool) Complete(id TaskID, s SlaveID, now time.Duration) (first bool, others []SlaveID) {
+	e := &p.entries[id]
+	if e.state == Finished {
+		delete(e.executors, s)
+		return false, nil
+	}
+	if _, ok := e.executors[s]; !ok {
+		panic(fmt.Sprintf("sched: slave %d completed task %d it was not executing", s, id))
+	}
+	e.state = Finished
+	e.finishedBy = s
+	e.finishedAt = now
+	delete(e.executors, s)
+	for other := range e.executors {
+		others = append(others, other)
+	}
+	e.executors = map[SlaveID]time.Duration{}
+	p.nExec--
+	p.nFinished++
+	return true, others
+}
+
+// Abandon removes slave s from the executors of task id (e.g. the slave
+// died or was canceled). If the task loses its last executor it returns to
+// the ready state at the head of the FIFO.
+func (p *Pool) Abandon(id TaskID, s SlaveID) {
+	e := &p.entries[id]
+	if e.state != Executing {
+		return
+	}
+	delete(e.executors, s)
+	if len(e.executors) == 0 {
+		e.state = Ready
+		p.nExec--
+		p.nReady++
+		p.readyFIFO = append([]TaskID{id}, p.readyFIFO...)
+	}
+}
+
+// FinishedBy returns which slave completed task id and when; ok is false if
+// the task is not finished.
+func (p *Pool) FinishedBy(id TaskID) (s SlaveID, at time.Duration, ok bool) {
+	e := &p.entries[id]
+	if e.state != Finished {
+		return -1, 0, false
+	}
+	return e.finishedBy, e.finishedAt, true
+}

@@ -1,0 +1,212 @@
+package seqio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/seq"
+)
+
+// This file implements the master's "convert format" step (Fig. 4): a
+// packed binary database format that slaves load faster than FASTA. The
+// residues are stored as dense alphabet indices, the header carries the
+// counts a slave needs to size its buffers, and records are
+// length-prefixed so loading is a single sequential pass with no parsing.
+//
+// Packed layout (little-endian):
+//
+//	magic    [8]byte "SWPKDB1\x00"
+//	kind     uint8   seq.Kind of the alphabet
+//	count    uint64  sequences
+//	residues uint64  total residues
+//	maxLen   uint64  longest sequence
+//	records:
+//	  idLen   uint16, id bytes
+//	  descLen uint16, desc bytes
+//	  seqLen  uint32, residue indices (1 byte each)
+
+var packedMagic = [8]byte{'S', 'W', 'P', 'K', 'D', 'B', '1', 0}
+
+// PackedPath returns the conventional packed file name for a FASTA path.
+func PackedPath(fastaPath string) string { return fastaPath + ".swpkd" }
+
+// WritePacked converts sequences to the packed format. Every residue must
+// belong to the alphabet.
+func WritePacked(path string, alpha *seq.Alphabet, seqs []*seq.Sequence) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	var residues, maxLen uint64
+	for _, s := range seqs {
+		residues += uint64(s.Len())
+		if uint64(s.Len()) > maxLen {
+			maxLen = uint64(s.Len())
+		}
+	}
+	werr := func() error {
+		if _, err := w.Write(packedMagic[:]); err != nil {
+			return err
+		}
+		if err := w.WriteByte(byte(alpha.Kind())); err != nil {
+			return err
+		}
+		for _, v := range []uint64{uint64(len(seqs)), residues, maxLen} {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		for i, s := range seqs {
+			enc, err := alpha.Encode(s.Residues)
+			if err != nil {
+				return fmt.Errorf("sequence %d (%s): %w", i, s.ID, err)
+			}
+			if len(s.ID) > 0xFFFF || len(s.Description) > 0xFFFF {
+				return fmt.Errorf("sequence %d: header too long", i)
+			}
+			if err := binary.Write(w, binary.LittleEndian, uint16(len(s.ID))); err != nil {
+				return err
+			}
+			w.WriteString(s.ID)
+			if err := binary.Write(w, binary.LittleEndian, uint16(len(s.Description))); err != nil {
+				return err
+			}
+			w.WriteString(s.Description)
+			if err := binary.Write(w, binary.LittleEndian, uint32(len(enc))); err != nil {
+				return err
+			}
+			if _, err := w.Write(enc); err != nil {
+				return err
+			}
+		}
+		return w.Flush()
+	}()
+	if werr != nil {
+		f.Close()
+		return fmt.Errorf("seqio: packing %s: %w", path, werr)
+	}
+	return f.Close()
+}
+
+// PackedInfo summarizes a packed database without decoding records.
+type PackedInfo struct {
+	Kind     seq.Kind
+	Count    int
+	Residues int64
+	MaxLen   int
+}
+
+// ReadPacked loads a packed database, returning the decoded sequences and
+// the header info.
+func ReadPacked(path string) ([]*seq.Sequence, PackedInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, PackedInfo{}, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != packedMagic {
+		return nil, PackedInfo{}, fmt.Errorf("seqio: %s: not a packed database", path)
+	}
+	kindByte, err := r.ReadByte()
+	if err != nil {
+		return nil, PackedInfo{}, err
+	}
+	var header [3]uint64
+	for i := range header {
+		if err := binary.Read(r, binary.LittleEndian, &header[i]); err != nil {
+			return nil, PackedInfo{}, fmt.Errorf("seqio: %s: truncated header", path)
+		}
+	}
+	info := PackedInfo{
+		Kind:     seq.Kind(kindByte),
+		Count:    int(header[0]),
+		Residues: int64(header[1]),
+		MaxLen:   int(header[2]),
+	}
+	var alpha *seq.Alphabet
+	switch info.Kind {
+	case seq.DNAKind:
+		alpha = seq.DNA
+	case seq.RNAKind:
+		alpha = seq.RNA
+	case seq.ProteinKind:
+		alpha = seq.Protein
+	default:
+		return nil, info, fmt.Errorf("seqio: %s: unknown alphabet kind %d", path, kindByte)
+	}
+
+	out := make([]*seq.Sequence, 0, info.Count)
+	readStr := func() (string, error) {
+		var n uint16
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return "", err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	var total int64
+	for i := 0; i < info.Count; i++ {
+		id, err := readStr()
+		if err != nil {
+			return nil, info, fmt.Errorf("seqio: %s: record %d: %w", path, i, err)
+		}
+		desc, err := readStr()
+		if err != nil {
+			return nil, info, fmt.Errorf("seqio: %s: record %d: %w", path, i, err)
+		}
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, info, fmt.Errorf("seqio: %s: record %d: %w", path, i, err)
+		}
+		enc := make([]byte, n)
+		if _, err := io.ReadFull(r, enc); err != nil {
+			return nil, info, fmt.Errorf("seqio: %s: record %d: %w", path, i, err)
+		}
+		for _, v := range enc {
+			if int(v) >= alpha.Size() {
+				return nil, info, fmt.Errorf("seqio: %s: record %d: residue index %d out of range", path, i, v)
+			}
+		}
+		out = append(out, &seq.Sequence{ID: id, Description: desc, Residues: alpha.Decode(enc)})
+		total += int64(n)
+	}
+	if total != info.Residues {
+		return nil, info, fmt.Errorf("seqio: %s: residue count %d does not match header %d", path, total, info.Residues)
+	}
+	return out, info, nil
+}
+
+// Pack converts a FASTA file to the packed format, guessing the alphabet
+// from the first sequence when alpha is nil. Returns the packed info.
+func Pack(fastaPath, packedPath string, alpha *seq.Alphabet) (PackedInfo, error) {
+	f, err := Open(fastaPath)
+	if err != nil {
+		return PackedInfo{}, err
+	}
+	defer f.Close()
+	seqs, err := f.GetRange(0, f.Count())
+	if err != nil {
+		return PackedInfo{}, err
+	}
+	if alpha == nil {
+		alpha = seq.Protein
+		if len(seqs) > 0 {
+			alpha = seq.GuessAlphabet(seqs[0].Residues)
+		}
+	}
+	if err := WritePacked(packedPath, alpha, seqs); err != nil {
+		return PackedInfo{}, err
+	}
+	_, info, err := ReadPacked(packedPath)
+	return info, err
+}

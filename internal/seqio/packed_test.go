@@ -1,0 +1,132 @@
+package seqio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/seq"
+)
+
+func TestPackedRoundTrip(t *testing.T) {
+	p := dataset.Profile{Name: "t", NumSeqs: 40, MeanLen: 120, SigmaLn: 0.6, MinLen: 10, MaxLen: 600}
+	in := dataset.Generate(p, 31)
+	in[0].Description = "first description"
+	path := filepath.Join(t.TempDir(), "db.swpkd")
+	if err := WritePacked(path, seq.Protein, in); err != nil {
+		t.Fatal(err)
+	}
+	out, info, err := ReadPacked(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Count != len(in) || info.Kind != seq.ProteinKind {
+		t.Fatalf("info = %+v", info)
+	}
+	var residues int64
+	maxLen := 0
+	for i := range in {
+		if out[i].ID != in[i].ID || out[i].Description != in[i].Description {
+			t.Fatalf("record %d header mismatch", i)
+		}
+		if !bytes.Equal(out[i].Residues, in[i].Residues) {
+			t.Fatalf("record %d residues mismatch", i)
+		}
+		residues += int64(in[i].Len())
+		if in[i].Len() > maxLen {
+			maxLen = in[i].Len()
+		}
+	}
+	if info.Residues != residues || info.MaxLen != maxLen {
+		t.Fatalf("info stats = %+v, want %d/%d", info, residues, maxLen)
+	}
+}
+
+func TestPackedDNA(t *testing.T) {
+	in := []*seq.Sequence{seq.New("d1", "", []byte("ATGCATGC"))}
+	path := filepath.Join(t.TempDir(), "dna.swpkd")
+	if err := WritePacked(path, seq.DNA, in); err != nil {
+		t.Fatal(err)
+	}
+	out, info, err := ReadPacked(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != seq.DNAKind || string(out[0].Residues) != "ATGCATGC" {
+		t.Fatalf("out = %v info = %+v", out[0], info)
+	}
+}
+
+func TestPackedRejectsInvalidResidues(t *testing.T) {
+	in := []*seq.Sequence{seq.New("bad", "", []byte("AT1C"))}
+	path := filepath.Join(t.TempDir(), "bad.swpkd")
+	if err := WritePacked(path, seq.DNA, in); err == nil {
+		t.Error("invalid residue accepted")
+	}
+}
+
+func TestReadPackedRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]byte{
+		"garbage":  []byte("not a packed db at all"),
+		"truncmag": packedMagic[:4],
+		"justmag":  packedMagic[:],
+	}
+	for name, data := range cases {
+		path := filepath.Join(dir, name)
+		os.WriteFile(path, data, 0o644)
+		if _, _, err := ReadPacked(path); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Valid header claiming records that are not there.
+	path := filepath.Join(dir, "short")
+	var buf bytes.Buffer
+	buf.Write(packedMagic[:])
+	buf.WriteByte(byte(seq.ProteinKind))
+	buf.Write(make([]byte, 24)) // count=0... then tamper count
+	b := buf.Bytes()
+	b[9] = 3 // count = 3 with no records
+	os.WriteFile(path, b, 0o644)
+	if _, _, err := ReadPacked(path); err == nil {
+		t.Error("truncated records accepted")
+	}
+}
+
+func TestPackFromFasta(t *testing.T) {
+	fastaPath := writeFasta(t, ">a desc\nMKVL\n>b\nACDEFGH\n")
+	packedPath := PackedPath(fastaPath)
+	info, err := Pack(fastaPath, packedPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Count != 2 || info.Residues != 11 || info.MaxLen != 7 {
+		t.Fatalf("info = %+v", info)
+	}
+	out, _, err := ReadPacked(packedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].ID != "a" || out[0].Description != "desc" || string(out[1].Residues) != "ACDEFGH" {
+		t.Fatalf("out = %v %v", out[0], out[1])
+	}
+}
+
+func TestPackGuessesDNA(t *testing.T) {
+	fastaPath := writeFasta(t, ">d\nATGCATGC\n")
+	info, err := Pack(fastaPath, PackedPath(fastaPath), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != seq.DNAKind {
+		t.Errorf("guessed kind = %v, want DNA", info.Kind)
+	}
+}
+
+func TestPackMissingFile(t *testing.T) {
+	if _, err := Pack(filepath.Join(t.TempDir(), "none.fasta"), "out", nil); err == nil {
+		t.Error("missing FASTA accepted")
+	}
+}

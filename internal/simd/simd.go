@@ -1,0 +1,202 @@
+// Package simd emulates the 128-bit SSE2 integer vector operations that
+// Farrar's striped Smith-Waterman uses on Intel CPUs.
+//
+// The paper's multicore slaves run "a modified version of the Farrar
+// algorithm" on the SSE extensions of Intel i7 cores. Pure Go has no
+// intrinsics, so this package provides software implementations of the exact
+// SSE2 semantics the kernel needs: 16-lane unsigned bytes (epu8) and 8-lane
+// signed words (epi16) with saturating arithmetic, lane-wise max, compares,
+// whole-register byte shifts and movemask. The striped kernel in
+// internal/farrar is written against these, keeping the algorithm, data
+// layout and instruction mix identical to the SSE2 original.
+package simd
+
+// U8x16 models an XMM register holding 16 unsigned bytes.
+type U8x16 [16]uint8
+
+// I16x8 models an XMM register holding 8 signed 16-bit words.
+type I16x8 [8]int16
+
+// SplatU8 returns a vector with every lane set to v (_mm_set1_epi8).
+func SplatU8(v uint8) U8x16 {
+	var out U8x16
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// AddSatU8 is lane-wise unsigned saturating addition (_mm_adds_epu8).
+func AddSatU8(a, b U8x16) U8x16 {
+	var out U8x16
+	for i := range out {
+		s := uint16(a[i]) + uint16(b[i])
+		if s > 255 {
+			s = 255
+		}
+		out[i] = uint8(s)
+	}
+	return out
+}
+
+// SubSatU8 is lane-wise unsigned saturating subtraction (_mm_subs_epu8):
+// results below zero clamp to 0.
+func SubSatU8(a, b U8x16) U8x16 {
+	var out U8x16
+	for i := range out {
+		if a[i] > b[i] {
+			out[i] = a[i] - b[i]
+		}
+	}
+	return out
+}
+
+// MaxU8 is lane-wise unsigned maximum (_mm_max_epu8).
+func MaxU8(a, b U8x16) U8x16 {
+	var out U8x16
+	for i := range out {
+		out[i] = max(a[i], b[i])
+	}
+	return out
+}
+
+// GtU8 returns a lane mask with 0xFF where a > b (emulating the
+// subs+cmpeq idiom SSE2 needs for unsigned compare-greater).
+func GtU8(a, b U8x16) U8x16 {
+	var out U8x16
+	for i := range out {
+		if a[i] > b[i] {
+			out[i] = 0xFF
+		}
+	}
+	return out
+}
+
+// MoveMaskU8 collects the high bit of every byte lane (_mm_movemask_epi8).
+func MoveMaskU8(a U8x16) int {
+	m := 0
+	for i := range a {
+		if a[i]&0x80 != 0 {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+// AnyGtU8 reports whether any lane of a exceeds the matching lane of b.
+func AnyGtU8(a, b U8x16) bool { return MoveMaskU8(GtU8(a, b)) != 0 }
+
+// ShiftLanesLeftU8 shifts the register left by n byte lanes, filling vacated
+// low lanes with zero (_mm_slli_si128). In the striped layout this moves
+// values from query segment s to segment s+1.
+func ShiftLanesLeftU8(a U8x16, n int) U8x16 {
+	var out U8x16
+	for i := n; i < 16; i++ {
+		out[i] = a[i-n]
+	}
+	return out
+}
+
+// HMaxU8 returns the maximum lane value.
+func HMaxU8(a U8x16) uint8 {
+	m := a[0]
+	for _, v := range a[1:] {
+		m = max(m, v)
+	}
+	return m
+}
+
+// SplatI16 returns a vector with every lane set to v (_mm_set1_epi16).
+func SplatI16(v int16) I16x8 {
+	var out I16x8
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// AddSatI16 is lane-wise signed saturating addition (_mm_adds_epi16).
+func AddSatI16(a, b I16x8) I16x8 {
+	var out I16x8
+	for i := range out {
+		out[i] = satI16(int32(a[i]) + int32(b[i]))
+	}
+	return out
+}
+
+// SubSatI16 is lane-wise signed saturating subtraction (_mm_subs_epi16).
+func SubSatI16(a, b I16x8) I16x8 {
+	var out I16x8
+	for i := range out {
+		out[i] = satI16(int32(a[i]) - int32(b[i]))
+	}
+	return out
+}
+
+func satI16(v int32) int16 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return int16(v)
+}
+
+// MaxI16 is lane-wise signed maximum (_mm_max_epi16).
+func MaxI16(a, b I16x8) I16x8 {
+	var out I16x8
+	for i := range out {
+		out[i] = max(a[i], b[i])
+	}
+	return out
+}
+
+// GtI16 returns a lane mask with all bits set where a > b
+// (_mm_cmpgt_epi16).
+func GtI16(a, b I16x8) I16x8 {
+	var out I16x8
+	for i := range out {
+		if a[i] > b[i] {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// MoveMaskI16 collects the sign bit of every 16-bit lane.
+func MoveMaskI16(a I16x8) int {
+	m := 0
+	for i := range a {
+		if a[i] < 0 {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+// AnyGtI16 reports whether any lane of a exceeds the matching lane of b.
+func AnyGtI16(a, b I16x8) bool { return MoveMaskI16(GtI16(a, b)) != 0 }
+
+// ShiftLanesLeftI16 shifts the register left by n 16-bit lanes, filling
+// vacated low lanes with fill (the striped kernel inserts the boundary
+// value, not zero, because signed scores may legitimately be negative).
+func ShiftLanesLeftI16(a I16x8, n int, fill int16) I16x8 {
+	var out I16x8
+	for i := 0; i < n && i < 8; i++ {
+		out[i] = fill
+	}
+	for i := n; i < 8; i++ {
+		out[i] = a[i-n]
+	}
+	return out
+}
+
+// HMaxI16 returns the maximum lane value.
+func HMaxI16(a I16x8) int16 {
+	m := a[0]
+	for _, v := range a[1:] {
+		m = max(m, v)
+	}
+	return m
+}

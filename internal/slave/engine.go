@@ -1,0 +1,195 @@
+// Package slave implements the slave side of the task execution
+// environment: the request/execute/notify loop of Fig. 4 plus the two
+// execution engines the paper integrates — the adapted Farrar striped
+// kernel for SSE cores (§IV-C) and the encapsulated CUDASW++-style engine
+// for GPUs.
+package slave
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cudasw"
+	"repro/internal/farrar"
+	"repro/internal/sched"
+	"repro/internal/score"
+	"repro/internal/seq"
+	"repro/internal/sw"
+	"repro/internal/wire"
+)
+
+// ErrCanceled is returned by engines when the master canceled the task
+// mid-execution (its replica finished first elsewhere).
+var ErrCanceled = fmt.Errorf("slave: task canceled")
+
+// Engine executes one task: the comparison of a query against the engine's
+// resident database.
+type Engine interface {
+	// Name and Kind identify the engine at registration.
+	Name() string
+	Kind() sched.SlaveKind
+	// DeclaredSpeed is the theoretical cells/second announced to the
+	// master (used by the WFixed baseline); 0 means undeclared.
+	DeclaredSpeed() float64
+	// DatabaseResidues sizes tasks: cells = |query| * DatabaseResidues.
+	DatabaseResidues() int64
+	// Search scores query against the database, calling progress with the
+	// cumulative cell count at reasonable intervals. It returns
+	// ErrCanceled promptly after cancel is closed.
+	Search(query *seq.Sequence, progress func(cellsDone int64), cancel <-chan struct{}) ([]wire.Hit, error)
+}
+
+// FarrarEngine is the SSE-core engine: one CPU core running the adapted
+// Farrar striped Smith-Waterman over the emulated SSE2 ISA.
+type FarrarEngine struct {
+	name     string
+	scheme   score.Scheme
+	db       []*seq.Sequence
+	residues int64
+	declared float64
+}
+
+// NewFarrarEngine builds an SSE-core engine over a resident database.
+func NewFarrarEngine(name string, s score.Scheme, db []*seq.Sequence, declaredSpeed float64) (*FarrarEngine, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(db) == 0 {
+		return nil, fmt.Errorf("slave: empty database")
+	}
+	e := &FarrarEngine{name: name, scheme: s, db: db, declared: declaredSpeed}
+	for _, d := range db {
+		e.residues += int64(d.Len())
+	}
+	return e, nil
+}
+
+// Name implements Engine.
+func (e *FarrarEngine) Name() string { return e.name }
+
+// Kind implements Engine.
+func (e *FarrarEngine) Kind() sched.SlaveKind { return sched.KindCPU }
+
+// DeclaredSpeed implements Engine.
+func (e *FarrarEngine) DeclaredSpeed() float64 { return e.declared }
+
+// DatabaseResidues implements Engine.
+func (e *FarrarEngine) DatabaseResidues() int64 { return e.residues }
+
+// Search implements Engine: the database is scanned sequentially (§IV-B:
+// database files are processed sequentially on the PEs), one striped-kernel
+// score per database sequence.
+func (e *FarrarEngine) Search(query *seq.Sequence, progress func(int64), cancel <-chan struct{}) ([]wire.Hit, error) {
+	kern, err := farrar.NewKernel(query.Residues, e.scheme)
+	if err != nil {
+		return nil, err
+	}
+	hits := make([]wire.Hit, len(e.db))
+	var cells int64
+	var sinceProgress int64
+	const progressChunk = 1 << 22 // ~4M cells between progress callbacks
+	for i, d := range e.db {
+		select {
+		case <-cancel:
+			return nil, ErrCanceled
+		default:
+		}
+		hits[i] = wire.Hit{SeqID: d.ID, Index: i, Score: kern.Score(d.Residues)}
+		n := kern.Cells(d.Residues)
+		cells += n
+		sinceProgress += n
+		if sinceProgress >= progressChunk && progress != nil {
+			progress(cells)
+			sinceProgress = 0
+		}
+	}
+	if progress != nil {
+		progress(cells)
+	}
+	return hits, nil
+}
+
+// GPUEngine wraps the simulated CUDASW++ engine (§IV-C: "CUDASW was
+// encapsulated and easily integrated to our tool").
+type GPUEngine struct {
+	name     string
+	engine   *cudasw.Engine
+	declared float64
+}
+
+// NewGPUEngine builds a GPU engine over a resident database.
+func NewGPUEngine(name string, dev cudasw.Device, s score.Scheme, db []*seq.Sequence, declaredSpeed float64) (*GPUEngine, error) {
+	eng, err := cudasw.NewEngine(dev, s, db)
+	if err != nil {
+		return nil, err
+	}
+	return &GPUEngine{name: name, engine: eng, declared: declaredSpeed}, nil
+}
+
+// Name implements Engine.
+func (e *GPUEngine) Name() string { return e.name }
+
+// Kind implements Engine.
+func (e *GPUEngine) Kind() sched.SlaveKind { return sched.KindGPU }
+
+// DeclaredSpeed implements Engine.
+func (e *GPUEngine) DeclaredSpeed() float64 { return e.declared }
+
+// DatabaseResidues implements Engine.
+func (e *GPUEngine) DatabaseResidues() int64 { return e.engine.DatabaseResidues() }
+
+// Search implements Engine. A GPU kernel launch is not interruptible, so
+// cancellation is only observed between the search and the result return.
+func (e *GPUEngine) Search(query *seq.Sequence, progress func(int64), cancel <-chan struct{}) ([]wire.Hit, error) {
+	hits, rep, err := e.engine.Search(query.Residues, true)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-cancel:
+		return nil, ErrCanceled
+	default:
+	}
+	if progress != nil {
+		progress(rep.Cells)
+	}
+	out := make([]wire.Hit, len(hits))
+	for i, h := range hits {
+		out[i] = wire.Hit{SeqID: h.ID, Index: h.Index, Score: h.Score}
+	}
+	return out, nil
+}
+
+// TopK returns the k best hits by score (ties by database order), the form
+// results travel back to the master in.
+func TopK(hits []wire.Hit, k int) []wire.Hit {
+	if k <= 0 || k >= len(hits) {
+		k = len(hits)
+	}
+	out := make([]wire.Hit, len(hits))
+	copy(out, hits)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out[:k]
+}
+
+// Aligner is implemented by engines that can run the traceback phase
+// (§II-A phase 2) for one database hit.
+type Aligner interface {
+	// AlignHit recovers the optimal local alignment of the query against
+	// database sequence hitIndex.
+	AlignHit(query *seq.Sequence, hitIndex int) (*sw.Alignment, error)
+}
+
+// AlignHit implements Aligner with the linear-space traceback, so phase 2
+// works even for the 5,000-residue queries of the paper's workload.
+func (e *FarrarEngine) AlignHit(query *seq.Sequence, hitIndex int) (*sw.Alignment, error) {
+	if hitIndex < 0 || hitIndex >= len(e.db) {
+		return nil, fmt.Errorf("slave: hit index %d out of range", hitIndex)
+	}
+	return sw.AlignLinearSpace(query.Residues, e.db[hitIndex].Residues, e.scheme), nil
+}

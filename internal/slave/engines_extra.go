@@ -1,0 +1,169 @@
+package slave
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/parallel"
+	"repro/internal/sched"
+	"repro/internal/score"
+	"repro/internal/seq"
+	"repro/internal/sw"
+	"repro/internal/swipe"
+	"repro/internal/wire"
+)
+
+// MulticoreEngine is a CPU slave that uses all of a host's cores for one
+// task, with the coarse-grained (Fig. 3b) database decomposition: workers
+// self-schedule chunks of database sequences through Farrar kernels. This
+// models registering a whole multicore host as a single slave instead of
+// one slave per core.
+type MulticoreEngine struct {
+	name     string
+	scheme   score.Scheme
+	db       []*seq.Sequence
+	residues int64
+	cores    int
+	declared float64
+}
+
+// NewMulticoreEngine builds a whole-host CPU engine; cores <= 0 uses
+// runtime.NumCPU().
+func NewMulticoreEngine(name string, s score.Scheme, db []*seq.Sequence, cores int, declaredSpeed float64) (*MulticoreEngine, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(db) == 0 {
+		return nil, fmt.Errorf("slave: empty database")
+	}
+	if cores <= 0 {
+		cores = runtime.NumCPU()
+	}
+	e := &MulticoreEngine{name: name, scheme: s, db: db, cores: cores, declared: declaredSpeed}
+	for _, d := range db {
+		e.residues += int64(d.Len())
+	}
+	return e, nil
+}
+
+// Name implements Engine.
+func (e *MulticoreEngine) Name() string { return e.name }
+
+// Kind implements Engine.
+func (e *MulticoreEngine) Kind() sched.SlaveKind { return sched.KindCPU }
+
+// DeclaredSpeed implements Engine.
+func (e *MulticoreEngine) DeclaredSpeed() float64 { return e.declared }
+
+// DatabaseResidues implements Engine.
+func (e *MulticoreEngine) DatabaseResidues() int64 { return e.residues }
+
+// Cores returns the worker count used per task.
+func (e *MulticoreEngine) Cores() int { return e.cores }
+
+// Search implements Engine. The parallel chunk scan is not interruptible;
+// cancellation is observed at the boundaries like the GPU engine.
+func (e *MulticoreEngine) Search(query *seq.Sequence, progress func(int64), cancel <-chan struct{}) ([]wire.Hit, error) {
+	select {
+	case <-cancel:
+		return nil, ErrCanceled
+	default:
+	}
+	scores, err := parallel.CoarseGrainedSearch(query.Residues, e.db, e.scheme, e.cores, 16)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-cancel:
+		return nil, ErrCanceled
+	default:
+	}
+	if progress != nil {
+		progress(int64(query.Len()) * e.residues)
+	}
+	hits := make([]wire.Hit, len(e.db))
+	for i, d := range e.db {
+		hits[i] = wire.Hit{SeqID: d.ID, Index: i, Score: scores[i]}
+	}
+	return hits, nil
+}
+
+// SwipeEngine is a CPU slave built on the inter-sequence SIMD kernel of
+// internal/swipe (Rognes [17]) instead of the intra-sequence Farrar kernel.
+type SwipeEngine struct {
+	name     string
+	scheme   score.Scheme
+	db       []*seq.Sequence
+	residues int64
+	declared float64
+}
+
+// NewSwipeEngine builds a SWIPE-style CPU engine over a resident database.
+func NewSwipeEngine(name string, s score.Scheme, db []*seq.Sequence, declaredSpeed float64) (*SwipeEngine, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(db) == 0 {
+		return nil, fmt.Errorf("slave: empty database")
+	}
+	e := &SwipeEngine{name: name, scheme: s, db: db, declared: declaredSpeed}
+	for _, d := range db {
+		e.residues += int64(d.Len())
+	}
+	return e, nil
+}
+
+// Name implements Engine.
+func (e *SwipeEngine) Name() string { return e.name }
+
+// Kind implements Engine.
+func (e *SwipeEngine) Kind() sched.SlaveKind { return sched.KindCPU }
+
+// DeclaredSpeed implements Engine.
+func (e *SwipeEngine) DeclaredSpeed() float64 { return e.declared }
+
+// DatabaseResidues implements Engine.
+func (e *SwipeEngine) DatabaseResidues() int64 { return e.residues }
+
+// Search implements Engine.
+func (e *SwipeEngine) Search(query *seq.Sequence, progress func(int64), cancel <-chan struct{}) ([]wire.Hit, error) {
+	select {
+	case <-cancel:
+		return nil, ErrCanceled
+	default:
+	}
+	sr, err := swipe.New(query.Residues, e.scheme)
+	if err != nil {
+		return nil, err
+	}
+	scores := sr.Search(e.db)
+	select {
+	case <-cancel:
+		return nil, ErrCanceled
+	default:
+	}
+	if progress != nil {
+		progress(int64(query.Len()) * e.residues)
+	}
+	hits := make([]wire.Hit, len(e.db))
+	for i, d := range e.db {
+		hits[i] = wire.Hit{SeqID: d.ID, Index: i, Score: scores[i]}
+	}
+	return hits, nil
+}
+
+// AlignHit implements Aligner for the multicore engine.
+func (e *MulticoreEngine) AlignHit(query *seq.Sequence, hitIndex int) (*sw.Alignment, error) {
+	if hitIndex < 0 || hitIndex >= len(e.db) {
+		return nil, fmt.Errorf("slave: hit index %d out of range", hitIndex)
+	}
+	return sw.AlignLinearSpace(query.Residues, e.db[hitIndex].Residues, e.scheme), nil
+}
+
+// AlignHit implements Aligner for the SWIPE engine.
+func (e *SwipeEngine) AlignHit(query *seq.Sequence, hitIndex int) (*sw.Alignment, error) {
+	if hitIndex < 0 || hitIndex >= len(e.db) {
+		return nil, fmt.Errorf("slave: hit index %d out of range", hitIndex)
+	}
+	return sw.AlignLinearSpace(query.Residues, e.db[hitIndex].Residues, e.scheme), nil
+}

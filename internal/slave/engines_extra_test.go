@@ -1,0 +1,102 @@
+package slave
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/score"
+	"repro/internal/seq"
+)
+
+func TestMulticoreEngineMatchesFarrar(t *testing.T) {
+	db := tinyDB(t)
+	mc, err := NewMulticoreEngine("host0", score.DefaultProtein(), db, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Cores() != 3 {
+		t.Errorf("Cores = %d", mc.Cores())
+	}
+	sse, _ := NewFarrarEngine("ref", score.DefaultProtein(), db, 0)
+	q := dataset.Queries(db, 1, 70, 70, 21)[0]
+	got, err := mc.Search(q, nil, make(chan struct{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := sse.Search(q, nil, make(chan struct{}))
+	for i := range got {
+		if got[i].Score != want[i].Score || got[i].SeqID != want[i].SeqID || got[i].Index != want[i].Index {
+			t.Fatalf("hit %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if mc.Kind() != sse.Kind() || mc.DatabaseResidues() != sse.DatabaseResidues() {
+		t.Error("metadata mismatch")
+	}
+}
+
+func TestMulticoreEngineDefaultsCores(t *testing.T) {
+	db := tinyDB(t)
+	mc, err := NewMulticoreEngine("h", score.DefaultProtein(), db, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Cores() < 1 {
+		t.Errorf("Cores = %d", mc.Cores())
+	}
+}
+
+func TestMulticoreEngineCancel(t *testing.T) {
+	db := tinyDB(t)
+	mc, _ := NewMulticoreEngine("h", score.DefaultProtein(), db, 2, 0)
+	cancel := make(chan struct{})
+	close(cancel)
+	q := dataset.Queries(db, 1, 40, 40, 22)[0]
+	if _, err := mc.Search(q, nil, cancel); err != ErrCanceled {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSwipeEngineMatchesFarrar(t *testing.T) {
+	db := tinyDB(t)
+	sw1, err := NewSwipeEngine("swipe0", score.DefaultProtein(), db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sse, _ := NewFarrarEngine("ref", score.DefaultProtein(), db, 0)
+	for _, q := range dataset.Queries(db, 3, 30, 90, 23) {
+		got, err := sw1.Search(q, nil, make(chan struct{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := sse.Search(q, nil, make(chan struct{}))
+		for i := range got {
+			if got[i].Score != want[i].Score || got[i].SeqID != want[i].SeqID {
+				t.Fatalf("query %s hit %d: %+v vs %+v", q.ID, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestExtraEngineValidation(t *testing.T) {
+	if _, err := NewMulticoreEngine("h", score.Scheme{}, tinyDB(t), 2, 0); err == nil {
+		t.Error("bad scheme accepted")
+	}
+	if _, err := NewMulticoreEngine("h", score.DefaultProtein(), nil, 2, 0); err == nil {
+		t.Error("empty db accepted")
+	}
+	if _, err := NewSwipeEngine("s", score.Scheme{}, tinyDB(t), 0); err == nil {
+		t.Error("bad scheme accepted")
+	}
+	if _, err := NewSwipeEngine("s", score.DefaultProtein(), nil, 0); err == nil {
+		t.Error("empty db accepted")
+	}
+}
+
+func TestSwipeEngineBadQuery(t *testing.T) {
+	db := tinyDB(t)
+	e, _ := NewSwipeEngine("s", score.DefaultProtein(), db, 0)
+	bad := seq.New("q", "", []byte("AC?D"))
+	if _, err := e.Search(bad, nil, make(chan struct{})); err == nil {
+		t.Error("invalid query accepted")
+	}
+}

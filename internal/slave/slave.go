@@ -1,0 +1,196 @@
+package slave
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/seq"
+	"repro/internal/wire"
+)
+
+// Options tunes the slave loop.
+type Options struct {
+	// NotifyEvery is the minimum interval between progress notifications.
+	NotifyEvery time.Duration
+	// Poll is how long to stand by before re-asking when the master had
+	// nothing for us.
+	Poll time.Duration
+	// TopK bounds how many hits per task travel back to the master;
+	// 0 means all.
+	TopK int
+	// AlignBest runs the traceback phase for the best hit of every task
+	// (engines implementing Aligner only) and ships the alignment rows.
+	AlignBest bool
+}
+
+func (o *Options) fill() {
+	if o.NotifyEvery <= 0 {
+		o.NotifyEvery = 500 * time.Millisecond
+	}
+	if o.Poll <= 0 {
+		o.Poll = 200 * time.Millisecond
+	}
+}
+
+// Run registers the engine with the master behind caller and executes the
+// request/execute/notify loop until the master reports the job done. It
+// returns the number of tasks this slave completed (accepted or not).
+func Run(caller wire.Caller, eng Engine, opts Options) (int, error) {
+	opts.fill()
+	resp, err := caller.Call(wire.Envelope{Register: &wire.RegisterMsg{
+		Name:          eng.Name(),
+		Kind:          eng.Kind(),
+		DeclaredSpeed: eng.DeclaredSpeed(),
+	}})
+	if err != nil {
+		return 0, err
+	}
+	if resp.RegisterAck == nil {
+		return 0, fmt.Errorf("slave: master did not acknowledge registration")
+	}
+	id := resp.RegisterAck.Slave
+
+	canceled := newCancelSet()
+	completed := 0
+	jobDone := false
+	for !jobDone {
+		resp, err := caller.Call(wire.Envelope{Request: &wire.RequestMsg{Slave: id}})
+		if err != nil {
+			return completed, err
+		}
+		a := resp.Assign
+		if a == nil {
+			return completed, fmt.Errorf("slave: unexpected response to Request")
+		}
+		if a.Done {
+			return completed, nil
+		}
+		if len(a.Tasks) == 0 {
+			time.Sleep(opts.Poll)
+			continue
+		}
+		for _, spec := range a.Tasks {
+			if canceled.has(spec.ID) {
+				continue
+			}
+			done, finished, err := runTask(caller, eng, id, spec, canceled, opts)
+			if err != nil {
+				return completed, err
+			}
+			if done {
+				completed++
+			}
+			if finished {
+				jobDone = true
+			}
+		}
+	}
+	return completed, nil
+}
+
+// runTask executes one task, streaming progress notifications and honoring
+// cancellations that piggyback on their acknowledgements.
+func runTask(caller wire.Caller, eng Engine, id sched.SlaveID, spec wire.TaskSpec, canceled *cancelSet, opts Options) (completed, jobDone bool, err error) {
+	query := &seq.Sequence{ID: spec.QueryID, Residues: spec.Residues}
+	var callErr error
+	lastNotify := time.Now()
+	var lastCells int64
+	progress := func(cells int64) {
+		now := time.Now()
+		elapsed := now.Sub(lastNotify)
+		if elapsed < opts.NotifyEvery || callErr != nil {
+			return
+		}
+		delta := cells - lastCells
+		rate := float64(delta) / elapsed.Seconds()
+		resp, err := caller.Call(wire.Envelope{Progress: &wire.ProgressMsg{Slave: id, Rate: rate, Cells: delta}})
+		if err != nil {
+			callErr = err
+			return
+		}
+		if resp.ProgressAck != nil {
+			canceled.add(resp.ProgressAck.Cancel)
+		}
+		lastNotify, lastCells = now, cells
+	}
+
+	hits, err := eng.Search(query, progress, canceled.channelFor(spec.ID))
+	if callErr != nil {
+		return false, false, callErr
+	}
+	if err == ErrCanceled {
+		return false, false, nil
+	}
+	if err != nil {
+		return false, false, fmt.Errorf("slave: task %d: %w", spec.ID, err)
+	}
+	top := TopK(hits, opts.TopK)
+	if opts.AlignBest && len(top) > 0 && top[0].Score > 0 {
+		if al, ok := eng.(Aligner); ok {
+			if a, err := al.AlignHit(query, top[0].Index); err == nil {
+				top[0].QueryRow, top[0].TargetRow = a.QueryRow, a.TargetRow
+				top[0].QueryStart, top[0].QueryEnd = a.QueryStart, a.QueryEnd
+				top[0].TargetStart, top[0].TargetEnd = a.TargetStart, a.TargetEnd
+			}
+		}
+	}
+	resp, err := caller.Call(wire.Envelope{Complete: &wire.CompleteMsg{
+		Slave: id, Task: spec.ID, Hits: top,
+	}})
+	if err != nil {
+		return false, false, err
+	}
+	if resp.CompleteAck != nil {
+		canceled.add(resp.CompleteAck.Cancel)
+		jobDone = resp.CompleteAck.Done
+	}
+	return true, jobDone, nil
+}
+
+// cancelSet tracks canceled task IDs and exposes a close-once channel per
+// task so engines can abort mid-scan.
+type cancelSet struct {
+	mu    sync.Mutex
+	ids   map[sched.TaskID]bool
+	chans map[sched.TaskID]chan struct{}
+}
+
+func newCancelSet() *cancelSet {
+	return &cancelSet{ids: map[sched.TaskID]bool{}, chans: map[sched.TaskID]chan struct{}{}}
+}
+
+func (c *cancelSet) add(ids []sched.TaskID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range ids {
+		if c.ids[id] {
+			continue
+		}
+		c.ids[id] = true
+		if ch, ok := c.chans[id]; ok {
+			close(ch)
+		}
+	}
+}
+
+func (c *cancelSet) has(id sched.TaskID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ids[id]
+}
+
+func (c *cancelSet) channelFor(id sched.TaskID) <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch, ok := c.chans[id]
+	if !ok {
+		ch = make(chan struct{})
+		c.chans[id] = ch
+		if c.ids[id] {
+			close(ch)
+		}
+	}
+	return ch
+}

@@ -1,0 +1,321 @@
+// Package svgplot renders the experiment figures as standalone SVG charts
+// using only the standard library: grouped bar charts (Fig. 6's
+// with/without-adjustment pairs) and line charts (the per-core GCUPS
+// timelines of Figs. 7-8). The output is deterministic, styled with an
+// embedded palette, and viewable in any browser.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Layout constants shared by both chart kinds.
+const (
+	chartWidth   = 760
+	chartHeight  = 420
+	marginLeft   = 64
+	marginRight  = 16
+	marginTop    = 44
+	marginBottom = 64
+)
+
+var palette = []string{"#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951", "#ff8ab7", "#a463f2", "#97bbf5"}
+
+// Bar is one bar within a group.
+type Bar struct {
+	Label string // legend label; bars with equal labels share a color
+	Value float64
+}
+
+// BarGroup is one cluster of bars under a shared x-axis label.
+type BarGroup struct {
+	Label string
+	Bars  []Bar
+}
+
+// BarChart is a grouped bar chart.
+type BarChart struct {
+	Title  string
+	YLabel string
+	Groups []BarGroup
+}
+
+// Render produces a standalone SVG document.
+func (c *BarChart) Render() string {
+	var b strings.Builder
+	header(&b, c.Title)
+
+	maxV := 0.0
+	legend := []string{}
+	seen := map[string]int{}
+	for _, g := range c.Groups {
+		for _, bar := range g.Bars {
+			if bar.Value > maxV {
+				maxV = bar.Value
+			}
+			if _, ok := seen[bar.Label]; !ok {
+				seen[bar.Label] = len(legend)
+				legend = append(legend, bar.Label)
+			}
+		}
+	}
+	ticks := niceTicks(0, maxV, 6)
+	top := ticks[len(ticks)-1]
+	plotW := float64(chartWidth - marginLeft - marginRight)
+	plotH := float64(chartHeight - marginTop - marginBottom)
+	y := func(v float64) float64 { return marginTop + plotH*(1-v/top) }
+
+	drawYAxis(&b, ticks, y, c.YLabel)
+
+	groupW := plotW / float64(len(c.Groups))
+	for gi, g := range c.Groups {
+		x0 := float64(marginLeft) + groupW*float64(gi)
+		barW := groupW * 0.8 / float64(max(1, len(g.Bars)))
+		for bi, bar := range g.Bars {
+			x := x0 + groupW*0.1 + barW*float64(bi)
+			h := float64(marginTop) + plotH - y(bar.Value)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %.2f</title></rect>`+"\n",
+				x, y(bar.Value), barW*0.92, h, palette[seen[bar.Label]%len(palette)],
+				escape(g.Label), escape(bar.Label), bar.Value)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" class="lbl">%s</text>`+"\n",
+			x0+groupW/2, chartHeight-marginBottom+18, escape(g.Label))
+	}
+	drawLegend(&b, legend, seen)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Point is one sample of a line series.
+type Point struct {
+	X, Y float64
+}
+
+// LineSeries is one named curve.
+type LineSeries struct {
+	Name   string
+	Points []Point
+}
+
+// LineChart plots one or more series over a shared numeric x axis.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []LineSeries
+}
+
+// Render produces a standalone SVG document.
+func (c *LineChart) Render() string {
+	var b strings.Builder
+	header(&b, c.Title)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := 0.0
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX = 0, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	yTicks := niceTicks(0, maxY, 6)
+	top := yTicks[len(yTicks)-1]
+	xTicks := niceTicks(minX, maxX, 8)
+	plotW := float64(chartWidth - marginLeft - marginRight)
+	plotH := float64(chartHeight - marginTop - marginBottom)
+	xmap := func(v float64) float64 { return marginLeft + plotW*(v-minX)/(maxX-minX) }
+	ymap := func(v float64) float64 { return marginTop + plotH*(1-v/top) }
+
+	drawYAxis(&b, yTicks, ymap, c.YLabel)
+	for _, t := range xTicks {
+		if t < minX || t > maxX {
+			continue
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" class="lbl">%s</text>`+"\n",
+			xmap(t), chartHeight-marginBottom+18, fmtTick(t))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" class="axis">%s</text>`+"\n",
+		marginLeft+int(plotW/2), chartHeight-14, escape(c.XLabel))
+
+	legend := []string{}
+	seen := map[string]int{}
+	for _, s := range c.Series {
+		if _, ok := seen[s.Name]; !ok {
+			seen[s.Name] = len(legend)
+			legend = append(legend, s.Name)
+		}
+		var path strings.Builder
+		for i, p := range s.Points {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, xmap(p.X), ymap(p.Y))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"><title>%s</title></path>`+"\n",
+			strings.TrimSpace(path.String()), palette[seen[s.Name]%len(palette)], escape(s.Name))
+	}
+	drawLegend(&b, legend, seen)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func header(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`+"\n",
+		chartWidth, chartHeight, chartWidth, chartHeight)
+	b.WriteString(`<style>.lbl{font-size:11px;fill:#444}.axis{font-size:12px;fill:#222}.title{font-size:15px;font-weight:600;fill:#111}.grid{stroke:#ddd;stroke-width:1}</style>` + "\n")
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", chartWidth, chartHeight)
+	fmt.Fprintf(b, `<text x="%d" y="24" class="title">%s</text>`+"\n", marginLeft, escape(title))
+}
+
+func drawYAxis(b *strings.Builder, ticks []float64, ymap func(float64) float64, label string) {
+	for _, t := range ticks {
+		yy := ymap(t)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" class="grid"/>`+"\n",
+			marginLeft, yy, chartWidth-marginRight, yy)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" text-anchor="end" class="lbl">%s</text>`+"\n",
+			marginLeft-6, yy+4, fmtTick(t))
+	}
+	fmt.Fprintf(b, `<text x="14" y="%d" class="axis" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+		marginTop+(chartHeight-marginTop-marginBottom)/2, marginTop+(chartHeight-marginTop-marginBottom)/2, escape(label))
+}
+
+func drawLegend(b *strings.Builder, labels []string, colorOf map[string]int) {
+	x := marginLeft
+	for _, l := range labels {
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			x, 30, palette[colorOf[l]%len(palette)])
+		fmt.Fprintf(b, `<text x="%d" y="39" class="lbl">%s</text>`+"\n", x+14, escape(l))
+		x += 14 + 7*len(l) + 18
+	}
+}
+
+// niceTicks returns 2..n+1 round tick values covering [lo, hi], always
+// including a tick at or above hi.
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for span/step > float64(n) {
+		switch {
+		case span/(step*2) <= float64(n):
+			step *= 2
+		case span/(step*5) <= float64(n):
+			step *= 5
+		default:
+			step *= 10
+		}
+	}
+	start := math.Floor(lo/step) * step
+	var out []float64
+	for t := start; ; t += step {
+		out = append(out, t)
+		if t >= hi {
+			break
+		}
+	}
+	return out
+}
+
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2g", v)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// GanttBar is one task occupancy window on a row of a Gantt chart.
+type GanttBar struct {
+	Row     string
+	Start   float64
+	End     float64
+	Label   string
+	Replica bool // rendered with a dashed outline
+}
+
+// GanttChart renders task schedules (the Fig. 5 walkthrough) as SVG.
+type GanttChart struct {
+	Title  string
+	XLabel string
+	Bars   []GanttBar
+}
+
+// Render produces a standalone SVG document.
+func (c *GanttChart) Render() string {
+	var b strings.Builder
+	header(&b, c.Title)
+
+	var rows []string
+	rowIdx := map[string]int{}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, bar := range c.Bars {
+		if _, ok := rowIdx[bar.Row]; !ok {
+			rowIdx[bar.Row] = len(rows)
+			rows = append(rows, bar.Row)
+		}
+		minX = math.Min(minX, bar.Start)
+		maxX = math.Max(maxX, bar.End)
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX = 0, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	plotW := float64(chartWidth - marginLeft - marginRight)
+	plotH := float64(chartHeight - marginTop - marginBottom)
+	xmap := func(v float64) float64 { return marginLeft + plotW*(v-minX)/(maxX-minX) }
+	rowH := plotH / float64(max(1, len(rows)))
+
+	for _, t := range niceTicks(minX, maxX, 8) {
+		if t < minX || t > maxX {
+			continue
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" class="grid"/>`+"\n",
+			xmap(t), marginTop, xmap(t), chartHeight-marginBottom)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" class="lbl">%s</text>`+"\n",
+			xmap(t), chartHeight-marginBottom+18, fmtTick(t))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" class="axis">%s</text>`+"\n",
+		marginLeft+int(plotW/2), chartHeight-14, escape(c.XLabel))
+
+	for ri, row := range rows {
+		y := float64(marginTop) + rowH*float64(ri)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" class="axis">%s</text>`+"\n",
+			marginLeft-8, y+rowH/2+4, escape(row))
+	}
+	for _, bar := range c.Bars {
+		y := float64(marginTop) + rowH*float64(rowIdx[bar.Row]) + rowH*0.15
+		h := rowH * 0.7
+		w := xmap(bar.End) - xmap(bar.Start)
+		style := ""
+		if bar.Replica {
+			style = ` stroke="#b10c00" stroke-width="1.6" stroke-dasharray="4 2"`
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.85"%s><title>%s [%.1f, %.1f]</title></rect>`+"\n",
+			xmap(bar.Start), y, w, h, palette[rowIdx[bar.Row]%len(palette)], style,
+			escape(bar.Label), bar.Start, bar.End)
+		if w > 24 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" class="lbl" fill="white">%s</text>`+"\n",
+				xmap(bar.Start)+w/2, y+h/2+4, escape(bar.Label))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package svgplot
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBarChartRender(t *testing.T) {
+	c := &BarChart{
+		Title:  "Fig. 6: adjustment impact",
+		YLabel: "GCUPS",
+		Groups: []BarGroup{
+			{Label: "1 GPU", Bars: []Bar{{Label: "without", Value: 39.6}, {Label: "with", Value: 39.6}}},
+			{Label: "4 GPU + 4 SSE", Bars: []Bar{{Label: "without", Value: 67.2}, {Label: "with", Value: 155.6}}},
+		},
+	}
+	svg := c.Render()
+	for _, want := range []string{"<svg", "</svg>", "Fig. 6: adjustment impact", "GCUPS", "<rect", "4 GPU + 4 SSE", "without", "with"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q in bar chart", want)
+		}
+	}
+	// Four data bars -> at least 4 rects beyond background/legend.
+	if n := strings.Count(svg, "<rect"); n < 5 {
+		t.Errorf("only %d rects", n)
+	}
+}
+
+func TestLineChartRender(t *testing.T) {
+	c := &LineChart{
+		Title:  "Fig. 8: per-core GCUPS",
+		XLabel: "time (s)",
+		YLabel: "GCUPS",
+		Series: []LineSeries{
+			{Name: "SSE1", Points: []Point{{0, 2.7}, {60, 2.7}, {62, 1.2}, {120, 1.2}}},
+			{Name: "SSE2", Points: []Point{{0, 2.7}, {120, 2.7}}},
+		},
+	}
+	svg := c.Render()
+	for _, want := range []string{"<svg", "<path", "SSE1", "SSE2", "time (s)"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q in line chart", want)
+		}
+	}
+	if n := strings.Count(svg, "<path"); n != 2 {
+		t.Errorf("%d paths, want 2", n)
+	}
+	if !strings.Contains(svg, "M") {
+		t.Error("path has no moveto")
+	}
+}
+
+func TestLineChartEmptyAndDegenerate(t *testing.T) {
+	// No points and single-x series must not divide by zero or emit NaN.
+	for _, c := range []*LineChart{
+		{Title: "empty"},
+		{Title: "single", Series: []LineSeries{{Name: "s", Points: []Point{{5, 1}}}}},
+	} {
+		svg := c.Render()
+		if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+			t.Errorf("%s: degenerate values leaked:\n%s", c.Title, svg)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := &BarChart{
+		Title:  `<script>&"attack"`,
+		Groups: []BarGroup{{Label: "a<b", Bars: []Bar{{Label: "x&y", Value: 1}}}},
+	}
+	svg := c.Render()
+	if strings.Contains(svg, "<script>") {
+		t.Error("title not escaped")
+	}
+	for _, want := range []string{"&lt;script&gt;", "a&lt;b", "x&amp;y"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing escaped %q", want)
+		}
+	}
+}
+
+func TestNiceTicksProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 500; iter++ {
+		lo := rng.Float64() * 100
+		hi := lo + rng.Float64()*1e4
+		n := 2 + rng.Intn(10)
+		ticks := niceTicks(lo, hi, n)
+		if len(ticks) < 2 {
+			t.Fatalf("too few ticks for [%v,%v]", lo, hi)
+		}
+		if ticks[0] > lo || ticks[len(ticks)-1] < hi {
+			t.Fatalf("ticks %v do not cover [%v,%v]", ticks, lo, hi)
+		}
+		if len(ticks) > n+2 {
+			t.Fatalf("%d ticks for n=%d over [%v,%v]", len(ticks), n, lo, hi)
+		}
+		step := ticks[1] - ticks[0]
+		for i := 2; i < len(ticks); i++ {
+			if math.Abs((ticks[i]-ticks[i-1])-step) > 1e-9*step {
+				t.Fatalf("uneven steps in %v", ticks)
+			}
+		}
+	}
+}
+
+func TestNiceTicksDegenerate(t *testing.T) {
+	ticks := niceTicks(5, 5, 4)
+	if len(ticks) < 2 {
+		t.Errorf("degenerate range ticks = %v", ticks)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	if fmtTick(40) != "40" || fmtTick(2.5) != "2.5" {
+		t.Errorf("fmtTick: %q %q", fmtTick(40), fmtTick(2.5))
+	}
+}
+
+func TestGanttChartRender(t *testing.T) {
+	c := &GanttChart{
+		Title:  "Fig. 5a: schedule with the adjustment mechanism",
+		XLabel: "time (s)",
+		Bars: []GanttBar{
+			{Row: "GPU1", Start: 0, End: 1, Label: "t1"},
+			{Row: "GPU1", Start: 13, End: 14, Label: "t20", Replica: true},
+			{Row: "SSE1", Start: 0, End: 6, Label: "t2"},
+		},
+	}
+	svg := c.Render()
+	for _, want := range []string{"<svg", "GPU1", "SSE1", "t20", "stroke-dasharray", "time (s)"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("gantt missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN leaked")
+	}
+	// Degenerate: no bars.
+	if out := (&GanttChart{Title: "x"}).Render(); strings.Contains(out, "NaN") {
+		t.Error("empty gantt has NaN")
+	}
+}

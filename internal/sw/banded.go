@@ -1,0 +1,54 @@
+package sw
+
+import "repro/internal/score"
+
+// ScoreBanded computes the best Smith-Waterman local score restricted to
+// alignments whose DP path stays within the diagonal band |i - j| <= band.
+// With band >= max(len(q), len(t)) it equals the unrestricted Score. Banded
+// search is the standard way to trade sensitivity for speed when the two
+// sequences are known to be similar (e.g. re-scoring candidate hits).
+func ScoreBanded(q, t []byte, s score.Scheme, band int) int {
+	m, n := len(q), len(t)
+	if m == 0 || n == 0 || band < 0 {
+		return 0
+	}
+	open, ext := s.Gap.Open, s.Gap.Extend
+
+	// H holds the previous row within the band (absolute column index);
+	// V holds the vertical-gap state per column. Row 0 is all zeros.
+	H := make([]int, n+1)
+	V := make([]int, n+1)
+	prevH := make([]int, n+1)
+	for j := range V {
+		V[j] = negInf
+	}
+	best := 0
+	for i := 1; i <= m; i++ {
+		lo := max(1, i-band)
+		hi := min(n, i+band)
+		if lo > hi {
+			break // band has left the matrix
+		}
+		copy(prevH, H)
+		hGap := negInf
+		for j := lo; j <= hi; j++ {
+			up, v := prevH[j], V[j]
+			if j > i-1+band { // cell above lies outside the previous row's band
+				up, v = negInf, negInf
+			}
+			v = max(up-open-ext, v-ext)
+			left := negInf
+			if j > lo || lo == 1 {
+				left = H[j-1]
+			}
+			hGap = max(left-open-ext, hGap-ext)
+			diag := prevH[j-1]
+			h := max(diag+s.Matrix.Score(q[i-1], t[j-1]), v, hGap, 0)
+			H[j], V[j] = h, v
+			if h > best {
+				best = h
+			}
+		}
+	}
+	return best
+}

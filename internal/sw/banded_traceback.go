@@ -1,0 +1,111 @@
+package sw
+
+import "repro/internal/score"
+
+// AlignBanded computes a Smith-Waterman local alignment with both phases
+// restricted to the diagonal band |i - j| <= band, in O((m+n)·band) time
+// and memory. With a covering band it equals Align; with a narrow band it
+// is the standard fast path for re-aligning a known-similar pair (e.g. a
+// hit found by ScoreBanded or a search engine).
+func AlignBanded(q, t []byte, s score.Scheme, band int) *Alignment {
+	m, n := len(q), len(t)
+	if m == 0 || n == 0 || band < 0 {
+		return &Alignment{}
+	}
+	open, ext := s.Gap.Open, s.Gap.Extend
+	width := 2*band + 1
+
+	// Banded storage: cell (i, j) lives at row i, offset j-i+band when
+	// |i-j| <= band. Out-of-band reads yield negInf.
+	H := make([][]int, m+1)
+	E := make([][]int, m+1)
+	F := make([][]int, m+1)
+	for i := 0; i <= m; i++ {
+		H[i] = make([]int, width)
+		E[i] = make([]int, width)
+		F[i] = make([]int, width)
+	}
+	get := func(M [][]int, i, j int) int {
+		if i < 0 || j < 0 || i > m || j > n {
+			return negInf
+		}
+		off := j - i + band
+		if off < 0 || off >= width {
+			return negInf
+		}
+		// Row/column zero of H reads its zero default (the local-alignment
+		// boundary); E/F are initialized to sentinels below.
+		return M[i][off]
+	}
+	// Initialize E/F to sentinels everywhere (H's zero default is the
+	// correct local-alignment boundary).
+	for i := 0; i <= m; i++ {
+		for o := 0; o < width; o++ {
+			E[i][o], F[i][o] = negInf, negInf
+		}
+	}
+
+	best, bi, bj := 0, 0, 0
+	for i := 1; i <= m; i++ {
+		lo := max(1, i-band)
+		hi := min(n, i+band)
+		for j := lo; j <= hi; j++ {
+			off := j - i + band
+			e := max(get(H, i, j-1)-open-ext, get(E, i, j-1)-ext)
+			f := max(get(H, i-1, j)-open-ext, get(F, i-1, j)-ext)
+			h := max(get(H, i-1, j-1)+s.Matrix.Score(q[i-1], t[j-1]), e, f, 0)
+			E[i][off], F[i][off] = e, f
+			H[i][off] = h
+			if h > best {
+				best, bi, bj = h, i, j
+			}
+		}
+	}
+	a := &Alignment{Score: best}
+	if best == 0 {
+		return a
+	}
+	var qRow, tRow []byte
+	i, j := bi, bj
+	st := stateH
+	for i > 0 || j > 0 {
+		switch st {
+		case stateH:
+			h := get(H, i, j)
+			if h == 0 {
+				goto done
+			}
+			switch {
+			case h == get(E, i, j):
+				st = stateE
+			case h == get(F, i, j):
+				st = stateF
+			default:
+				qRow = append(qRow, q[i-1])
+				tRow = append(tRow, t[j-1])
+				i, j = i-1, j-1
+			}
+		case stateE:
+			qRow = append(qRow, '-')
+			tRow = append(tRow, t[j-1])
+			if get(E, i, j) == get(H, i, j-1)-open-ext {
+				st = stateH
+			}
+			j--
+		case stateF:
+			qRow = append(qRow, q[i-1])
+			tRow = append(tRow, '-')
+			if get(F, i, j) == get(H, i-1, j)-open-ext {
+				st = stateH
+			}
+			i--
+		}
+	}
+done:
+	reverse(qRow)
+	reverse(tRow)
+	a.QueryRow, a.TargetRow = qRow, tRow
+	a.QueryStart, a.QueryEnd = i, bi
+	a.TargetStart, a.TargetEnd = j, bj
+	return a
+}

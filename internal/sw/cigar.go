@@ -1,0 +1,77 @@
+package sw
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CIGAR returns the alignment's CIGAR string in SAM conventions with
+// extended operators: '=' for a match, 'X' for a mismatch, 'I' for an
+// insertion in the query (gap in the target row) and 'D' for a deletion
+// (gap in the query row). The empty alignment yields "".
+func (a *Alignment) CIGAR() string {
+	var b strings.Builder
+	var runOp byte
+	runLen := 0
+	flush := func() {
+		if runLen > 0 {
+			b.WriteString(strconv.Itoa(runLen))
+			b.WriteByte(runOp)
+		}
+	}
+	for i := range a.QueryRow {
+		var op byte
+		switch {
+		case a.QueryRow[i] == '-':
+			op = 'D'
+		case a.TargetRow[i] == '-':
+			op = 'I'
+		case a.QueryRow[i] == a.TargetRow[i]:
+			op = '='
+		default:
+			op = 'X'
+		}
+		if op == runOp {
+			runLen++
+			continue
+		}
+		flush()
+		runOp, runLen = op, 1
+	}
+	flush()
+	return b.String()
+}
+
+// ParseCIGAR expands a CIGAR string produced by CIGAR back into per-column
+// operators, validating syntax.
+func ParseCIGAR(s string) ([]byte, error) {
+	var out []byte
+	n := 0
+	sawDigit := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			n = n*10 + int(c-'0')
+			sawDigit = true
+			if n > 1<<30 {
+				return nil, fmt.Errorf("sw: CIGAR run too long at byte %d", i)
+			}
+		case c == '=' || c == 'X' || c == 'I' || c == 'D' || c == 'M':
+			if !sawDigit || n == 0 {
+				return nil, fmt.Errorf("sw: CIGAR operator %q without a length at byte %d", c, i)
+			}
+			for k := 0; k < n; k++ {
+				out = append(out, c)
+			}
+			n, sawDigit = 0, false
+		default:
+			return nil, fmt.Errorf("sw: invalid CIGAR byte %q at %d", c, i)
+		}
+	}
+	if sawDigit {
+		return nil, fmt.Errorf("sw: trailing CIGAR length without operator")
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package sw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCIGARBasic(t *testing.T) {
+	a := &Alignment{
+		QueryRow:  []byte("ACT-TGTC"),
+		TargetRow: []byte("AGTATG-C"),
+	}
+	// A= C:X(G) T= -:D T= G= T:I C=  -> 1=1X1=1D2=1I1=
+	if got := a.CIGAR(); got != "1=1X1=1D2=1I1=" {
+		t.Errorf("CIGAR = %q", got)
+	}
+	if (&Alignment{}).CIGAR() != "" {
+		t.Error("empty alignment CIGAR should be empty")
+	}
+}
+
+func TestCIGARRunsMerge(t *testing.T) {
+	a := &Alignment{
+		QueryRow:  []byte("AAAA--TT"),
+		TargetRow: []byte("AAAACCTT"),
+	}
+	if got := a.CIGAR(); got != "4=2D2=" {
+		t.Errorf("CIGAR = %q", got)
+	}
+}
+
+func TestCIGARRoundTripRandomAlignments(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	s := protScheme()
+	for iter := 0; iter < 40; iter++ {
+		q := randProtein(rng, 1+rng.Intn(60))
+		d := mutate(rng, q, 0.4)
+		a := Align(q, d, s)
+		if a.Score == 0 {
+			continue
+		}
+		cig := a.CIGAR()
+		ops, err := ParseCIGAR(cig)
+		if err != nil {
+			t.Fatalf("iter %d: %v (%q)", iter, err, cig)
+		}
+		if len(ops) != len(a.QueryRow) {
+			t.Fatalf("iter %d: %d ops for %d columns", iter, len(ops), len(a.QueryRow))
+		}
+		// Op counts must match the rows.
+		for i, op := range ops {
+			switch op {
+			case '=':
+				if a.QueryRow[i] != a.TargetRow[i] {
+					t.Fatalf("iter %d col %d: %c marked =", iter, i, a.QueryRow[i])
+				}
+			case 'X':
+				if a.QueryRow[i] == a.TargetRow[i] || a.QueryRow[i] == '-' || a.TargetRow[i] == '-' {
+					t.Fatalf("iter %d col %d: bad X", iter, i)
+				}
+			case 'D':
+				if a.QueryRow[i] != '-' {
+					t.Fatalf("iter %d col %d: bad D", iter, i)
+				}
+			case 'I':
+				if a.TargetRow[i] != '-' {
+					t.Fatalf("iter %d col %d: bad I", iter, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParseCIGARErrors(t *testing.T) {
+	for _, bad := range []string{"=", "3", "4Q", "0=", "12", "=3"} {
+		if _, err := ParseCIGAR(bad); err == nil {
+			t.Errorf("ParseCIGAR(%q) accepted", bad)
+		}
+	}
+	ops, err := ParseCIGAR("2M3=")
+	if err != nil || len(ops) != 5 {
+		t.Errorf("ParseCIGAR(2M3=) = %v, %v", ops, err)
+	}
+	empty, err := ParseCIGAR("")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty CIGAR: %v, %v", empty, err)
+	}
+}

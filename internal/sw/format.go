@@ -1,0 +1,65 @@
+package sw
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/score"
+)
+
+// Format renders the alignment in the familiar three-row style:
+//
+//	Query   1 ACT-TGTCCGA
+//	          |:| ||||  |
+//	Target  4 AGTATGTCTCA
+//
+// The midline marks identities with '|', positive-scoring substitutions
+// under scheme s with ':', and everything else with a space. width sets the
+// number of alignment columns per block; width <= 0 uses 60.
+func (a *Alignment) Format(s score.Scheme, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if len(a.QueryRow) == 0 {
+		return fmt.Sprintf("(empty alignment, score %d)\n", a.Score)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Score %d, identity %.1f%%, %d columns, %d gaps\n",
+		a.Score, 100*a.Identity(), len(a.QueryRow), a.Gaps())
+
+	qPos, tPos := a.QueryStart, a.TargetStart
+	for off := 0; off < len(a.QueryRow); off += width {
+		end := min(off+width, len(a.QueryRow))
+		qSeg, tSeg := a.QueryRow[off:end], a.TargetRow[off:end]
+
+		mid := make([]byte, len(qSeg))
+		for i := range qSeg {
+			switch {
+			case qSeg[i] == '-' || tSeg[i] == '-':
+				mid[i] = ' '
+			case qSeg[i] == tSeg[i]:
+				mid[i] = '|'
+			case s.Matrix != nil && s.Matrix.Score(qSeg[i], tSeg[i]) > 0:
+				mid[i] = ':'
+			default:
+				mid[i] = ' '
+			}
+		}
+		qStartCol := qPos + 1 // 1-based display
+		tStartCol := tPos + 1
+		for _, c := range qSeg {
+			if c != '-' {
+				qPos++
+			}
+		}
+		for _, c := range tSeg {
+			if c != '-' {
+				tPos++
+			}
+		}
+		fmt.Fprintf(&b, "Query  %6d %s %d\n", qStartCol, qSeg, qPos)
+		fmt.Fprintf(&b, "              %s\n", mid)
+		fmt.Fprintf(&b, "Target %6d %s %d\n\n", tStartCol, tSeg, tPos)
+	}
+	return b.String()
+}

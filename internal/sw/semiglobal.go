@@ -1,0 +1,122 @@
+package sw
+
+import "repro/internal/score"
+
+// AlignSemiGlobal computes an optimal semiglobal ("glocal") alignment: the
+// whole query must align, but leading and trailing stretches of the target
+// are free. This is the natural mode for locating a short sequence inside a
+// long one (e.g. a read inside a genome region) and rounds out the local
+// (Align) and global (AlignGlobal) family.
+//
+// Scores may be negative (a poor query has to align regardless). The
+// returned alignment always spans the full query: QueryStart = 0 and
+// QueryEnd = len(q).
+func AlignSemiGlobal(q, t []byte, s score.Scheme) *Alignment {
+	m, n := len(q), len(t)
+	if m == 0 {
+		return &Alignment{TargetEnd: 0}
+	}
+	open, ext := s.Gap.Open, s.Gap.Extend
+
+	H := make([][]int, m+1)
+	E := make([][]int, m+1)
+	F := make([][]int, m+1)
+	for i := 0; i <= m; i++ {
+		H[i] = make([]int, n+1)
+		E[i] = make([]int, n+1)
+		F[i] = make([]int, n+1)
+	}
+	// Row 0: leading target residues are free. Column 0: the query can
+	// only start with a (costly) gap in the target.
+	for j := 1; j <= n; j++ {
+		E[0][j], F[0][j] = negInf, negInf
+	}
+	for i := 1; i <= m; i++ {
+		F[i][0] = -open - i*ext
+		H[i][0] = F[i][0]
+		E[i][0] = negInf
+		for j := 1; j <= n; j++ {
+			E[i][j] = max(H[i][j-1]-open-ext, E[i][j-1]-ext)
+			F[i][j] = max(H[i-1][j]-open-ext, F[i-1][j]-ext)
+			H[i][j] = max(H[i-1][j-1]+s.Matrix.Score(q[i-1], t[j-1]), E[i][j], F[i][j])
+		}
+	}
+
+	// Best full-query alignment ends anywhere in the last row.
+	bj := 0
+	for j := 1; j <= n; j++ {
+		if H[m][j] > H[m][bj] {
+			bj = j
+		}
+	}
+	a := &Alignment{Score: H[m][bj], QueryEnd: m, TargetEnd: bj}
+
+	var qRow, tRow []byte
+	i, j := m, bj
+	st := stateH
+	for i > 0 {
+		switch st {
+		case stateH:
+			switch {
+			case j > 0 && H[i][j] == H[i-1][j-1]+s.Matrix.Score(q[i-1], t[j-1]):
+				qRow = append(qRow, q[i-1])
+				tRow = append(tRow, t[j-1])
+				i, j = i-1, j-1
+			case j > 0 && H[i][j] == E[i][j]:
+				st = stateE
+			default:
+				st = stateF
+			}
+		case stateE:
+			qRow = append(qRow, '-')
+			tRow = append(tRow, t[j-1])
+			if E[i][j] == H[i][j-1]-open-ext {
+				st = stateH
+			}
+			j--
+		case stateF:
+			qRow = append(qRow, q[i-1])
+			tRow = append(tRow, '-')
+			if i == 1 || F[i][j] == H[i-1][j]-open-ext {
+				st = stateH
+			}
+			i--
+		}
+	}
+	reverse(qRow)
+	reverse(tRow)
+	a.QueryRow, a.TargetRow = qRow, tRow
+	a.TargetStart = j
+	return a
+}
+
+// ScoreSemiGlobal returns only the optimal semiglobal score, in O(n) space.
+func ScoreSemiGlobal(q, t []byte, s score.Scheme) int {
+	m, n := len(q), len(t)
+	if m == 0 {
+		return 0
+	}
+	open, ext := s.Gap.Open, s.Gap.Extend
+	H := make([]int, n+1) // previous row's H; row 0 is all zeros
+	F := make([]int, n+1) // vertical-gap state per column
+	for j := range F {
+		F[j] = negInf
+	}
+	for i := 1; i <= m; i++ {
+		diag := H[0] // H[i-1][0]
+		H[0] = -open - i*ext
+		e := negInf // E[i][0]: no horizontal gap can precede column 0
+		for j := 1; j <= n; j++ {
+			F[j] = max(H[j]-open-ext, F[j]-ext)
+			e = max(H[j-1]-open-ext, e-ext)
+			h := max(diag+s.Matrix.Score(q[i-1], t[j-1]), e, F[j])
+			diag = H[j]
+			H[j] = h
+		}
+	}
+	best := H[0]
+	for j := 1; j <= n; j++ {
+		best = max(best, H[j])
+	}
+	return best
+}

@@ -1,0 +1,167 @@
+package sw
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSemiGlobalQueryInsideTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	s := protScheme()
+	q := randProtein(rng, 25)
+	target := append(append(randProtein(rng, 40), q...), randProtein(rng, 40)...)
+	// The query matches perfectly inside the target: score = self score,
+	// with the flanks free.
+	want := 0
+	for _, c := range q {
+		want += s.Matrix.Score(c, c)
+	}
+	a := AlignSemiGlobal(q, target, s)
+	if a.Score != want {
+		t.Fatalf("score = %d, want %d", a.Score, want)
+	}
+	if a.TargetStart != 40 || a.TargetEnd != 65 {
+		t.Errorf("target window = [%d,%d), want [40,65)", a.TargetStart, a.TargetEnd)
+	}
+	if a.QueryStart != 0 || a.QueryEnd != len(q) {
+		t.Errorf("query window = [%d,%d)", a.QueryStart, a.QueryEnd)
+	}
+	if got := ScoreSemiGlobal(q, target, s); got != want {
+		t.Errorf("ScoreSemiGlobal = %d, want %d", got, want)
+	}
+}
+
+func TestSemiGlobalAlignAgreesWithScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	s := protScheme()
+	for iter := 0; iter < 80; iter++ {
+		q := randProtein(rng, 1+rng.Intn(40))
+		d := randProtein(rng, 1+rng.Intn(120))
+		a := AlignSemiGlobal(q, d, s)
+		if got := ScoreSemiGlobal(q, d, s); got != a.Score {
+			t.Fatalf("iter %d: traceback %d != score-only %d", iter, a.Score, got)
+		}
+		// The rows must spell the full query and the claimed target window.
+		if strings.ReplaceAll(string(a.QueryRow), "-", "") != string(q) {
+			t.Fatalf("iter %d: query row does not spell the query", iter)
+		}
+		if strings.ReplaceAll(string(a.TargetRow), "-", "") != string(d[a.TargetStart:a.TargetEnd]) {
+			t.Fatalf("iter %d: target rows/coords inconsistent", iter)
+		}
+		re, err := a.Rescore(s)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if re != a.Score {
+			t.Fatalf("iter %d: rescore %d != %d", iter, re, a.Score)
+		}
+	}
+}
+
+func TestSemiGlobalOrderings(t *testing.T) {
+	// local >= semiglobal (free everything beats forced query), and
+	// semiglobal >= global (free target ends beat forced ends).
+	rng := rand.New(rand.NewSource(22))
+	s := protScheme()
+	for iter := 0; iter < 60; iter++ {
+		q := randProtein(rng, 1+rng.Intn(40))
+		d := randProtein(rng, 1+rng.Intn(80))
+		local := Score(q, d, s)
+		semi := ScoreSemiGlobal(q, d, s)
+		global := AlignGlobal(q, d, s).Score
+		if semi > local {
+			t.Fatalf("iter %d: semiglobal %d > local %d", iter, semi, local)
+		}
+		if global > semi {
+			t.Fatalf("iter %d: global %d > semiglobal %d", iter, global, semi)
+		}
+	}
+}
+
+func TestSemiGlobalEmptyInputs(t *testing.T) {
+	s := protScheme()
+	a := AlignSemiGlobal(nil, []byte("ACD"), s)
+	if a.Score != 0 || len(a.QueryRow) != 0 {
+		t.Errorf("empty query: %+v", a)
+	}
+	// Empty target: the whole query becomes one costly gap.
+	a = AlignSemiGlobal([]byte("ACD"), nil, s)
+	want := -(s.Gap.Open + 3*s.Gap.Extend)
+	if a.Score != want {
+		t.Errorf("empty target score = %d, want %d", a.Score, want)
+	}
+	if got := ScoreSemiGlobal([]byte("ACD"), nil, s); got != want {
+		t.Errorf("ScoreSemiGlobal empty target = %d, want %d", got, want)
+	}
+}
+
+func TestAlignBandedCoveringBandEqualsAlign(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	s := protScheme()
+	for iter := 0; iter < 60; iter++ {
+		q := randProtein(rng, 1+rng.Intn(50))
+		d := mutate(rng, q, 0.35)
+		full := Align(q, d, s)
+		band := max(len(q), len(d))
+		got := AlignBanded(q, d, s, band)
+		if got.Score != full.Score {
+			t.Fatalf("iter %d: banded %d != full %d", iter, got.Score, full.Score)
+		}
+		if got.Score == 0 {
+			continue
+		}
+		re, err := got.Rescore(s)
+		if err != nil || re != got.Score {
+			t.Fatalf("iter %d: rescore %d (%v) != %d", iter, re, err, got.Score)
+		}
+		if strings.ReplaceAll(string(got.QueryRow), "-", "") != string(q[got.QueryStart:got.QueryEnd]) {
+			t.Fatalf("iter %d: rows/coords inconsistent", iter)
+		}
+	}
+}
+
+func TestAlignBandedNarrowBandConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	s := protScheme()
+	for iter := 0; iter < 40; iter++ {
+		q := randProtein(rng, 1+rng.Intn(60))
+		d := mutate(rng, q, 0.2)
+		for _, band := range []int{0, 2, 8} {
+			a := AlignBanded(q, d, s, band)
+			// The traceback score must equal the score-only banded kernel.
+			if want := ScoreBanded(q, d, s, band); a.Score != want {
+				t.Fatalf("iter %d band %d: traceback %d != score-only %d", iter, band, a.Score, want)
+			}
+			if a.Score == 0 {
+				continue
+			}
+			if re, err := a.Rescore(s); err != nil || re != a.Score {
+				t.Fatalf("iter %d band %d: rescore mismatch (%v)", iter, band, err)
+			}
+			// Every aligned column must respect the band.
+			qi, ti := a.QueryStart, a.TargetStart
+			for c := range a.QueryRow {
+				if d := (qi + 1) - (ti + 1); d > band || -d > band {
+					t.Fatalf("iter %d band %d col %d: path leaves the band", iter, band, c)
+				}
+				if a.QueryRow[c] != '-' {
+					qi++
+				}
+				if a.TargetRow[c] != '-' {
+					ti++
+				}
+			}
+		}
+	}
+}
+
+func TestAlignBandedDegenerate(t *testing.T) {
+	s := protScheme()
+	if a := AlignBanded(nil, []byte("ACD"), s, 3); a.Score != 0 {
+		t.Error("empty query")
+	}
+	if a := AlignBanded([]byte("ACD"), []byte("ACD"), s, -1); a.Score != 0 {
+		t.Error("negative band")
+	}
+}

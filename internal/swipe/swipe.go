@@ -1,0 +1,246 @@
+// Package swipe implements inter-sequence SIMD Smith-Waterman in the style
+// of SWIPE (Rognes 2011, "Faster Smith-Waterman database searches with
+// inter-sequence SIMD parallelisation") — reference [17] of the paper and
+// the approach its multicore related work builds on.
+//
+// Where Farrar's striped kernel vectorizes *within* one alignment, SWIPE
+// assigns one database sequence per SIMD lane and advances 16 alignments in
+// lock step. The recurrences of different lanes are completely independent,
+// so no lazy-F correction pass exists at all; the price is a per-column
+// score gather (the "score profile" must be rebuilt whenever lane residues
+// change). When a lane's sequence ends, the next database sequence is
+// loaded into that lane immediately, keeping all 16 lanes busy until the
+// database is exhausted.
+//
+// The kernel runs on the emulated SSE2 ISA of internal/simd with the same
+// 8-bit biased unsigned arithmetic as the original; sequences whose score
+// saturates the 8-bit range are re-scored with the 16-bit Farrar kernel
+// (and ultimately the scalar reference), exactly like the CPU programs the
+// paper cites.
+package swipe
+
+import (
+	"fmt"
+
+	"repro/internal/farrar"
+	"repro/internal/score"
+	"repro/internal/seq"
+	"repro/internal/simd"
+	"repro/internal/sw"
+)
+
+const lanes = 16
+
+// Stats counts how sequences were resolved.
+type Stats struct {
+	Scored8    int64 // resolved by the 8-bit inter-sequence kernel
+	Rescored   int64 // overflowed and re-scored by the wider kernels
+	ColumnsRun int64 // total vector columns executed
+}
+
+// Searcher scores one query against many database sequences.
+type Searcher struct {
+	query  []byte
+	qIdx   []byte // dense alphabet indices of the query
+	scheme score.Scheme
+	bias   int
+	// matrix8[r][c] = score(r, c) + bias as a byte, indexed by dense
+	// residue indices with an extra "invalid" row/column at index size.
+	matrix8 [][]uint8
+	fb      *farrar.Kernel // lazily built fallback kernel
+	stats   Stats
+}
+
+// New validates the query and builds the biased byte matrix.
+func New(query []byte, s score.Scheme) (*Searcher, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(query) == 0 {
+		return nil, fmt.Errorf("swipe: empty query")
+	}
+	alpha := s.Matrix.Alphabet()
+	if err := alpha.Validate(query); err != nil {
+		return nil, fmt.Errorf("swipe: query: %w", err)
+	}
+	sr := &Searcher{query: query, scheme: s, bias: -s.Matrix.Min()}
+	if sr.bias < 0 {
+		sr.bias = 0
+	}
+	sr.qIdx = make([]byte, len(query))
+	for i, c := range query {
+		sr.qIdx[i] = byte(alpha.Index(c))
+	}
+	n := alpha.Size()
+	sr.matrix8 = make([][]uint8, n+1)
+	for r := 0; r <= n; r++ {
+		row := make([]uint8, n+1)
+		for c := 0; c <= n; c++ {
+			v := s.Matrix.Min()
+			if r < n && c < n {
+				v = s.Matrix.ScoreIndex(byte(r), byte(c))
+			}
+			row[c] = uint8(v + sr.bias)
+		}
+		sr.matrix8[r] = row
+	}
+	return sr, nil
+}
+
+// Stats returns cumulative counters.
+func (sr *Searcher) Stats() Stats { return sr.stats }
+
+// laneState tracks the sequence currently occupying one SIMD lane.
+type laneState struct {
+	seqIdx int    // database index, -1 when idle
+	res    []byte // dense residue indices (precomputed per sequence)
+	pos    int
+}
+
+// Search scores the query against every database sequence, returning scores
+// in database order.
+func (sr *Searcher) Search(db []*seq.Sequence) []int {
+	scores := make([]int, len(db))
+	if len(db) == 0 {
+		return scores
+	}
+	alpha := sr.scheme.Matrix.Alphabet()
+	invalid := byte(alpha.Size())
+	encode := func(s *seq.Sequence) []byte {
+		out := make([]byte, s.Len())
+		for i, c := range s.Residues {
+			if k := alpha.Index(c); k >= 0 {
+				out[i] = byte(k)
+			} else {
+				out[i] = invalid
+			}
+		}
+		return out
+	}
+
+	m := len(sr.query)
+	H := make([]simd.U8x16, m) // previous column's H per query row
+	E := make([]simd.U8x16, m) // per-row horizontal gap state
+	var laneMax simd.U8x16     // per-lane running maximum
+	var lanesLive int          // occupied lanes
+	next := 0                  // next database sequence to load
+	var overflow []int         // sequences needing a wider kernel
+	lanesArr := [lanes]laneState{}
+	for l := range lanesArr {
+		lanesArr[l].seqIdx = -1
+	}
+
+	vGapOE := simd.SplatU8(uint8(sr.scheme.Gap.Open + sr.scheme.Gap.Extend))
+	vGapE := simd.SplatU8(uint8(sr.scheme.Gap.Extend))
+	vBias := simd.SplatU8(uint8(sr.bias))
+	// A score above this bound may have been clipped by saturation.
+	satLimit := 255 - sr.bias
+	if mx := sr.scheme.Matrix.Max(); mx > 0 {
+		satLimit = 255 - sr.bias - mx
+	}
+
+	// retire extracts a finished lane's score and clears its state.
+	retire := func(l int) {
+		st := &lanesArr[l]
+		got := int(laneMax[l])
+		if got >= satLimit {
+			overflow = append(overflow, st.seqIdx)
+		} else {
+			scores[st.seqIdx] = got
+			sr.stats.Scored8++
+		}
+		st.seqIdx = -1
+		lanesLive--
+	}
+	// load pulls the next sequence into lane l and zeroes its DP state.
+	load := func(l int) {
+		st := &lanesArr[l]
+		st.seqIdx = next
+		st.res = encode(db[next])
+		st.pos = 0
+		next++
+		lanesLive++
+		laneMax[l] = 0
+		for i := 0; i < m; i++ {
+			H[i][l] = 0
+			E[i][l] = 0
+		}
+	}
+
+	for l := 0; l < lanes && next < len(db); l++ {
+		load(l)
+	}
+
+	var colRes [lanes]byte // dense residue index per lane for this column
+	for lanesLive > 0 {
+		// Advance each lane one residue; retire/refill exhausted lanes.
+		for l := range lanesArr {
+			st := &lanesArr[l]
+			for st.seqIdx >= 0 && st.pos >= len(st.res) {
+				retire(l)
+				if next < len(db) {
+					load(l)
+				}
+			}
+			if st.seqIdx < 0 {
+				colRes[l] = invalid
+				continue
+			}
+			colRes[l] = st.res[st.pos]
+			st.pos++
+		}
+		if lanesLive == 0 {
+			break
+		}
+		sr.stats.ColumnsRun++
+
+		// One DP column across all lanes: no inter-lane dependencies.
+		var diag, F simd.U8x16
+		for i := 0; i < m; i++ {
+			var prof simd.U8x16
+			row := sr.matrix8[sr.qIdx[i]]
+			for l := 0; l < lanes; l++ {
+				prof[l] = row[colRes[l]]
+			}
+			h := simd.SubSatU8(simd.AddSatU8(diag, prof), vBias)
+			h = simd.MaxU8(h, E[i])
+			h = simd.MaxU8(h, F)
+			laneMax = simd.MaxU8(laneMax, h)
+
+			hGap := simd.SubSatU8(h, vGapOE)
+			E[i] = simd.MaxU8(simd.SubSatU8(E[i], vGapE), hGap)
+			F = simd.MaxU8(simd.SubSatU8(F, vGapE), hGap)
+
+			diag = H[i]
+			H[i] = h
+		}
+	}
+	// Retire any lanes still holding finished sequences.
+	for l := range lanesArr {
+		if lanesArr[l].seqIdx >= 0 {
+			retire(l)
+		}
+	}
+
+	// Re-score saturated sequences with the wider kernels.
+	for _, idx := range overflow {
+		scores[idx] = sr.rescore(db[idx].Residues)
+		sr.stats.Rescored++
+	}
+	return scores
+}
+
+func (sr *Searcher) rescore(target []byte) int {
+	if sr.fb == nil {
+		k, err := farrar.NewKernel(sr.query, sr.scheme)
+		if err != nil {
+			// The query was validated in New; fall back to the reference.
+			return sw.Score(sr.query, target, sr.scheme)
+		}
+		sr.fb = k
+	}
+	if v, ok := sr.fb.ScoreI16(target); ok {
+		return v
+	}
+	return sw.Score(sr.query, target, sr.scheme)
+}

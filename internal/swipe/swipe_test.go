@@ -1,0 +1,219 @@
+package swipe
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/score"
+	"repro/internal/seq"
+	"repro/internal/sw"
+)
+
+func randProtein(rng *rand.Rand, n int) []byte {
+	const canon = "ACDEFGHIKLMNPQRSTVWY"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = canon[rng.Intn(len(canon))]
+	}
+	return out
+}
+
+func mkDB(rng *rand.Rand, n, maxLen int) []*seq.Sequence {
+	db := make([]*seq.Sequence, n)
+	for i := range db {
+		db[i] = seq.New("s", "", randProtein(rng, 1+rng.Intn(maxLen)))
+	}
+	return db
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, score.DefaultProtein()); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := New([]byte("AC1"), score.DefaultProtein()); err == nil {
+		t.Error("bad residue accepted")
+	}
+	if _, err := New([]byte("ACD"), score.Scheme{}); err == nil {
+		t.Error("bad scheme accepted")
+	}
+}
+
+func TestSearchMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 20; iter++ {
+		q := randProtein(rng, 1+rng.Intn(60))
+		db := mkDB(rng, 1+rng.Intn(50), 120)
+		sr, err := New(q, score.DefaultProtein())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sr.Search(db)
+		for i, d := range db {
+			want := sw.Score(q, d.Residues, score.DefaultProtein())
+			if got[i] != want {
+				t.Fatalf("iter %d seq %d (len %d): swipe=%d reference=%d", iter, i, d.Len(), got[i], want)
+			}
+		}
+	}
+}
+
+func TestSearchLaneRefill(t *testing.T) {
+	// More sequences than lanes with wildly mixed lengths exercises the
+	// retire-and-refill path.
+	rng := rand.New(rand.NewSource(2))
+	q := randProtein(rng, 40)
+	var db []*seq.Sequence
+	for i := 0; i < 100; i++ {
+		n := 1 + (i*37)%200 // deterministic mixed lengths
+		db = append(db, seq.New("s", "", randProtein(rng, n)))
+	}
+	sr, _ := New(q, score.DefaultProtein())
+	got := sr.Search(db)
+	for i, d := range db {
+		want := sw.Score(q, d.Residues, score.DefaultProtein())
+		if got[i] != want {
+			t.Fatalf("seq %d: swipe=%d reference=%d", i, got[i], want)
+		}
+	}
+	if st := sr.Stats(); st.Scored8 != 100 || st.Rescored != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSearchFewerSequencesThanLanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := randProtein(rng, 30)
+	db := mkDB(rng, 5, 60)
+	sr, _ := New(q, score.DefaultProtein())
+	got := sr.Search(db)
+	for i, d := range db {
+		if want := sw.Score(q, d.Residues, score.DefaultProtein()); got[i] != want {
+			t.Fatalf("seq %d: %d != %d", i, got[i], want)
+		}
+	}
+}
+
+func TestSearchEmptyDB(t *testing.T) {
+	sr, _ := New([]byte("ACD"), score.DefaultProtein())
+	if got := sr.Search(nil); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSearchOverflowRescore(t *testing.T) {
+	// A long self-similar target saturates the 8-bit lane and must be
+	// re-scored exactly.
+	rng := rand.New(rand.NewSource(4))
+	q := randProtein(rng, 400)
+	target := seq.New("big", "", append(append([]byte{}, q...), q...))
+	db := append(mkDB(rng, 10, 50), target)
+	sr, _ := New(q, score.DefaultProtein())
+	got := sr.Search(db)
+	want := sw.Score(q, target.Residues, score.DefaultProtein())
+	if want < 255 {
+		t.Fatal("setup: score too small to overflow")
+	}
+	if got[len(db)-1] != want {
+		t.Fatalf("overflowed score = %d, want %d", got[len(db)-1], want)
+	}
+	if sr.Stats().Rescored == 0 {
+		t.Error("expected a rescore")
+	}
+}
+
+func TestSearchInvalidResidues(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := randProtein(rng, 25)
+	bad := seq.New("bad", "", []byte("ACD1?JACD"))
+	db := append(mkDB(rng, 3, 40), bad)
+	sr, _ := New(q, score.DefaultProtein())
+	got := sr.Search(db)
+	want := sw.Score(q, bad.Residues, score.DefaultProtein())
+	if got[len(db)-1] != want {
+		t.Fatalf("invalid-residue score = %d, want %d", got[len(db)-1], want)
+	}
+}
+
+func TestSearchZeroLengthSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	q := randProtein(rng, 20)
+	db := []*seq.Sequence{
+		seq.New("empty", "", nil),
+		seq.New("ok", "", randProtein(rng, 30)),
+	}
+	sr, _ := New(q, score.DefaultProtein())
+	got := sr.Search(db)
+	if got[0] != 0 {
+		t.Errorf("empty sequence score = %d", got[0])
+	}
+	if want := sw.Score(q, db[1].Residues, score.DefaultProtein()); got[1] != want {
+		t.Errorf("score after empty = %d, want %d", got[1], want)
+	}
+}
+
+func TestSearchGapHeavyScheme(t *testing.T) {
+	s := score.Scheme{Matrix: score.BLOSUM62, Gap: score.AffineGap(1, 1)}
+	rng := rand.New(rand.NewSource(7))
+	q := randProtein(rng, 50)
+	db := mkDB(rng, 40, 100)
+	sr, err := New(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sr.Search(db)
+	for i, d := range db {
+		if want := sw.Score(q, d.Residues, s); got[i] != want {
+			t.Fatalf("seq %d: swipe=%d reference=%d", i, got[i], want)
+		}
+	}
+}
+
+func TestSearchAgainstDatasetQueries(t *testing.T) {
+	// Homologous queries (stitched from database fragments) stress the
+	// high-score paths more than random noise does.
+	p := dataset.Profile{Name: "t", NumSeqs: 30, MeanLen: 60, SigmaLn: 0.5, MinLen: 15, MaxLen: 150}
+	db := dataset.Generate(p, 8)
+	qs := dataset.Queries(db, 3, 30, 60, 9)
+	for _, q := range qs {
+		sr, _ := New(q.Residues, score.DefaultProtein())
+		got := sr.Search(db)
+		for i, d := range db {
+			if want := sw.Score(q.Residues, d.Residues, score.DefaultProtein()); got[i] != want {
+				t.Fatalf("query %s seq %d: %d != %d", q.ID, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestStatsColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	q := randProtein(rng, 10)
+	db := mkDB(rng, 4, 30)
+	sr, _ := New(q, score.DefaultProtein())
+	sr.Search(db)
+	if sr.Stats().ColumnsRun <= 0 {
+		t.Error("no columns recorded")
+	}
+	// Columns must be at least the longest sequence's length.
+	maxLen := 0
+	for _, d := range db {
+		if d.Len() > maxLen {
+			maxLen = d.Len()
+		}
+	}
+	if sr.Stats().ColumnsRun < int64(maxLen) {
+		t.Errorf("columns %d < max len %d", sr.Stats().ColumnsRun, maxLen)
+	}
+}
+
+func TestQueryUnchanged(t *testing.T) {
+	q := []byte("ACDEFGHIK")
+	orig := append([]byte{}, q...)
+	sr, _ := New(q, score.DefaultProtein())
+	sr.Search(mkDB(rand.New(rand.NewSource(11)), 20, 40))
+	if !bytes.Equal(q, orig) {
+		t.Error("Search mutated the query")
+	}
+}

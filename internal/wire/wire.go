@@ -1,0 +1,224 @@
+// Package wire defines the master/slave protocol of the task execution
+// environment (§IV, Fig. 4) and its transports.
+//
+// The protocol is strictly slave-initiated request/response, matching the
+// paper's design where slaves register, ask for work, notify progress and
+// deliver results:
+//
+//	Register  -> RegisterAck        announce name/kind/declared speed
+//	Request   -> Assign             ask for tasks (normal or replica)
+//	Progress  -> ProgressAck        periodic rate notification
+//	Complete  -> CompleteAck        deliver one task's hits
+//
+// Cancellations (a replica elsewhere finished first) piggyback on
+// ProgressAck and CompleteAck, so no server push is needed and the same
+// code runs over TCP (gob-encoded, one connection per slave) or in-process
+// (direct dispatch), mirroring the paper's two-host Gigabit Ethernet setup
+// and single-host runs respectively.
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// Hit is the score of one query against one database sequence. When the
+// slave ran the traceback phase for this hit (slave.Options.AlignBest), the
+// alignment rows travel along.
+type Hit struct {
+	SeqID string
+	Index int // position in the database
+	Score int
+
+	// Optional phase-2 payload: aligned rows with '-' gaps, plus the
+	// 0-based half-open coordinates of the aligned regions.
+	QueryRow, TargetRow    []byte
+	QueryStart, QueryEnd   int
+	TargetStart, TargetEnd int
+}
+
+// TaskSpec is a task as shipped to a slave: the query travels with the
+// assignment (queries are small; the database is resident on the slave).
+type TaskSpec struct {
+	ID       sched.TaskID
+	QueryID  string
+	Residues []byte
+	Cells    int64
+}
+
+// RegisterMsg announces a slave.
+type RegisterMsg struct {
+	Name          string
+	Kind          sched.SlaveKind
+	DeclaredSpeed float64
+}
+
+// RegisterAckMsg returns the slave's ID.
+type RegisterAckMsg struct {
+	Slave sched.SlaveID
+}
+
+// RequestMsg asks for work.
+type RequestMsg struct {
+	Slave sched.SlaveID
+}
+
+// AssignMsg grants work. With no tasks: Done means the job is over, and
+// Standby means ask again later.
+type AssignMsg struct {
+	Tasks   []TaskSpec
+	Replica bool
+	Standby bool
+	Done    bool
+}
+
+// ProgressMsg is a periodic notification: measured rate and cells processed
+// since the previous notification.
+type ProgressMsg struct {
+	Slave sched.SlaveID
+	Rate  float64
+	Cells int64
+}
+
+// ProgressAckMsg acknowledges progress; Cancel lists tasks the slave should
+// abandon because another copy finished first.
+type ProgressAckMsg struct {
+	Cancel []sched.TaskID
+	Done   bool // the whole job finished; stop working
+}
+
+// CompleteMsg delivers one finished task.
+type CompleteMsg struct {
+	Slave sched.SlaveID
+	Task  sched.TaskID
+	Hits  []Hit
+}
+
+// CompleteAckMsg reports whether the result was accepted (first completion)
+// and piggybacks cancellations.
+type CompleteAckMsg struct {
+	Accepted bool
+	Cancel   []sched.TaskID
+	Done     bool // the whole job finished; no need to ask again
+}
+
+// Envelope is the gob-friendly union of all protocol messages: exactly one
+// field is non-zero.
+type Envelope struct {
+	Register    *RegisterMsg
+	RegisterAck *RegisterAckMsg
+	Request     *RequestMsg
+	Assign      *AssignMsg
+	Progress    *ProgressMsg
+	ProgressAck *ProgressAckMsg
+	Complete    *CompleteMsg
+	CompleteAck *CompleteAckMsg
+	Error       string
+}
+
+// Caller is a strict request/response client: every Call sends one envelope
+// and receives one. Implementations must be safe for sequential use by one
+// slave; they need not support concurrent Calls.
+type Caller interface {
+	Call(req Envelope) (Envelope, error)
+	Close() error
+}
+
+// Handler is the master side: one envelope in, one envelope out.
+type Handler interface {
+	Dispatch(req Envelope) Envelope
+	// SlaveGone tells the master a slave's connection died so its tasks
+	// can be requeued.
+	SlaveGone(id sched.SlaveID)
+}
+
+// Local is an in-process Caller wired straight to a Handler.
+type Local struct {
+	H Handler
+}
+
+// Call implements Caller.
+func (l Local) Call(req Envelope) (Envelope, error) { return l.H.Dispatch(req), nil }
+
+// Close implements Caller.
+func (l Local) Close() error { return nil }
+
+// Client is a TCP Caller speaking gob.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a master at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Call implements Caller.
+func (c *Client) Call(req Envelope) (Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(&req); err != nil {
+		return Envelope{}, fmt.Errorf("wire: send: %w", err)
+	}
+	var resp Envelope
+	if err := c.dec.Decode(&resp); err != nil {
+		return Envelope{}, fmt.Errorf("wire: recv: %w", err)
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("wire: master: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Close implements Caller.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Serve accepts slave connections on l and pumps their envelopes through h
+// until the listener closes. Each connection is one slave; when it drops,
+// h.SlaveGone is called with the slave ID it registered (if any).
+func Serve(l net.Listener, h Handler) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, h)
+	}
+}
+
+func serveConn(conn net.Conn, h Handler) {
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	slave := sched.SlaveID(-1)
+	for {
+		var req Envelope
+		if err := dec.Decode(&req); err != nil {
+			if slave >= 0 {
+				h.SlaveGone(slave)
+			}
+			return
+		}
+		resp := h.Dispatch(req)
+		if req.Register != nil && resp.RegisterAck != nil {
+			slave = resp.RegisterAck.Slave
+		}
+		if err := enc.Encode(&resp); err != nil {
+			if slave >= 0 {
+				h.SlaveGone(slave)
+			}
+			return
+		}
+	}
+}

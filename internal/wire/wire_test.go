@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// echoHandler answers every message with a fixed assign and records drops.
+type echoHandler struct {
+	mu   sync.Mutex
+	gone []sched.SlaveID
+}
+
+func (h *echoHandler) Dispatch(req Envelope) Envelope {
+	switch {
+	case req.Register != nil:
+		return Envelope{RegisterAck: &RegisterAckMsg{Slave: 7}}
+	case req.Request != nil:
+		return Envelope{Assign: &AssignMsg{Tasks: []TaskSpec{{ID: 3, QueryID: "q", Residues: []byte("ACD"), Cells: 30}}}}
+	case req.Progress != nil:
+		return Envelope{ProgressAck: &ProgressAckMsg{Cancel: []sched.TaskID{9}}}
+	case req.Complete != nil:
+		return Envelope{CompleteAck: &CompleteAckMsg{Accepted: true}}
+	}
+	return Envelope{Error: "bad message"}
+}
+
+func (h *echoHandler) SlaveGone(id sched.SlaveID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.gone = append(h.gone, id)
+}
+
+func (h *echoHandler) goneList() []sched.SlaveID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]sched.SlaveID{}, h.gone...)
+}
+
+func TestLocalTransport(t *testing.T) {
+	c := Local{H: &echoHandler{}}
+	resp, err := c.Call(Envelope{Register: &RegisterMsg{Name: "x"}})
+	if err != nil || resp.RegisterAck == nil || resp.RegisterAck.Slave != 7 {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	h := &echoHandler{}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, h)
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Call(Envelope{Register: &RegisterMsg{Name: "n", Kind: sched.KindGPU, DeclaredSpeed: 5}})
+	if err != nil || resp.RegisterAck.Slave != 7 {
+		t.Fatalf("register: %+v, %v", resp, err)
+	}
+	resp, err = c.Call(Envelope{Request: &RequestMsg{Slave: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := resp.Assign.Tasks[0]
+	if ts.ID != 3 || ts.QueryID != "q" || string(ts.Residues) != "ACD" || ts.Cells != 30 {
+		t.Fatalf("task = %+v", ts)
+	}
+	resp, err = c.Call(Envelope{Progress: &ProgressMsg{Slave: 7, Rate: 1.5, Cells: 10}})
+	if err != nil || len(resp.ProgressAck.Cancel) != 1 || resp.ProgressAck.Cancel[0] != 9 {
+		t.Fatalf("progress: %+v, %v", resp, err)
+	}
+	// Error responses surface as Go errors.
+	if _, err := c.Call(Envelope{}); err == nil {
+		t.Error("error envelope not surfaced")
+	}
+	c.Close()
+}
+
+func TestServeReportsSlaveGone(t *testing.T) {
+	h := &echoHandler{}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan struct{})
+	go func() { Serve(l, h); close(done) }()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(Envelope{Register: &RegisterMsg{Name: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// The serve goroutine should notice the drop shortly.
+	var gone []sched.SlaveID
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if gone = h.goneList(); len(gone) > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(gone) == 0 || gone[0] != 7 {
+		t.Errorf("gone = %v", gone)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
