@@ -1,8 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench tables svg csv examples clean
+.PHONY: all build vet test race race-full bench tables svg csv examples clean
 
-all: build vet test
+# The concurrency-heavy packages (distributed path + scheduler) always run
+# under the race detector as part of `make test`; `race-full` covers the
+# whole module.
+RACE_PKGS := ./internal/sched/... ./internal/master/... ./internal/slave/... ./internal/wire/... ./internal/httpapi/...
+
+all: build test
 
 build:
 	go build ./...
@@ -10,10 +15,14 @@ build:
 vet:
 	go vet ./...
 
-test:
+test: vet
 	go test ./...
+	go test -race $(RACE_PKGS)
 
 race:
+	go test -race $(RACE_PKGS)
+
+race-full:
 	go test -race ./...
 
 bench:

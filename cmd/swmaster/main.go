@@ -33,6 +33,7 @@ func main() {
 		policy   = flag.String("policy", "PSS", "allocation policy")
 		adjust   = flag.Bool("adjust", true, "enable the workload adjustment mechanism")
 		omega    = flag.Int("omega", 0, "PSS history window")
+		lease    = flag.Duration("lease", 15*time.Second, "slave liveness lease: a slave silent this long is declared dead and its tasks requeue (0 disables)")
 		timeout  = flag.Duration("timeout", time.Hour, "job timeout")
 		topShow  = flag.Int("show", 3, "hits to print per query")
 		ckpt     = flag.String("checkpoint", "", "checkpoint file: resumed if present, saved every 30s and on completion")
@@ -70,6 +71,7 @@ func main() {
 		Policy:     pol,
 		Adjust:     *adjust,
 		Omega:      *omega,
+		Lease:      *lease,
 	}
 	var m *master.Master
 	if *ckpt != "" {
@@ -115,8 +117,19 @@ func main() {
 		fail("%v", err)
 	}
 	defer l.Close()
-	fmt.Printf("master: %d tasks (%d queries x database of %d residues), policy %s, adjust=%v\n",
-		len(queries), len(queries), *residues, pol.Name(), *adjust)
+	go func() {
+		// Surface serve-loop failures; after the job finishes the listener
+		// close produces an expected error we stay quiet about.
+		if err := <-m.ServeErrors(); err != nil {
+			select {
+			case <-m.Done():
+			default:
+				fmt.Fprintf(os.Stderr, "swmaster: serve: %v\n", err)
+			}
+		}
+	}()
+	fmt.Printf("master: %d tasks (%d queries x database of %d residues), policy %s, adjust=%v, lease=%v\n",
+		len(queries), len(queries), *residues, pol.Name(), *adjust, *lease)
 	fmt.Printf("master: listening on %s, waiting for slaves...\n", l.Addr())
 
 	if err := m.Wait(*timeout); err != nil {

@@ -26,14 +26,16 @@ import (
 
 func main() {
 	var (
-		dbPath  = flag.String("db", "", "database FASTA file (resident on this node)")
-		addr    = flag.String("master", "127.0.0.1:7777", "master address")
-		engine  = flag.String("engine", "sse", `engine: "sse" (adapted Farrar), "swipe", "multicore" or "gpu"`)
-		cores   = flag.Int("cores", 0, "workers for the multicore engine (0 = all)")
-		name    = flag.String("name", "", "slave name (default: engine type + pid)")
-		topK    = flag.Int("top", 0, "hits per task shipped to the master (0 = all)")
-		notify  = flag.Duration("notify", 500*time.Millisecond, "progress notification interval")
-		declare = flag.Float64("declare", 0, "declared speed in cells/s (for the WFixed baseline)")
+		dbPath    = flag.String("db", "", "database FASTA file (resident on this node)")
+		addr      = flag.String("master", "127.0.0.1:7777", "master address")
+		engine    = flag.String("engine", "sse", `engine: "sse" (adapted Farrar), "swipe", "multicore" or "gpu"`)
+		cores     = flag.Int("cores", 0, "workers for the multicore engine (0 = all)")
+		name      = flag.String("name", "", "slave name (default: engine type + pid)")
+		topK      = flag.Int("top", 0, "hits per task shipped to the master (0 = all)")
+		notify    = flag.Duration("notify", 500*time.Millisecond, "progress notification interval")
+		declare   = flag.Float64("declare", 0, "declared speed in cells/s (for the WFixed baseline)")
+		retry     = flag.Int("retry", slave.DefaultMaxRetries, "consecutive reconnect attempts after a lost master before giving up (0 disables reconnection)")
+		ioTimeout = flag.Duration("io-timeout", 30*time.Second, "per-call network deadline; a hung master trips it and triggers reconnection (0 disables)")
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -67,12 +69,27 @@ func main() {
 	fmt.Printf("slave %s: database %s loaded (%d sequences, %d residues)\n",
 		*name, *dbPath, len(db), eng.DatabaseResidues())
 
-	client, err := wire.Dial(*addr)
+	dial := func() (wire.Caller, error) {
+		c, err := wire.Dial(*addr)
+		if err != nil {
+			return nil, err
+		}
+		c.Timeout = *ioTimeout
+		return c, nil
+	}
+	client, err := dial()
 	if err != nil {
 		fail("connecting to master: %v", err)
 	}
 	defer client.Close()
-	n, err := slave.Run(client, eng, slave.Options{NotifyEvery: *notify, TopK: *topK})
+	opts := slave.Options{NotifyEvery: *notify, TopK: *topK, MaxRetries: *retry}
+	if *retry > 0 {
+		// Retry with exponential backoff + jitter; each attempt re-dials
+		// and re-registers, so the slave survives a master restart from
+		// checkpoint and its own lease expiry after a stall.
+		opts.Reconnect = dial
+	}
+	n, err := slave.Run(client, eng, opts)
 	if err != nil {
 		fail("%v", err)
 	}

@@ -30,6 +30,12 @@ type Config struct {
 	Policy     sched.Policy // nil means PSS
 	Adjust     bool
 	Omega      int
+	// Lease enables lease-based failure detection: a slave that stays
+	// silent for longer than this is declared dead and its tasks requeue,
+	// which rescues jobs from hung slaves (process alive, connection open,
+	// no progress) that SlaveGone never notices. Must comfortably exceed
+	// the slaves' notification and standby-poll intervals. 0 disables.
+	Lease time.Duration
 }
 
 // QueryResult is the merged outcome for one query.
@@ -49,6 +55,15 @@ type Master struct {
 	start   time.Time
 	done    chan struct{}
 	closed  bool
+	lease   time.Duration
+	// stop ends the lease-expiry ticker when the master is shut down
+	// before the job completes (Close); loopDone closes when the ticker
+	// goroutine has actually exited, so Close can join it.
+	stop     chan struct{}
+	stopOnce sync.Once
+	loopDone chan struct{}
+	// serveErr receives each Listen serve loop's terminal error.
+	serveErr chan error
 	// pendingCancel queues cancellations per slave: the protocol is
 	// slave-initiated, so a slave learns that its copy of a task became
 	// moot on its next Progress or Complete acknowledgement.
@@ -73,7 +88,7 @@ func New(cfg Config) (*Master, error) {
 			Cells:   int64(q.Len()) * cfg.DBResidues,
 		}
 	}
-	return &Master{
+	m := &Master{
 		coord: sched.NewCoordinator(tasks, sched.Config{
 			Policy: cfg.Policy,
 			Adjust: cfg.Adjust,
@@ -82,11 +97,54 @@ func New(cfg Config) (*Master, error) {
 		queries:       cfg.Queries,
 		start:         time.Now(),
 		done:          make(chan struct{}),
+		stop:          make(chan struct{}),
+		loopDone:      make(chan struct{}),
+		serveErr:      make(chan error, 1),
+		lease:         cfg.Lease,
 		pendingCancel: map[sched.SlaveID][]sched.TaskID{},
-	}, nil
+	}
+	if m.lease > 0 {
+		go m.expireLoop()
+	}
+	return m, nil
 }
 
 func (m *Master) now() time.Duration { return time.Since(m.start) }
+
+// expireLoop drives the coordinator's lease-based failure detector on the
+// wall clock, checking several times per lease so detection latency stays
+// a small multiple of the lease itself.
+func (m *Master) expireLoop() {
+	defer close(m.loopDone)
+	interval := m.lease / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.mu.Lock()
+			m.coord.Expire(m.now(), m.lease)
+			m.mu.Unlock()
+		}
+	}
+}
+
+// Close stops the lease-expiry ticker and waits for it to exit, so callers
+// can read coordinator state afterwards without racing the detector. It
+// does not close listeners returned by Listen.
+func (m *Master) Close() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	if m.lease > 0 {
+		<-m.loopDone
+	}
+}
 
 // Dispatch implements wire.Handler: the single protocol entry point.
 // Malformed messages (unknown slave or task IDs) get an error envelope
@@ -101,6 +159,15 @@ func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
 	badTask := func(id sched.TaskID) bool {
 		return id < 0 || int(id) >= m.coord.Pool().Len()
 	}
+	// deadSlave answers a lease-expired or disconnected slave with an
+	// explicit error so a hung-then-recovered slave learns its ID is gone
+	// and re-registers for a fresh one instead of polling forever.
+	deadSlave := func(id sched.SlaveID) *wire.Envelope {
+		if !m.coord.Dead(id) {
+			return nil
+		}
+		return &wire.Envelope{Error: fmt.Sprintf("slave %d expired; re-register", id)}
+	}
 	switch {
 	case req.Register != nil:
 		id := m.coord.Register(sched.SlaveInfo{
@@ -113,6 +180,9 @@ func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
 	case req.Request != nil:
 		if badSlave(req.Request.Slave) {
 			return wire.Envelope{Error: fmt.Sprintf("unknown slave %d", req.Request.Slave)}
+		}
+		if e := deadSlave(req.Request.Slave); e != nil {
+			return *e
 		}
 		if m.coord.Done() {
 			return wire.Envelope{Assign: &wire.AssignMsg{Done: true}}
@@ -136,6 +206,9 @@ func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
 		if badSlave(req.Progress.Slave) {
 			return wire.Envelope{Error: fmt.Sprintf("unknown slave %d", req.Progress.Slave)}
 		}
+		if e := deadSlave(req.Progress.Slave); e != nil {
+			return *e
+		}
 		m.coord.ProgressRate(req.Progress.Slave, req.Progress.Rate, req.Progress.Cells, now)
 		return wire.Envelope{ProgressAck: &wire.ProgressAckMsg{
 			Cancel: m.takeCancels(req.Progress.Slave),
@@ -149,7 +222,11 @@ func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
 		if badTask(req.Complete.Task) {
 			return wire.Envelope{Error: fmt.Sprintf("unknown task %d", req.Complete.Task)}
 		}
-		accepted, canceledSlaves := m.coord.Complete(req.Complete.Slave, req.Complete.Task, req.Complete.Hits, now)
+		if e := deadSlave(req.Complete.Slave); e != nil {
+			return *e
+		}
+		accepted, canceledSlaves := m.coord.CompleteWork(req.Complete.Slave, req.Complete.Task,
+			req.Complete.Hits, req.Complete.Cells, req.Complete.Rate, now)
 		for _, o := range canceledSlaves {
 			m.pendingCancel[o] = append(m.pendingCancel[o], req.Complete.Task)
 		}
@@ -242,16 +319,30 @@ func (m *Master) Elapsed() time.Duration { return m.now() }
 // Coordinator exposes the scheduling state for reports.
 func (m *Master) Coordinator() *sched.Coordinator { return m.coord }
 
-// ListenAndServe serves slaves over TCP until the listener fails. It
-// returns the bound listener so callers can learn the address and close it.
+// Listen binds addr and serves slave connections in the background. It
+// returns the bound listener so callers can learn the address and close
+// it. The serve loop's terminal error — an unexpected accept failure, or
+// the routine "use of closed network connection" after the caller closes
+// the listener — is delivered on ServeErrors instead of being discarded.
 func (m *Master) Listen(addr string) (net.Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	go wire.Serve(l, m)
+	go func() {
+		err := wire.Serve(l, m)
+		select {
+		case m.serveErr <- err:
+		default: // nobody drained the previous error; keep the oldest
+		}
+	}()
 	return l, nil
 }
+
+// ServeErrors exposes the terminal error of each Listen serve loop (one
+// send per Listen call). The channel is buffered; if several serve loops
+// end before anyone reads, only the first error is retained.
+func (m *Master) ServeErrors() <-chan error { return m.serveErr }
 
 // SaveCheckpoint writes the job's durable state (task set + collected
 // results) as a gob stream. Restarting with LoadCheckpoint skips every
@@ -286,6 +377,9 @@ func LoadCheckpoint(r io.Reader, cfg Config) (*Master, error) {
 				i, t.QueryID, i, cfg.Queries[i].ID)
 		}
 	}
+	// New may already have started the lease-expiry loop, which reads
+	// m.coord under the mutex — swap the restored coordinator in under it.
+	m.mu.Lock()
 	m.coord = sched.Restore(&snap, sched.Config{
 		Policy: cfg.Policy,
 		Adjust: cfg.Adjust,
@@ -295,6 +389,7 @@ func LoadCheckpoint(r io.Reader, cfg Config) (*Master, error) {
 		m.closed = true
 		close(m.done)
 	}
+	m.mu.Unlock()
 	return m, nil
 }
 

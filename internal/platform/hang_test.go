@@ -1,0 +1,64 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// TestHungPELeaseRescues mirrors the wall-clock master's hung-slave test in
+// virtual time: a PE wedges mid-task without telling anyone, the adjustment
+// mechanism is off, and only the lease-driven Expire can requeue its task.
+func TestHungPELeaseRescues(t *testing.T) {
+	hung := &PE{Name: "hung", CellsPerSec: 10, HangAt: 5 * time.Second}
+	survivor := &PE{Name: "survivor", CellsPerSec: 10}
+	res, err := Run(Experiment{
+		Tasks:       churnTasks(8, 100), // 10 s per task per PE
+		PEs:         []*PE{hung, survivor},
+		Policy:      sched.SS{},
+		Adjust:      false,
+		NotifyEvery: time.Second,
+		Lease:       3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The survivor carries everything; the hung PE's task comes back after
+	// ~lease and the whole job lands around 80 s, not at all.
+	if res.Makespan < 70*time.Second || res.Makespan > 100*time.Second {
+		t.Errorf("makespan = %v, want ~80s on the survivor", res.Makespan)
+	}
+	if res.PerPE[1].TasksWon != 8 {
+		t.Errorf("survivor won %d tasks, want all 8", res.PerPE[1].TasksWon)
+	}
+	if res.PerPE[0].TasksWon != 0 {
+		t.Errorf("hung PE won %d tasks, want 0", res.PerPE[0].TasksWon)
+	}
+}
+
+// TestHungPEWithoutLeaseStalls is the control: same wedge, no lease, no
+// adjustment — the job cannot finish and Run must say so instead of
+// spinning forever.
+func TestHungPEWithoutLeaseStalls(t *testing.T) {
+	hung := &PE{Name: "hung", CellsPerSec: 10, HangAt: 5 * time.Second}
+	survivor := &PE{Name: "survivor", CellsPerSec: 10}
+	_, err := Run(Experiment{
+		Tasks:       churnTasks(8, 100),
+		PEs:         []*PE{hung, survivor},
+		Policy:      sched.SS{},
+		Adjust:      false,
+		NotifyEvery: time.Second,
+		MaxEvents:   100_000, // the idle survivor polls forever; cut it short
+	})
+	if err == nil {
+		t.Fatal("job with a wedged PE and no lease finished; it must stall")
+	}
+}
+
+func TestHangBeforeJoinRejected(t *testing.T) {
+	bad := &PE{Name: "x", CellsPerSec: 1, JoinAt: 10 * time.Second, HangAt: 5 * time.Second}
+	if err := bad.Validate(); err == nil {
+		t.Error("HangAt before JoinAt accepted")
+	}
+}

@@ -54,6 +54,12 @@ type PE struct {
 	// abandoned and requeue on the master (nodes leaving mid-run). Zero
 	// means the PE never leaves.
 	LeaveAt time.Duration
+	// HangAt wedges the PE at this virtual time *without* telling the
+	// master: it stops computing, notifying and asking for work, but no
+	// SlaveDied fires — the worst case of a hung-but-connected node. Only
+	// lease-based failure detection (Experiment.Lease) or the workload
+	// adjustment mechanism can recover its tasks. Zero means never.
+	HangAt time.Duration
 }
 
 // CapacityAt returns the capacity multiplier in effect at time t.
@@ -106,6 +112,9 @@ func (p *PE) Validate() error {
 	}
 	if p.LeaveAt != 0 && p.LeaveAt <= p.JoinAt {
 		return fmt.Errorf("platform: PE %s: LeaveAt %v not after JoinAt %v", p.Name, p.LeaveAt, p.JoinAt)
+	}
+	if p.HangAt != 0 && p.HangAt <= p.JoinAt {
+		return fmt.Errorf("platform: PE %s: HangAt %v not after JoinAt %v", p.Name, p.HangAt, p.JoinAt)
 	}
 	return nil
 }

@@ -30,6 +30,12 @@ type Experiment struct {
 	// PollEvery is how often an idle slave re-asks for work after being
 	// told to stand by. Defaults to NotifyEvery.
 	PollEvery time.Duration
+	// Lease enables the master's lease-based failure detection in virtual
+	// time: a PE silent for longer than this is declared dead and its
+	// tasks requeue — the only rescue for a hung PE (PE.HangAt) when the
+	// workload adjustment mechanism is off. Must comfortably exceed
+	// NotifyEvery and PollEvery. 0 disables.
+	Lease time.Duration
 
 	Seed      int64
 	MaxEvents uint64 // event-loop guard; 0 means 20 million
@@ -140,6 +146,27 @@ func Run(exp Experiment) (*Result, error) {
 		if pe.LeaveAt > 0 {
 			r.sim.Schedule(pe.LeaveAt, func() { s.leave() })
 		}
+		if pe.HangAt > 0 {
+			r.sim.Schedule(pe.HangAt, func() { s.hang() })
+		}
+	}
+	if exp.Lease > 0 {
+		// The same Coordinator.Expire the wall-clock master drives from a
+		// ticker, here driven by a recurring simulated event — both clocks
+		// exercise identical failure-detection code.
+		interval := exp.Lease / 4
+		if interval <= 0 {
+			interval = exp.Lease
+		}
+		var expire func()
+		expire = func() {
+			if r.done {
+				return
+			}
+			r.coord.Expire(r.sim.Now(), exp.Lease)
+			r.sim.After(interval, expire)
+		}
+		r.sim.After(interval, expire)
 	}
 	if _, err := r.sim.Run(exp.MaxEvents); err != nil {
 		return nil, err
@@ -243,6 +270,18 @@ func (s *simSlave) leave() {
 	s.queue = nil
 	s.cur = nil
 	s.run.coord.SlaveDied(s.id)
+}
+
+// hang wedges the PE: it stops computing and notifying but — unlike leave
+// — the master is never told. Its tasks stay in the executing state until
+// lease expiry or a replica rescues them.
+func (s *simSlave) hang() {
+	if s.stopped {
+		return
+	}
+	s.stop()
+	s.queue = nil
+	s.cur = nil
 }
 
 // requestWork sends a work request to the master and handles the response,

@@ -87,6 +87,10 @@ type slaveState struct {
 	order  []TaskID
 	credit int64
 	dead   bool
+	// lastContact is the time of the slave's most recent protocol
+	// interaction; the lease-based failure detector (Expire) declares a
+	// slave dead when it stays silent for longer than the lease.
+	lastContact time.Duration
 }
 
 // assign records a new live task at the back of the slave's queue.
@@ -153,12 +157,17 @@ func (c *Coordinator) Pool() *Pool { return c.pool }
 // Policy returns the active allocation policy.
 func (c *Coordinator) Policy() Policy { return c.cfg.Policy }
 
-// Register adds a slave and returns its ID.
+// Register adds a slave and returns its ID. The speed history is anchored
+// at the registration instant so the first progress delta is divided by
+// time the slave actually spent working.
 func (c *Coordinator) Register(info SlaveInfo, now time.Duration) SlaveID {
+	hist := NewHistory(c.cfg.Omega)
+	hist.Anchor(now)
 	c.slaves = append(c.slaves, &slaveState{
-		info:      info,
-		hist:      NewHistory(c.cfg.Omega),
-		executing: map[TaskID]bool{},
+		info:        info,
+		hist:        hist,
+		executing:   map[TaskID]bool{},
+		lastContact: now,
 	})
 	return SlaveID(len(c.slaves) - 1)
 }
@@ -182,20 +191,32 @@ func (c *Coordinator) SpeedOf(id SlaveID) float64 {
 
 // Progress ingests a periodic notification: cells processed by the slave
 // since its previous notification. The cells also feed the slave's backlog
-// estimate used by the workload adjustment mechanism.
+// estimate used by the workload adjustment mechanism. Notifications from
+// dead (expired) slaves are discarded.
 func (c *Coordinator) Progress(id SlaveID, cells int64, now time.Duration) {
-	c.slaves[id].hist.Observe(cells, now)
+	s := c.slaves[id]
+	if s.dead {
+		return
+	}
+	s.lastContact = now
+	s.hist.Observe(cells, now)
 	if cells > 0 {
-		c.slaves[id].credit += cells
+		s.credit += cells
 	}
 }
 
 // ProgressRate ingests a directly measured speed sample (cells/second) plus
-// the cells completed since the previous notification.
+// the cells completed since the previous notification. Notifications from
+// dead (expired) slaves are discarded.
 func (c *Coordinator) ProgressRate(id SlaveID, cellsPerSecond float64, cells int64, now time.Duration) {
-	c.slaves[id].hist.ObserveRate(cellsPerSecond, now)
+	s := c.slaves[id]
+	if s.dead {
+		return
+	}
+	s.lastContact = now
+	s.hist.ObserveRate(cellsPerSecond, now)
 	if cells > 0 {
-		c.slaves[id].credit += cells
+		s.credit += cells
 	}
 }
 
@@ -209,6 +230,7 @@ func (c *Coordinator) RequestWork(id SlaveID, now time.Duration) (tasks []Task, 
 	if c.slaves[id].dead {
 		return nil, false
 	}
+	c.slaves[id].lastContact = now
 	req := Request{
 		Slave:          id,
 		Ready:          c.pool.Ready(),
@@ -363,6 +385,9 @@ func (c *Coordinator) backlogThrough(sid SlaveID, tid TaskID) int64 {
 // can abandon the work and request something useful.
 func (c *Coordinator) Complete(id SlaveID, tid TaskID, payload any, now time.Duration) (accepted bool, cancel []SlaveID) {
 	task := c.pool.Task(tid)
+	if !c.slaves[id].dead {
+		c.slaves[id].lastContact = now
+	}
 	if !c.slaves[id].executing[tid] {
 		// A completion for a task this slave does not hold: either the
 		// task already finished elsewhere (normal race) or the slave is
@@ -382,6 +407,27 @@ func (c *Coordinator) Complete(id SlaveID, tid TaskID, payload any, now time.Dur
 		c.slaves[o].drop(tid, task.Cells)
 	}
 	return true, others
+}
+
+// CompleteWork is Complete plus the final progress delta the slave
+// measured since its last notification. Before this existed, the cells a
+// slave processed between its last periodic notification and the task's
+// completion were silently lost, so PSS speed estimates and the backlog
+// accounting undercounted short tasks. cells and rate come straight off
+// the wire (wire.CompleteMsg); zero values mean "no delta to report".
+func (c *Coordinator) CompleteWork(id SlaveID, tid TaskID, payload any, cells int64, rate float64, now time.Duration) (accepted bool, cancel []SlaveID) {
+	s := c.slaves[id]
+	if !s.dead && s.executing[tid] {
+		if rate > 0 {
+			s.hist.ObserveRate(rate, now)
+		} else if cells > 0 {
+			s.hist.Observe(cells, now)
+		}
+		if cells > 0 {
+			s.credit += cells
+		}
+	}
+	return c.Complete(id, tid, payload, now)
 }
 
 // Abandon records that a slave gave up a task (cancellation acknowledged).
@@ -405,6 +451,44 @@ func (c *Coordinator) SlaveDied(id SlaveID) {
 	s.executing = map[TaskID]bool{}
 	s.order = nil
 	s.credit = 0
+}
+
+// Expire is the lease-based failure detector: every slave silent for
+// longer than lease is declared dead via the SlaveDied path (its tasks
+// requeue) and reported. The paper's environment assumes slaves either
+// answer or their connection drops; Expire additionally catches the hung
+// slave — process alive, socket open, no progress — that would otherwise
+// stall its executing tasks forever when the workload adjustment mechanism
+// is off. The lease must comfortably exceed the slaves' notification and
+// standby-poll intervals or healthy-but-quiet slaves get reaped.
+//
+// Like every Coordinator method it is clock-agnostic: the wall-clock
+// master drives it from a ticker and the discrete-event runner from a
+// recurring simulated event, so both clocks exercise the same code.
+func (c *Coordinator) Expire(now, lease time.Duration) []SlaveID {
+	if lease <= 0 {
+		return nil
+	}
+	var expired []SlaveID
+	for i, s := range c.slaves {
+		if s.dead || now-s.lastContact <= lease {
+			continue
+		}
+		c.SlaveDied(SlaveID(i))
+		expired = append(expired, SlaveID(i))
+	}
+	return expired
+}
+
+// Dead reports whether a slave has been declared dead (connection drop or
+// lease expiry). A dead slave's ID is never reused; a returning slave must
+// re-register for a fresh one.
+func (c *Coordinator) Dead(id SlaveID) bool { return c.slaves[id].dead }
+
+// LastContact returns the time of the slave's most recent protocol
+// interaction.
+func (c *Coordinator) LastContact(id SlaveID) time.Duration {
+	return c.slaves[id].lastContact
 }
 
 func (c *Coordinator) aliveSlaves() int {

@@ -30,15 +30,24 @@ func NewHistory(omega int) *History {
 	return &History{omega: omega, samples: make([]float64, omega)}
 }
 
+// Anchor sets the estimator's timebase without recording a sample: the
+// next Observe divides its cell delta by the time elapsed since this
+// instant. The coordinator anchors at registration, so a late-joining
+// slave's first delta is measured against time it actually spent working
+// rather than time since the job started (which deflated the first PSS
+// speed sample for late registrants).
+func (h *History) Anchor(now time.Duration) {
+	h.lastTime, h.lastValid = now, true
+}
+
 // Observe records a progress notification: cells processed since the
-// previous notification, at time now. The first notification only anchors
-// the timebase. Notifications with non-positive elapsed time are ignored.
+// previous notification, at time now. An un-anchored first notification
+// only anchors the timebase — without a start instant there is no sound
+// elapsed time to divide by. Notifications with non-positive elapsed time
+// are ignored.
 func (h *History) Observe(cells int64, now time.Duration) {
 	if !h.lastValid {
-		h.lastTime, h.lastValid = now, true
-		if cells > 0 && now > 0 {
-			h.push(float64(cells) / now.Seconds())
-		}
+		h.Anchor(now)
 		return
 	}
 	elapsed := now - h.lastTime

@@ -1,0 +1,215 @@
+package slave
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/wire"
+)
+
+// tinyBackoff keeps reconnect tests fast.
+var tinyBackoff = wire.Backoff{Base: time.Microsecond, Cap: 10 * time.Microsecond, Jitter: 0.1}
+
+// dyingCaller forwards to a scripted master but starts failing every call
+// after failAfter successful ones, simulating a connection that dies
+// mid-session.
+type dyingCaller struct {
+	mu        sync.Mutex
+	inner     wire.Caller
+	failAfter int
+	calls     int
+}
+
+func (d *dyingCaller) Call(req wire.Envelope) (wire.Envelope, error) {
+	d.mu.Lock()
+	d.calls++
+	dead := d.calls > d.failAfter
+	d.mu.Unlock()
+	if dead {
+		return wire.Envelope{}, fmt.Errorf("connection reset")
+	}
+	return d.inner.Call(req)
+}
+
+func (d *dyingCaller) Close() error { return nil }
+
+func TestRunReconnectsAfterLostMaster(t *testing.T) {
+	eng, specs := testEngine(t)
+	m := &scriptedMaster{tasks: specs, doneAfter: len(specs)}
+	// The first connection dies right after registration; the replacement
+	// dial fails twice (master still restarting) before a healthy caller
+	// comes back.
+	first := &dyingCaller{inner: m, failAfter: 1}
+	var dials, dialFailures int
+	reconnect := func() (wire.Caller, error) {
+		dials++
+		if dials <= 2 {
+			dialFailures++
+			return nil, fmt.Errorf("connection refused")
+		}
+		return m, nil
+	}
+	n, err := Run(first, eng, Options{
+		NotifyEvery: time.Microsecond,
+		Poll:        time.Millisecond,
+		Reconnect:   reconnect,
+		MaxRetries:  5,
+		Backoff:     tinyBackoff,
+		RetrySeed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(specs) {
+		t.Fatalf("completed %d tasks across reconnects, want %d", n, len(specs))
+	}
+	if dialFailures != 2 || dials != 3 {
+		t.Fatalf("dials = %d (failures %d), want 3 with 2 failures", dials, dialFailures)
+	}
+}
+
+func TestRunGivesUpAfterMaxRetries(t *testing.T) {
+	eng, _ := testEngine(t)
+	dials := 0
+	reconnect := func() (wire.Caller, error) {
+		dials++
+		return nil, fmt.Errorf("connection refused")
+	}
+	_, err := Run(failCaller{err: fmt.Errorf("boom")}, eng, Options{
+		Reconnect:  reconnect,
+		MaxRetries: 3,
+		Backoff:    tinyBackoff,
+		RetrySeed:  1,
+	})
+	if err == nil {
+		t.Fatal("exhausted retries did not surface an error")
+	}
+	if !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("error = %v, want a giving-up message", err)
+	}
+	if dials != 3 {
+		t.Fatalf("%d reconnect attempts, want MaxRetries = 3", dials)
+	}
+}
+
+func TestRunFailureBudgetResetsOnProgress(t *testing.T) {
+	// Each session makes one successful round trip before its connection
+	// dies. Because the session progressed, the consecutive-failure budget
+	// resets every time, so far more than MaxRetries reconnections succeed.
+	eng, specs := testEngine(t)
+	m := &scriptedMaster{tasks: specs, doneAfter: len(specs)}
+	// failAfter 3 = register + request + complete: each session finishes
+	// exactly one task, then its next call fails. With MaxRetries 1 and no
+	// budget reset, the second reconnect would give up; the reset lets the
+	// job ride out one outage per task.
+	sessions := 0
+	reconnect := func() (wire.Caller, error) {
+		sessions++
+		return &dyingCaller{inner: m, failAfter: 3}, nil
+	}
+	first, _ := reconnect()
+	n, err := Run(first, eng, Options{
+		NotifyEvery: time.Hour, // no periodic notifications
+		Poll:        time.Millisecond,
+		Reconnect:   reconnect,
+		MaxRetries:  1,
+		Backoff:     tinyBackoff,
+		RetrySeed:   1,
+	})
+	if err != nil {
+		t.Fatalf("Run = %v after %d sessions", err, sessions)
+	}
+	if n != len(specs) {
+		t.Fatalf("completed %d, want %d", n, len(specs))
+	}
+	if sessions != len(specs) {
+		t.Fatalf("%d sessions, want one per task (%d)", sessions, len(specs))
+	}
+}
+
+func TestCancelSetPrunedAfterTasks(t *testing.T) {
+	eng, specs := testEngine(t)
+	var sets []*cancelSet
+	testCancelSet = func(c *cancelSet) { sets = append(sets, c) }
+	defer func() { testCancelSet = nil }()
+
+	// One task canceled mid-batch, the rest complete: every path must
+	// forget its entry.
+	m := &scriptedBatchMaster{batch: specs, cancelID: 1}
+	if _, err := Run(m, eng, Options{NotifyEvery: time.Microsecond, Poll: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 {
+		t.Fatalf("%d sessions, want 1", len(sets))
+	}
+	if got := sets[0].size(); got != 0 {
+		t.Fatalf("cancelSet still tracks %d tasks after the session; completed and canceled entries must be pruned", got)
+	}
+}
+
+func TestCancelSetForget(t *testing.T) {
+	c := newCancelSet()
+	ch := c.channelFor(7)
+	c.add([]sched.TaskID{7, 8})
+	select {
+	case <-ch:
+	default:
+		t.Fatal("cancel channel not closed")
+	}
+	if c.size() != 2 {
+		t.Fatalf("size = %d, want 2", c.size())
+	}
+	c.forget(7)
+	c.forget(8)
+	c.forget(8) // double-forget is a no-op
+	if c.size() != 0 {
+		t.Fatalf("size = %d after forget, want 0", c.size())
+	}
+	// A forgotten task re-canceled later gets a fresh, closed channel.
+	c.add([]sched.TaskID{7})
+	select {
+	case <-c.channelFor(7):
+	default:
+		t.Fatal("re-added cancel not observable")
+	}
+}
+
+func TestCompleteCarriesFinalDelta(t *testing.T) {
+	// With notifications effectively disabled, the whole task's cells must
+	// ride on the CompleteMsg; before the fix they were silently lost.
+	eng, specs := testEngine(t)
+	type final struct {
+		cells int64
+		rate  float64
+	}
+	var mu sync.Mutex
+	finals := map[sched.TaskID]final{}
+	m := &scriptedMaster{tasks: specs, doneAfter: len(specs)}
+	recording := callerFunc(func(req wire.Envelope) (wire.Envelope, error) {
+		if req.Complete != nil {
+			mu.Lock()
+			finals[req.Complete.Task] = final{req.Complete.Cells, req.Complete.Rate}
+			mu.Unlock()
+		}
+		return m.Call(req)
+	})
+	if _, err := Run(recording, eng, Options{NotifyEvery: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range specs {
+		f, ok := finals[spec.ID]
+		if !ok {
+			t.Fatalf("task %d never completed", spec.ID)
+		}
+		if f.cells != spec.Cells {
+			t.Errorf("task %d final delta = %d cells, want the full task (%d)", spec.ID, f.cells, spec.Cells)
+		}
+		if f.rate <= 0 {
+			t.Errorf("task %d final rate = %v, want > 0", spec.ID, f.rate)
+		}
+	}
+}

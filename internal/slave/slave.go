@@ -2,6 +2,7 @@ package slave
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -23,7 +24,31 @@ type Options struct {
 	// AlignBest runs the traceback phase for the best hit of every task
 	// (engines implementing Aligner only) and ships the alignment rows.
 	AlignBest bool
+
+	// Reconnect re-establishes the master connection after a failed call.
+	// When set, Run survives transient faults: it closes the broken
+	// caller, backs off, dials a fresh one through this function and
+	// re-registers under a new SlaveID (the master's lease expires the old
+	// one, requeueing any task this slave was holding). That is what lets
+	// a slave ride out a master restart from checkpoint, or its own lease
+	// expiry after a long stall. nil keeps the historical behaviour: the
+	// first failed call aborts Run.
+	Reconnect func() (wire.Caller, error)
+	// MaxRetries bounds *consecutive* failed reconnect attempts before Run
+	// gives up; the counter resets whenever a session completes a round
+	// trip. <=0 means DefaultMaxRetries.
+	MaxRetries int
+	// Backoff shapes the delay between reconnect attempts; zero fields
+	// fall back to wire.DefaultBackoff.
+	Backoff wire.Backoff
+	// RetrySeed seeds the backoff jitter so tests are reproducible; 0
+	// seeds from the wall clock.
+	RetrySeed int64
 }
+
+// DefaultMaxRetries is the consecutive-reconnect-failure budget when
+// Options.MaxRetries is unset.
+const DefaultMaxRetries = 5
 
 func (o *Options) fill() {
 	if o.NotifyEvery <= 0 {
@@ -32,40 +57,88 @@ func (o *Options) fill() {
 	if o.Poll <= 0 {
 		o.Poll = 200 * time.Millisecond
 	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = DefaultMaxRetries
+	}
+	if o.RetrySeed == 0 {
+		o.RetrySeed = time.Now().UnixNano()
+	}
 }
 
 // Run registers the engine with the master behind caller and executes the
 // request/execute/notify loop until the master reports the job done. It
-// returns the number of tasks this slave completed (accepted or not).
+// returns the number of tasks this slave completed (accepted or not),
+// summed across reconnections when Options.Reconnect is set.
 func Run(caller wire.Caller, eng Engine, opts Options) (int, error) {
 	opts.fill()
+	rng := rand.New(rand.NewSource(opts.RetrySeed))
+	completed := 0
+	failures := 0
+	for {
+		n, progressed, err := runSession(caller, eng, opts)
+		completed += n
+		if err == nil {
+			return completed, nil
+		}
+		if opts.Reconnect == nil {
+			return completed, err
+		}
+		if progressed {
+			// The dead master was reachable for a while; treat this as a
+			// fresh outage rather than a continuation of the last one.
+			failures = 0
+		}
+		caller.Close()
+		for {
+			if failures >= opts.MaxRetries {
+				return completed, fmt.Errorf("slave: giving up after %d reconnect attempts: %w", failures, err)
+			}
+			time.Sleep(opts.Backoff.Delay(failures, rng))
+			failures++
+			next, derr := opts.Reconnect()
+			if derr != nil {
+				err = derr
+				continue
+			}
+			caller = next
+			break
+		}
+	}
+}
+
+// runSession is one connection's worth of the slave loop: register, then
+// request/execute/notify until the job finishes or a call fails.
+// progressed reports whether any call succeeded, which gates the
+// reconnect-failure counter reset in Run.
+func runSession(caller wire.Caller, eng Engine, opts Options) (completed int, progressed bool, err error) {
 	resp, err := caller.Call(wire.Envelope{Register: &wire.RegisterMsg{
 		Name:          eng.Name(),
 		Kind:          eng.Kind(),
 		DeclaredSpeed: eng.DeclaredSpeed(),
 	}})
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	if resp.RegisterAck == nil {
-		return 0, fmt.Errorf("slave: master did not acknowledge registration")
+		return 0, true, fmt.Errorf("slave: master did not acknowledge registration")
 	}
 	id := resp.RegisterAck.Slave
 
 	canceled := newCancelSet()
-	completed := 0
-	jobDone := false
-	for !jobDone {
+	if testCancelSet != nil {
+		testCancelSet(canceled)
+	}
+	for {
 		resp, err := caller.Call(wire.Envelope{Request: &wire.RequestMsg{Slave: id}})
 		if err != nil {
-			return completed, err
+			return completed, true, err
 		}
 		a := resp.Assign
 		if a == nil {
-			return completed, fmt.Errorf("slave: unexpected response to Request")
+			return completed, true, fmt.Errorf("slave: unexpected response to Request")
 		}
 		if a.Done {
-			return completed, nil
+			return completed, true, nil
 		}
 		if len(a.Tasks) == 0 {
 			time.Sleep(opts.Poll)
@@ -73,21 +146,26 @@ func Run(caller wire.Caller, eng Engine, opts Options) (int, error) {
 		}
 		for _, spec := range a.Tasks {
 			if canceled.has(spec.ID) {
+				canceled.forget(spec.ID)
 				continue
 			}
 			done, finished, err := runTask(caller, eng, id, spec, canceled, opts)
+			// Canceled or completed tasks never run again on this slave
+			// (the master only cancels finished tasks), so their cancel
+			// bookkeeping can go — before this pruning, the ids/chans maps
+			// grew for the life of the process.
+			canceled.forget(spec.ID)
 			if err != nil {
-				return completed, err
+				return completed, true, err
 			}
 			if done {
 				completed++
 			}
 			if finished {
-				jobDone = true
+				return completed, true, nil
 			}
 		}
 	}
-	return completed, nil
 }
 
 // runTask executes one task, streaming progress notifications and honoring
@@ -136,8 +214,20 @@ func runTask(caller wire.Caller, eng Engine, id sched.SlaveID, spec wire.TaskSpe
 			}
 		}
 	}
+	// The completion carries the final progress delta: everything since
+	// the last notification. Only timer-gated notifications went out
+	// above, so without this the tail of every task — or all of a short
+	// one — never reached the master's speed and backlog accounting.
+	finalCells := spec.Cells - lastCells
+	var finalRate float64
+	if el := time.Since(lastNotify); el > 0 && finalCells > 0 {
+		finalRate = float64(finalCells) / el.Seconds()
+	}
+	if finalCells < 0 {
+		finalCells = 0
+	}
 	resp, err := caller.Call(wire.Envelope{Complete: &wire.CompleteMsg{
-		Slave: id, Task: spec.ID, Hits: top,
+		Slave: id, Task: spec.ID, Hits: top, Cells: finalCells, Rate: finalRate,
 	}})
 	if err != nil {
 		return false, false, err
@@ -149,8 +239,14 @@ func runTask(caller wire.Caller, eng Engine, id sched.SlaveID, spec wire.TaskSpe
 	return true, jobDone, nil
 }
 
+// testCancelSet, when set by a test, receives each session's cancelSet so
+// the pruning behaviour can be asserted from outside runSession.
+var testCancelSet func(*cancelSet)
+
 // cancelSet tracks canceled task IDs and exposes a close-once channel per
-// task so engines can abort mid-scan.
+// task so engines can abort mid-scan. Entries are pruned (forget) once
+// their task is done with on this slave, so the set stays bounded in
+// long-running slaves.
 type cancelSet struct {
 	mu    sync.Mutex
 	ids   map[sched.TaskID]bool
@@ -179,6 +275,27 @@ func (c *cancelSet) has(id sched.TaskID) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ids[id]
+}
+
+// forget drops a task's bookkeeping once the slave is done with it —
+// completed, skipped or canceled. The master only cancels tasks that
+// finished elsewhere, and finished tasks are never re-assigned, so a
+// forgotten ID cannot come back.
+func (c *cancelSet) forget(id sched.TaskID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.ids, id)
+	delete(c.chans, id)
+}
+
+// size reports how many tasks the set still tracks (tests).
+func (c *cancelSet) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.ids) > len(c.chans) {
+		return len(c.ids)
+	}
+	return len(c.chans)
 }
 
 func (c *cancelSet) channelFor(id sched.TaskID) <-chan struct{} {

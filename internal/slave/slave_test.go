@@ -127,13 +127,15 @@ func TestRunSkipsPreCanceledTask(t *testing.T) {
 }
 
 // scriptedBatchMaster hands the whole batch at once and cancels cancelID on
-// the first progress notification.
+// the first progress notification (once — the real coordinator drains its
+// cancellation list per event).
 type scriptedBatchMaster struct {
-	mu        sync.Mutex
-	batch     []wire.TaskSpec
-	given     bool
-	cancelID  sched.TaskID
-	completed []sched.TaskID
+	mu         sync.Mutex
+	batch      []wire.TaskSpec
+	given      bool
+	cancelID   sched.TaskID
+	cancelSent bool
+	completed  []sched.TaskID
 }
 
 func (f *scriptedBatchMaster) Call(req wire.Envelope) (wire.Envelope, error) {
@@ -149,6 +151,10 @@ func (f *scriptedBatchMaster) Call(req wire.Envelope) (wire.Envelope, error) {
 		f.given = true
 		return wire.Envelope{Assign: &wire.AssignMsg{Tasks: f.batch}}, nil
 	case req.Progress != nil:
+		if f.cancelSent {
+			return wire.Envelope{ProgressAck: &wire.ProgressAckMsg{}}, nil
+		}
+		f.cancelSent = true
 		return wire.Envelope{ProgressAck: &wire.ProgressAckMsg{Cancel: []sched.TaskID{f.cancelID}}}, nil
 	case req.Complete != nil:
 		f.completed = append(f.completed, req.Complete.Task)

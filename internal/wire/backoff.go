@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes truncated exponential backoff with jitter for retrying
+// transient transport failures (re-dialing a restarted master, riding out
+// a brief partition). Attempt k sleeps Base·2^k, capped at Cap, with a
+// uniform ±Jitter fraction applied so a fleet of slaves reconnecting after
+// a master restart does not stampede in lockstep.
+type Backoff struct {
+	Base   time.Duration // first delay; <=0 means DefaultBackoff.Base
+	Cap    time.Duration // upper bound on any delay; <=0 means DefaultBackoff.Cap
+	Jitter float64       // relative half-width in [0,1); <=0 means DefaultBackoff.Jitter
+}
+
+// DefaultBackoff is the retry schedule used when a Backoff field is left
+// zero: 100ms, 200ms, 400ms, ... capped at 5s, each ±20%.
+var DefaultBackoff = Backoff{Base: 100 * time.Millisecond, Cap: 5 * time.Second, Jitter: 0.2}
+
+// fill resolves zero fields to the defaults.
+func (b Backoff) fill() Backoff {
+	if b.Base <= 0 {
+		b.Base = DefaultBackoff.Base
+	}
+	if b.Cap <= 0 {
+		b.Cap = DefaultBackoff.Cap
+	}
+	if b.Jitter <= 0 {
+		b.Jitter = DefaultBackoff.Jitter
+	}
+	return b
+}
+
+// Delay returns the sleep before retry number attempt (0-based). rng may
+// be nil for an unjittered schedule (useful in tests).
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	b = b.fill()
+	d := b.Base
+	for i := 0; i < attempt && d < b.Cap; i++ {
+		d *= 2
+	}
+	if d > b.Cap {
+		d = b.Cap
+	}
+	if rng != nil && b.Jitter > 0 {
+		d += time.Duration(float64(d) * b.Jitter * (2*rng.Float64() - 1))
+	}
+	return d
+}

@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file implements a fault-injecting Caller for robustness tests: it
+// wraps any transport and makes calls fail, hang, lag or lose their
+// response, selected per message kind and deterministically from a seed.
+// The master and slave test suites use it to prove that lease expiry
+// rescues hung slaves, that killed slaves requeue deterministically, and
+// that a reconnecting slave double-completes nothing.
+
+// ErrInjected is the transport error produced by FaultError and FaultDrop
+// rules (optionally wrapped); match it with errors.Is.
+var ErrInjected = errors.New("wire: injected fault")
+
+// MsgKind classifies a request envelope for fault-rule matching.
+type MsgKind int
+
+const (
+	// AnyMsg matches every request.
+	AnyMsg MsgKind = iota
+	// RegisterKind matches RegisterMsg requests.
+	RegisterKind
+	// RequestKind matches RequestMsg requests.
+	RequestKind
+	// ProgressKind matches ProgressMsg requests.
+	ProgressKind
+	// CompleteKind matches CompleteMsg requests.
+	CompleteKind
+)
+
+// KindOf classifies a request envelope.
+func KindOf(req Envelope) MsgKind {
+	switch {
+	case req.Register != nil:
+		return RegisterKind
+	case req.Request != nil:
+		return RequestKind
+	case req.Progress != nil:
+		return ProgressKind
+	case req.Complete != nil:
+		return CompleteKind
+	default:
+		return AnyMsg
+	}
+}
+
+// FaultAction is what happens to a matched call.
+type FaultAction int
+
+const (
+	// FaultError fails the call without delivering it: the request never
+	// reaches the master (a send on a dead connection).
+	FaultError FaultAction = iota
+	// FaultHang blocks the call until the caller is closed, then fails it:
+	// the hung-slave scenario, where the process lives and the socket stays
+	// open but nothing progresses.
+	FaultHang
+	// FaultDelay sleeps Rule.Delay, then passes the call through: a slow
+	// link or a stalled peer that eventually answers.
+	FaultDelay
+	// FaultDrop delivers the request but loses the response: the master's
+	// state changes (it may have accepted a completion) while the slave
+	// sees a failure — the classic at-least-once duplication hazard.
+	FaultDrop
+)
+
+// Rule selects calls and assigns them a fault. Matching calls are counted
+// per rule; the fault applies to matching calls after the first After and
+// for at most Count of them (0 = unlimited), each with probability Prob
+// (0 or >=1 = always). The first rule that matches and fires wins.
+type Rule struct {
+	Kind   MsgKind
+	Action FaultAction
+	After  int
+	Count  int
+	Prob   float64
+	Delay  time.Duration // used by FaultDelay
+}
+
+// FaultCaller wraps a Caller with seeded fault injection. It is safe for
+// the sequential use the Caller contract requires, plus a concurrent
+// Close to release hung calls.
+type FaultCaller struct {
+	inner Caller
+	rules []Rule
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	matched []int // matching-call count per rule
+	fired   []int // fault count per rule
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// NewFaultCaller wraps inner with the given rules; seed drives the
+// probabilistic rules so runs are reproducible.
+func NewFaultCaller(inner Caller, seed int64, rules ...Rule) *FaultCaller {
+	return &FaultCaller{
+		inner:   inner,
+		rules:   rules,
+		rng:     rand.New(rand.NewSource(seed)),
+		matched: make([]int, len(rules)),
+		fired:   make([]int, len(rules)),
+		closed:  make(chan struct{}),
+	}
+}
+
+// Fired returns how many times rule i injected its fault.
+func (f *FaultCaller) Fired(i int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired[i]
+}
+
+// Call implements Caller, applying the first matching rule that fires.
+func (f *FaultCaller) Call(req Envelope) (Envelope, error) {
+	k := KindOf(req)
+	f.mu.Lock()
+	action := FaultAction(-1)
+	var delay time.Duration
+	for i, r := range f.rules {
+		if r.Kind != AnyMsg && r.Kind != k {
+			continue
+		}
+		n := f.matched[i]
+		f.matched[i]++
+		if n < r.After {
+			continue
+		}
+		if r.Count > 0 && f.fired[i] >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && f.rng.Float64() >= r.Prob {
+			continue
+		}
+		f.fired[i]++
+		action, delay = r.Action, r.Delay
+		break
+	}
+	f.mu.Unlock()
+
+	switch action {
+	case FaultError:
+		return Envelope{}, fmt.Errorf("%w: %v lost", ErrInjected, k)
+	case FaultHang:
+		<-f.closed
+		return Envelope{}, fmt.Errorf("%w: hung call released by close", ErrInjected)
+	case FaultDelay:
+		select {
+		case <-time.After(delay):
+		case <-f.closed:
+			return Envelope{}, fmt.Errorf("%w: closed while delayed", ErrInjected)
+		}
+	case FaultDrop:
+		if _, err := f.inner.Call(req); err != nil {
+			return Envelope{}, err
+		}
+		return Envelope{}, fmt.Errorf("%w: %v response dropped", ErrInjected, k)
+	}
+	return f.inner.Call(req)
+}
+
+// Close implements Caller, releasing any hung or delayed call first.
+func (f *FaultCaller) Close() error {
+	f.closeOnce.Do(func() { close(f.closed) })
+	return f.inner.Close()
+}
+
+// String returns the kind name for error messages.
+func (k MsgKind) String() string {
+	switch k {
+	case RegisterKind:
+		return "Register"
+	case RequestKind:
+		return "Request"
+	case ProgressKind:
+		return "Progress"
+	case CompleteKind:
+		return "Complete"
+	default:
+		return "Any"
+	}
+}

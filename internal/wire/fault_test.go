@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// passHandler acks everything, counting what reached it.
+type passHandler struct{ registers, requests, progresses, completes int }
+
+func (h *passHandler) Dispatch(req Envelope) Envelope {
+	switch {
+	case req.Register != nil:
+		h.registers++
+		return Envelope{RegisterAck: &RegisterAckMsg{Slave: 1}}
+	case req.Request != nil:
+		h.requests++
+		return Envelope{Assign: &AssignMsg{Done: true}}
+	case req.Progress != nil:
+		h.progresses++
+		return Envelope{ProgressAck: &ProgressAckMsg{}}
+	case req.Complete != nil:
+		h.completes++
+		return Envelope{CompleteAck: &CompleteAckMsg{Accepted: true}}
+	}
+	return Envelope{Error: "bad"}
+}
+
+func (h *passHandler) SlaveGone(sched.SlaveID) {}
+
+func TestFaultCallerErrorAndCounting(t *testing.T) {
+	h := &passHandler{}
+	fc := NewFaultCaller(Local{H: h}, 1,
+		Rule{Kind: ProgressKind, Action: FaultError, After: 1, Count: 2},
+	)
+	defer fc.Close()
+	// Register passes through untouched.
+	if _, err := fc.Call(Envelope{Register: &RegisterMsg{Name: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	// First progress is skipped by After, next two fail, then pass again.
+	wantErr := []bool{false, true, true, false}
+	for i, want := range wantErr {
+		_, err := fc.Call(Envelope{Progress: &ProgressMsg{Slave: 1}})
+		if got := err != nil; got != want {
+			t.Fatalf("progress %d: err=%v, want failure=%v", i, err, want)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("progress %d: error %v is not ErrInjected", i, err)
+		}
+	}
+	if fc.Fired(0) != 2 {
+		t.Fatalf("Fired = %d, want 2", fc.Fired(0))
+	}
+	// Faulted calls never reached the handler.
+	if h.progresses != 2 {
+		t.Fatalf("handler saw %d progresses, want 2", h.progresses)
+	}
+}
+
+func TestFaultCallerDropDeliversButLosesResponse(t *testing.T) {
+	h := &passHandler{}
+	fc := NewFaultCaller(Local{H: h}, 1,
+		Rule{Kind: CompleteKind, Action: FaultDrop, Count: 1},
+	)
+	defer fc.Close()
+	_, err := fc.Call(Envelope{Complete: &CompleteMsg{Slave: 1, Task: 0}})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("dropped response error = %v", err)
+	}
+	if h.completes != 1 {
+		t.Fatalf("handler saw %d completes, want 1 (request delivered, response lost)", h.completes)
+	}
+}
+
+func TestFaultCallerHangReleasedByClose(t *testing.T) {
+	fc := NewFaultCaller(Local{H: &passHandler{}}, 1,
+		Rule{Kind: RequestKind, Action: FaultHang},
+	)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := fc.Call(Envelope{Request: &RequestMsg{Slave: 1}})
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("hung call returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	fc.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("released hang error = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not release the hung call")
+	}
+}
+
+func TestFaultCallerDeterministicProb(t *testing.T) {
+	run := func() int {
+		fc := NewFaultCaller(Local{H: &passHandler{}}, 42,
+			Rule{Kind: AnyMsg, Action: FaultError, Prob: 0.5},
+		)
+		defer fc.Close()
+		fails := 0
+		for i := 0; i < 100; i++ {
+			if _, err := fc.Call(Envelope{Request: &RequestMsg{Slave: 1}}); err != nil {
+				fails++
+			}
+		}
+		return fails
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different fault counts: %d vs %d", a, b)
+	}
+	if a == 0 || a == 100 {
+		t.Fatalf("Prob 0.5 fired %d/100 times", a)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 50 * time.Millisecond, Jitter: 0.5}
+	// nil rng: deterministic, no jitter.
+	want := []time.Duration{10, 20, 40, 50, 50}
+	for i, w := range want {
+		if got := b.Delay(i, nil); got != w*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	// Zero value falls back to the defaults.
+	var zero Backoff
+	if got := zero.Delay(0, nil); got != DefaultBackoff.Base {
+		t.Fatalf("zero Backoff Delay(0) = %v, want %v", got, DefaultBackoff.Base)
+	}
+}
+
+// TestClientCallTimeout proves the per-call I/O deadline trips on a hung
+// master: the server accepts the connection and then never answers.
+func TestClientCallTimeout(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		time.Sleep(5 * time.Second) // never respond
+	}()
+
+	c, err := DialTimeout(l.Addr().String(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Call(Envelope{Register: &RegisterMsg{Name: "x"}})
+	if err == nil {
+		t.Fatal("call to a mute master succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline took %v to trip", elapsed)
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("error %v is not a timeout", err)
+	}
+}

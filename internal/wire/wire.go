@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/sched"
 )
@@ -91,11 +92,17 @@ type ProgressAckMsg struct {
 	Done   bool // the whole job finished; stop working
 }
 
-// CompleteMsg delivers one finished task.
+// CompleteMsg delivers one finished task. Rate and Cells carry the final
+// progress delta — the work done since the slave's last periodic
+// notification — so the master's speed estimates and backlog accounting do
+// not undercount short tasks whose last (or only) stretch of work never
+// made it into a ProgressMsg.
 type CompleteMsg struct {
 	Slave sched.SlaveID
 	Task  sched.TaskID
 	Hits  []Hit
+	Rate  float64 // measured cells/second over the final delta; 0 = unknown
+	Cells int64   // cells processed since the previous notification
 }
 
 // CompleteAckMsg reports whether the result was accepted (first completion)
@@ -149,6 +156,13 @@ func (l Local) Close() error { return nil }
 
 // Client is a TCP Caller speaking gob.
 type Client struct {
+	// Timeout bounds each Call's network I/O: the whole send+receive round
+	// trip must finish within it or the call fails with a deadline error.
+	// The master answers every request immediately, so a tripped deadline
+	// means a hung or partitioned master, and the gob stream is no longer
+	// usable — re-dial before calling again. Zero disables deadlines.
+	Timeout time.Duration
+
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
@@ -164,10 +178,23 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
 }
 
+// DialTimeout connects to a master at addr, bounding both the connection
+// attempt and every subsequent Call's I/O by timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), Timeout: timeout}, nil
+}
+
 // Call implements Caller.
 func (c *Client) Call(req Envelope) (Envelope, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
 	if err := c.enc.Encode(&req); err != nil {
 		return Envelope{}, fmt.Errorf("wire: send: %w", err)
 	}
