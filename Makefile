@@ -1,11 +1,11 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race race-full bench tables svg csv examples clean
+.PHONY: all build vet lint test race race-full bench tables svg csv examples clean
 
 # The concurrency-heavy packages (distributed path + scheduler) always run
 # under the race detector as part of `make test`; `race-full` covers the
 # whole module.
-RACE_PKGS := ./internal/sched/... ./internal/master/... ./internal/slave/... ./internal/wire/... ./internal/httpapi/...
+RACE_PKGS := ./internal/sched/... ./internal/master/... ./internal/slave/... ./internal/wire/... ./internal/httpapi/... ./internal/metrics/...
 
 all: build test
 
@@ -15,7 +15,12 @@ build:
 vet:
 	go vet ./...
 
-test: vet
+# Enforce the metric naming convention (subsystem_name_unit; see
+# cmd/metriclint) on every registration literal in the tree.
+lint:
+	go run ./cmd/metriclint .
+
+test: vet lint
 	go test ./...
 	go test -race $(RACE_PKGS)
 
@@ -25,8 +30,11 @@ race:
 race-full:
 	go test -race ./...
 
+# Run every benchmark with allocation stats and archive the run as
+# BENCH_<date>.json (see EXPERIMENTS.md for the format); raw output
+# stays visible on stderr.
 bench:
-	go test -bench=. -benchmem ./...
+	go test -bench=. -benchmem -run='^$$' ./... | go run ./cmd/benchjson
 
 # Regenerate every table and figure of the paper (EXPERIMENTS.md data).
 tables:

@@ -1,0 +1,62 @@
+// Command benchjson archives a `go test -bench` run as JSON: it reads the
+// benchmark output on stdin (echoing it to stderr so progress stays
+// visible), parses it with internal/benchfmt and writes one dated JSON
+// document. `make bench` pipes into it; see EXPERIMENTS.md for the file
+// format.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson          # BENCH_<date>.json
+//	go test -bench=. -benchmem ./... | benchjson -o x.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+// doc is the archived document: the parsed Set plus provenance.
+type doc struct {
+	Date string `json:"date"`
+	*benchfmt.Set
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default BENCH_<date>.json)")
+	flag.Parse()
+	now := time.Now().UTC()
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", now.Format("2006-01-02"))
+	}
+	set, err := benchfmt.Parse(io.TeeReader(os.Stdin, os.Stderr))
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(set.Results) == 0 {
+		fail("no benchmark lines on stdin (run with -bench=.)")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail("%v", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc{Date: now.Format(time.RFC3339), Set: set}); err != nil {
+		fail("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(set.Results), *out)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Command metriclint enforces the repository's metric naming convention
+// (subsystem_name_unit; counters end in _total, gauges must not, histogram
+// names carry a unit suffix — see metrics.CheckName). It parses every .go
+// file under the given directories and checks each string literal passed
+// as the name of a registry constructor call:
+//
+//	r.Counter("sched_tasks_assigned_total", ...)
+//	r.HistogramVec("wire_call_seconds", ..., buckets, "kind")
+//
+// The registry panics on a bad name at run time; the linter catches the
+// same mistake at `make test` time, including on code paths no test
+// registers. Exit status 1 when any name violates the convention.
+//
+// Usage:
+//
+//	metriclint [dir ...]   # default: .
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// constructors maps registry method names to the metric kind their first
+// string argument names.
+var constructors = map[string]metrics.Kind{
+	"Counter":      metrics.KindCounter,
+	"CounterVec":   metrics.KindCounter,
+	"Gauge":        metrics.KindGauge,
+	"GaugeVec":     metrics.KindGauge,
+	"Histogram":    metrics.KindHistogram,
+	"HistogramVec": metrics.KindHistogram,
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := 0
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			// Tests are exempt: the metrics package's own tests register
+			// bad names on purpose to prove the registry rejects them.
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			n, err := lintFile(path)
+			bad += n
+			return err
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "metriclint: %d bad metric name(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintFile reports every constructor call in one file whose name literal
+// violates the convention.
+func lintFile(path string) (bad int, err error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return 0, err
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		kind, ok := constructors[sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		name, uerr := strconv.Unquote(lit.Value)
+		if uerr != nil {
+			return true
+		}
+		if cerr := metrics.CheckName(kind, name); cerr != nil {
+			fmt.Printf("%s: %v\n", fset.Position(lit.Pos()), cerr)
+			bad++
+		}
+		return true
+	})
+	return bad, nil
+}

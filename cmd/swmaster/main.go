@@ -10,17 +10,24 @@
 //
 // -db-residues must match the database resident on the slaves (swslave
 // prints it at startup); alternatively pass -db db.fasta to read it.
+//
+// -metrics addr serves GET /metrics (Prometheus text exposition) and
+// GET /varz (JSON) on a side listener; -events file appends one JSON
+// scheduler event per line (assign/sample/exec/summary), the same shapes
+// the virtual-time platform writes.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"repro/internal/fasta"
 	"repro/internal/gcups"
 	"repro/internal/master"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 )
 
@@ -37,6 +44,8 @@ func main() {
 		timeout  = flag.Duration("timeout", time.Hour, "job timeout")
 		topShow  = flag.Int("show", 3, "hits to print per query")
 		ckpt     = flag.String("checkpoint", "", "checkpoint file: resumed if present, saved every 30s and on completion")
+		metricsA = flag.String("metrics", "", "serve GET /metrics and /varz on this address (empty disables)")
+		events   = flag.String("events", "", "append scheduler event-log lines (JSON, one per line) to this file")
 	)
 	flag.Parse()
 	if *qPath == "" {
@@ -72,6 +81,26 @@ func main() {
 		Adjust:     *adjust,
 		Omega:      *omega,
 		Lease:      *lease,
+	}
+	if *metricsA != "" {
+		cfg.Registry = metrics.NewRegistry()
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", cfg.Registry.Handler())
+		mux.Handle("GET /varz", cfg.Registry.VarzHandler())
+		go func() {
+			if err := http.ListenAndServe(*metricsA, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "swmaster: metrics listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("master: metrics on http://%s/metrics\n", *metricsA)
+	}
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail("events log: %v", err)
+		}
+		defer f.Close()
+		cfg.Events = metrics.NewEventLog(f)
 	}
 	var m *master.Master
 	if *ckpt != "" {

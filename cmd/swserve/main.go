@@ -9,16 +9,27 @@
 //
 //	GET  /healthz   liveness and uptime
 //	GET  /database  database name/size
+//	GET  /metrics   Prometheus text exposition (scheduler, wire, slave, HTTP)
+//	GET  /varz      the same metrics as one JSON document
 //	POST /search    {"queries_fasta": ">q\nACDE...", "top_k": 5, "align": true}
 //	POST /align     {"a": "MKVL...", "b": "MKIL...", "global": false}
+//
+// SIGINT/SIGTERM starts a graceful shutdown: the listener closes, requests
+// in flight get -drain to finish, then the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	hybridsw "repro"
 	"repro/internal/fasta"
@@ -35,6 +46,8 @@ func main() {
 		sse    = flag.Int("sse", 2, "SSE-core engines")
 		policy = flag.String("policy", "PSS", "default allocation policy")
 		adjust = flag.Bool("adjust", true, "enable the workload adjustment mechanism")
+		drain  = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
+		quiet  = flag.Bool("quiet", false, "suppress the per-request access log")
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -60,9 +73,29 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	if !*quiet {
+		srv.Log = log.New(os.Stderr, "swserve: ", log.LstdFlags)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Printf("swserve: %d sequences loaded from %s; listening on %s\n", len(db), *dbPath, *listen)
-	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+
+	select {
+	case err := <-errc:
 		fail("%v", err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		fmt.Fprintf(os.Stderr, "swserve: signal received, draining for up to %s\n", *drain)
+		sdCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sdCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fail("shutdown: %v", err)
+		}
+		fmt.Println("swserve: shut down cleanly")
 	}
 }
 

@@ -11,12 +11,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/cudasw"
 	"repro/internal/fasta"
+	"repro/internal/metrics"
 	"repro/internal/score"
 	"repro/internal/seq"
 	"repro/internal/seqio"
@@ -36,6 +38,7 @@ func main() {
 		declare   = flag.Float64("declare", 0, "declared speed in cells/s (for the WFixed baseline)")
 		retry     = flag.Int("retry", slave.DefaultMaxRetries, "consecutive reconnect attempts after a lost master before giving up (0 disables reconnection)")
 		ioTimeout = flag.Duration("io-timeout", 30*time.Second, "per-call network deadline; a hung master trips it and triggers reconnection (0 disables)")
+		metricsA  = flag.String("metrics", "", "serve GET /metrics and /varz on this address (empty disables)")
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -69,20 +72,37 @@ func main() {
 	fmt.Printf("slave %s: database %s loaded (%d sequences, %d residues)\n",
 		*name, *dbPath, len(db), eng.DatabaseResidues())
 
+	var slaveMet *slave.Metrics
+	var wireMet *wire.Metrics
+	if *metricsA != "" {
+		reg := metrics.NewRegistry()
+		slaveMet = slave.NewMetrics(reg)
+		wireMet = wire.NewMetrics(reg)
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		mux.Handle("GET /varz", reg.VarzHandler())
+		go func() {
+			if err := http.ListenAndServe(*metricsA, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "swslave: metrics listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("slave %s: metrics on http://%s/metrics\n", *name, *metricsA)
+	}
+
 	dial := func() (wire.Caller, error) {
 		c, err := wire.Dial(*addr)
 		if err != nil {
 			return nil, err
 		}
 		c.Timeout = *ioTimeout
-		return c, nil
+		return wire.Meter(c, wireMet), nil
 	}
 	client, err := dial()
 	if err != nil {
 		fail("connecting to master: %v", err)
 	}
 	defer client.Close()
-	opts := slave.Options{NotifyEvery: *notify, TopK: *topK, MaxRetries: *retry}
+	opts := slave.Options{NotifyEvery: *notify, TopK: *topK, MaxRetries: *retry, Metrics: slaveMet}
 	if *retry > 0 {
 		// Retry with exponential backoff + jitter; each attempt re-dials
 		// and re-registers, so the slave survives a master restart from

@@ -35,6 +35,7 @@ import (
 	"repro/internal/cudasw"
 	"repro/internal/dataset"
 	"repro/internal/master"
+	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/score"
@@ -125,6 +126,15 @@ type Platform struct {
 	CoresPerHost int
 	// AlignBest ships the traceback alignment of each query's best hit.
 	AlignBest bool
+
+	// Registry, when non-nil, receives scheduler, wire and slave metrics
+	// from every Search run (see internal/metrics). Repeated Searches on
+	// the same registry accumulate into the same families.
+	Registry *metrics.Registry
+	// Events, when non-nil, receives the master's assign/sample/exec/summary
+	// event-log lines, one JSON object per line, in the same shape the
+	// virtual-time platform writes its trace.
+	Events *metrics.EventLog
 }
 
 // Report is the outcome of a Search.
@@ -169,9 +179,17 @@ func Search(queries, db []*Sequence, p Platform) (*Report, error) {
 		Policy:     pol,
 		Adjust:     p.Adjust,
 		Omega:      p.Omega,
+		Registry:   p.Registry,
+		Events:     p.Events,
 	})
 	if err != nil {
 		return nil, err
+	}
+	var slaveMet *slave.Metrics
+	var wireMet *wire.Metrics
+	if p.Registry != nil {
+		slaveMet = slave.NewMetrics(p.Registry)
+		wireMet = wire.NewMetrics(p.Registry)
 	}
 
 	var engines []slave.Engine
@@ -208,11 +226,12 @@ func Search(queries, db []*Sequence, p Platform) (*Report, error) {
 		wg.Add(1)
 		go func(i int, eng slave.Engine) {
 			defer wg.Done()
-			_, errs[i] = slave.Run(wire.Local{H: m}, eng, slave.Options{
+			_, errs[i] = slave.Run(wire.Meter(wire.Local{H: m}, wireMet), eng, slave.Options{
 				NotifyEvery: 50 * time.Millisecond,
 				Poll:        10 * time.Millisecond,
 				TopK:        p.TopK,
 				AlignBest:   p.AlignBest,
+				Metrics:     slaveMet,
 			})
 		}(i, eng)
 	}

@@ -1,0 +1,119 @@
+// Package benchfmt parses the text output of `go test -bench` into
+// structured records, so benchmark runs can be archived as JSON
+// (cmd/benchjson, `make bench`) and compared across commits without
+// scraping.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (BenchmarkKernelFarrar-8 → KernelFarrar; the Benchmark prefix is
+	// dropped too).
+	Name string `json:"name"`
+	// Pkg is the import path from the most recent "pkg:" header line.
+	Pkg string `json:"pkg,omitempty"`
+	// Procs is GOMAXPROCS at run time (the -N suffix; 1 when absent).
+	Procs int `json:"procs"`
+	// Iters is the measured iteration count (b.N).
+	Iters int64 `json:"iters"`
+	// NsPerOp is the core measurement.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp come from -benchmem; -1 when absent.
+	BytesPerOp  int64 `json:"b_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Custom holds any further "value unit" pairs (b.ReportMetric and
+	// b.SetBytes output, e.g. "MB/s", "GCUPS").
+	Custom map[string]float64 `json:"custom,omitempty"`
+}
+
+// Set is a whole `go test -bench` run.
+type Set struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output. Unrecognised lines (PASS, ok,
+// test logs) are skipped; malformed Benchmark lines are an error.
+func Parse(r io.Reader) (*Set, error) {
+	s := &Set{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			s.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			s.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			s.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: %w", err)
+			}
+			res.Pkg = pkg
+			s.Results = append(s.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	return s, nil
+}
+
+func parseLine(line string) (Result, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Result{}, fmt.Errorf("malformed line %q", line)
+	}
+	res := Result{Procs: 1, BytesPerOp: -1, AllocsPerOp: -1, NsPerOp: -1}
+	res.Name = strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if n, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Procs = n
+			res.Name = res.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("iterations in %q: %v", line, err)
+	}
+	res.Iters = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("value %q in %q: %v", f[i], line, err)
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		default:
+			if res.Custom == nil {
+				res.Custom = map[string]float64{}
+			}
+			res.Custom[unit] = v
+		}
+	}
+	if res.NsPerOp < 0 {
+		return Result{}, fmt.Errorf("no ns/op in %q", line)
+	}
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/sw
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkKernelFarrar-8   	     100	  10123456 ns/op	  55.20 MCUPS	  123456 B/op	    1234 allocs/op
+BenchmarkScoreScalar     	    5000	    250000 ns/op
+PASS
+ok  	repro/internal/sw	2.345s
+pkg: repro/internal/sched
+BenchmarkCoordinator-4   	   20000	     61000 ns/op	     512 B/op	       8 allocs/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	s, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Goos != "linux" || s.Goarch != "amd64" || s.CPU != "Intel(R) Xeon(R) CPU" {
+		t.Errorf("headers = %+v", s)
+	}
+	if len(s.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(s.Results))
+	}
+	r := s.Results[0]
+	if r.Name != "KernelFarrar" || r.Procs != 8 || r.Pkg != "repro/internal/sw" {
+		t.Errorf("result 0 identity = %+v", r)
+	}
+	if r.Iters != 100 || r.NsPerOp != 10123456 || r.BytesPerOp != 123456 || r.AllocsPerOp != 1234 {
+		t.Errorf("result 0 values = %+v", r)
+	}
+	if r.Custom["MCUPS"] != 55.20 {
+		t.Errorf("custom metric = %v", r.Custom)
+	}
+	r = s.Results[1]
+	if r.Name != "ScoreScalar" || r.Procs != 1 || r.BytesPerOp != -1 || r.AllocsPerOp != -1 {
+		t.Errorf("result 1 = %+v", r)
+	}
+	if got := s.Results[2].Pkg; got != "repro/internal/sched" {
+		t.Errorf("pkg tracking: %q", got)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX 12 34",            // odd pair count
+		"BenchmarkX notanint 5 ns/op", // bad iterations
+		"BenchmarkX 10 abc ns/op",     // bad value
+		"BenchmarkX 10 5 MB/s",        // no ns/op at all
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	s, err := Parse(strings.NewReader("PASS\nok  \tx\t0.001s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 0 {
+		t.Errorf("results = %+v", s.Results)
+	}
+}

@@ -2,19 +2,31 @@
 // (cmd/swserve): a database is loaded at startup and queries are submitted
 // over HTTP, making the task execution environment usable from any
 // language. JSON in, JSON out, stdlib only.
+//
+// Every route runs behind a middleware stack (request IDs, a body-size
+// cap, request metrics and an optional access log), and the server's
+// metrics registry — shared with the search platform, so scheduler, wire
+// and slave families accumulate across requests — is exposed at
+// GET /metrics (Prometheus text exposition) and GET /varz (JSON).
 package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
 	"time"
 
 	hybridsw "repro"
 	"repro/internal/fasta"
+	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/seq"
+	"repro/internal/slave"
 	"repro/internal/stats"
+	"repro/internal/wire"
 )
 
 // Server serves search requests against one resident database.
@@ -24,29 +36,74 @@ type Server struct {
 	residues int64
 	platform hybridsw.Platform
 	started  time.Time
+	reg      *metrics.Registry
+	met      *httpMetrics
+	maxBody  int64
+
+	// Log, when non-nil, receives one access-log line per request
+	// (method, path, status, latency, request ID). Set it before Handler
+	// is served.
+	Log *log.Logger
 }
 
 // New builds a server over a database with a default platform configuration
-// (individual request fields can override parts of it).
+// (individual request fields can override parts of it). If
+// platform.Registry is nil a fresh registry is created; either way every
+// search instruments into the registry that /metrics serves.
 func New(dbName string, db []*seq.Sequence, platform hybridsw.Platform) (*Server, error) {
 	if len(db) == 0 {
 		return nil, fmt.Errorf("httpapi: empty database")
 	}
-	s := &Server{db: db, dbName: dbName, platform: platform, started: time.Now()}
+	reg := platform.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+		platform.Registry = reg
+	}
+	// Pre-register the scheduler, wire and slave families so a scrape
+	// before the first search already shows the full taxonomy.
+	sched.NewMetrics(reg)
+	wire.NewMetrics(reg)
+	slave.NewMetrics(reg)
+	s := &Server{
+		db: db, dbName: dbName, platform: platform, started: time.Now(),
+		reg: reg, met: newHTTPMetrics(reg), maxBody: DefaultMaxBody,
+	}
 	for _, d := range db {
 		s.residues += int64(d.Len())
 	}
 	return s, nil
 }
 
+// Registry returns the server's metrics registry (the one /metrics
+// serves).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /database", s.handleDatabase)
-	mux.HandleFunc("POST /search", s.handleSearch)
-	mux.HandleFunc("POST /align", s.handleAlign)
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("GET /database", s.instrument("database", s.handleDatabase))
+	mux.HandleFunc("POST /search", s.instrument("search", s.handleSearch))
+	mux.HandleFunc("POST /align", s.instrument("align", s.handleAlign))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.reg.Handler().ServeHTTP))
+	mux.HandleFunc("GET /varz", s.instrument("varz", s.reg.VarzHandler().ServeHTTP))
 	return mux
+}
+
+// decodeJSON decodes the request body into v, writing the appropriate
+// error response (413 when the body-size cap fired, 400 otherwise) and
+// returning false on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return false
+	}
+	return true
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -99,8 +156,7 @@ type SearchResponse struct {
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req SearchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	queries, err := fasta.NewReader(strings.NewReader(req.QueriesFasta)).ReadAll()
@@ -176,8 +232,7 @@ type AlignResponse struct {
 
 func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	var req AlignRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if req.A == "" || req.B == "" {

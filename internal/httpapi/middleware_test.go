@@ -1,0 +1,115 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, ts := testServer(t)
+	// Run one search so the scheduler/wire/slave families carry values.
+	q := srv.db[0]
+	resp, body := post(t, ts.URL+"/search", SearchRequest{
+		QueriesFasta: fmt.Sprintf(">q\n%s\n", q.Residues), TopK: 1,
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("search: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("metrics: %v %v", resp, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	expo := buf.String()
+	for _, want := range []string{
+		"# TYPE sched_tasks_completed_total counter",
+		"sched_slave_rate_gcups{slave=",
+		"wire_call_seconds_bucket{kind=\"Complete\",le=",
+		"slave_task_seconds_count",
+		"httpapi_requests_total{route=\"search\",class=\"2xx\"} 1",
+		"httpapi_request_seconds_count{route=\"search\"} 1",
+		"# TYPE httpapi_in_flight_requests gauge",
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestVarzEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/varz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("varz: %v %v", resp, err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	// The pre-registered scheduler families appear before any traffic.
+	if _, ok := doc["sched_tasks_completed_total"]; !ok {
+		t.Errorf("varz missing sched_tasks_completed_total: %v", doc)
+	}
+}
+
+func TestRequestIDEcho(t *testing.T) {
+	_, ts := testServer(t)
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set(RequestIDHeader, "trace-me-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "trace-me-42" {
+		t.Errorf("request ID not echoed: %q", got)
+	}
+	// Absent on the request, one is generated.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get(RequestIDHeader) == "" {
+		t.Error("no request ID generated")
+	}
+}
+
+func TestOversizedBodyRejected(t *testing.T) {
+	_, ts := testServer(t)
+	// Valid JSON that only reveals its size by being read: a syntax error
+	// would 400 before the body cap ever fired.
+	huge := fmt.Sprintf(`{"a":%q}`, strings.Repeat("A", int(DefaultMaxBody)+1))
+	resp, err := http.Post(ts.URL+"/align", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413 (%s)", resp.StatusCode, buf.Bytes())
+	}
+	// And the middleware filed it under the 4xx class.
+	var expo bytes.Buffer
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(expo.String(), `httpapi_requests_total{route="align",class="4xx"} 1`) {
+		t.Error("413 not counted in the 4xx class")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/seq"
 	"repro/internal/wire"
@@ -36,6 +37,47 @@ type Config struct {
 	// no progress) that SlaveGone never notices. Must comfortably exceed
 	// the slaves' notification and standby-poll intervals. 0 disables.
 	Lease time.Duration
+	// Registry, when non-nil, attaches the job's full instrumentation to it:
+	// the coordinator's task-lifecycle counters and depth gauges
+	// (sched.NewMetrics), the master's protocol counters, and — for
+	// connections served through Listen — wire dispatch latency histograms.
+	Registry *metrics.Registry
+	// Events, when non-nil, receives the structured scheduler event stream
+	// (assign/sample/exec/summary JSON lines) in the same shapes the
+	// discrete-event runner's platform.WriteTrace emits, so one toolchain
+	// reads wall-clock and simulated runs.
+	Events *metrics.EventLog
+}
+
+// schedConfig derives the coordinator configuration, attaching scheduler
+// metrics when a registry is present. sched.NewMetrics is idempotent per
+// registry, so calling this more than once (New + LoadCheckpoint restore)
+// re-attaches to the same families.
+func (cfg Config) schedConfig() sched.Config {
+	sc := sched.Config{
+		Policy: cfg.Policy,
+		Adjust: cfg.Adjust,
+		Omega:  cfg.Omega,
+	}
+	if cfg.Registry != nil {
+		sc.Metrics = sched.NewMetrics(cfg.Registry)
+	}
+	return sc
+}
+
+// masterMetrics are the master-process protocol counters.
+type masterMetrics struct {
+	registrations *metrics.Counter
+	deadSlaves    *metrics.Counter
+	messages      *metrics.CounterVec
+}
+
+func newMasterMetrics(r *metrics.Registry) *masterMetrics {
+	return &masterMetrics{
+		registrations: r.Counter("master_registrations_total", "Slave registrations accepted."),
+		deadSlaves:    r.Counter("master_dead_slaves_total", "Slaves declared dead (connection drop or lease expiry)."),
+		messages:      r.CounterVec("master_messages_total", "Protocol messages dispatched, by kind.", "kind"),
+	}
 }
 
 // QueryResult is the merged outcome for one query.
@@ -68,6 +110,10 @@ type Master struct {
 	// slave-initiated, so a slave learns that its copy of a task became
 	// moot on its next Progress or Complete acknowledgement.
 	pendingCancel map[sched.SlaveID][]sched.TaskID
+	// met/wireMet/events are nil unless Config.Registry/Events were set.
+	met     *masterMetrics
+	wireMet *wire.Metrics
+	events  *metrics.EventLog
 }
 
 // New builds a master for the job.
@@ -89,11 +135,7 @@ func New(cfg Config) (*Master, error) {
 		}
 	}
 	m := &Master{
-		coord: sched.NewCoordinator(tasks, sched.Config{
-			Policy: cfg.Policy,
-			Adjust: cfg.Adjust,
-			Omega:  cfg.Omega,
-		}),
+		coord:         sched.NewCoordinator(tasks, cfg.schedConfig()),
 		queries:       cfg.Queries,
 		start:         time.Now(),
 		done:          make(chan struct{}),
@@ -102,6 +144,11 @@ func New(cfg Config) (*Master, error) {
 		serveErr:      make(chan error, 1),
 		lease:         cfg.Lease,
 		pendingCancel: map[sched.SlaveID][]sched.TaskID{},
+		events:        cfg.Events,
+	}
+	if cfg.Registry != nil {
+		m.met = newMasterMetrics(cfg.Registry)
+		m.wireMet = wire.NewMetrics(cfg.Registry)
 	}
 	if m.lease > 0 {
 		go m.expireLoop()
@@ -130,7 +177,10 @@ func (m *Master) expireLoop() {
 			return
 		case <-t.C:
 			m.mu.Lock()
-			m.coord.Expire(m.now(), m.lease)
+			expired := m.coord.Expire(m.now(), m.lease)
+			if m.met != nil {
+				m.met.deadSlaves.Add(float64(len(expired)))
+			}
 			m.mu.Unlock()
 		}
 	}
@@ -153,6 +203,9 @@ func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := m.now()
+	if m.met != nil {
+		m.met.messages.With(wire.KindOf(req).String()).Inc()
+	}
 	badSlave := func(id sched.SlaveID) bool {
 		return id < 0 || int(id) >= m.coord.Slaves()
 	}
@@ -175,6 +228,9 @@ func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
 			Kind:          req.Register.Kind,
 			DeclaredSpeed: req.Register.DeclaredSpeed,
 		}, now)
+		if m.met != nil {
+			m.met.registrations.Inc()
+		}
 		return wire.Envelope{RegisterAck: &wire.RegisterAckMsg{Slave: id}}
 
 	case req.Request != nil:
@@ -190,6 +246,16 @@ func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
 		tasks, replica := m.coord.RequestWork(req.Request.Slave, now)
 		if len(tasks) == 0 {
 			return wire.Envelope{Assign: &wire.AssignMsg{Standby: true, Done: m.coord.Done()}}
+		}
+		if m.events != nil {
+			ids := make([]int, len(tasks))
+			for i, t := range tasks {
+				ids[i] = int(t.ID)
+			}
+			m.events.Emit(metrics.Event{
+				Kind: metrics.EventAssign, TimeSec: now.Seconds(),
+				PE: m.slaveName(req.Request.Slave), Tasks: ids, Replica: replica,
+			})
 		}
 		specs := make([]wire.TaskSpec, len(tasks))
 		for i, t := range tasks {
@@ -210,6 +276,12 @@ func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
 			return *e
 		}
 		m.coord.ProgressRate(req.Progress.Slave, req.Progress.Rate, req.Progress.Cells, now)
+		if m.events != nil {
+			m.events.Emit(metrics.Event{
+				Kind: metrics.EventSample, TimeSec: now.Seconds(),
+				PE: m.slaveName(req.Progress.Slave), GCUPS: req.Progress.Rate / 1e9,
+			})
+		}
 		return wire.Envelope{ProgressAck: &wire.ProgressAckMsg{
 			Cancel: m.takeCancels(req.Progress.Slave),
 			Done:   m.coord.Done(),
@@ -225,14 +297,30 @@ func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
 		if e := deadSlave(req.Complete.Slave); e != nil {
 			return *e
 		}
+		// Capture the executor's start time before CompleteWork clears it,
+		// so the exec event carries the full occupancy window.
+		var startAt time.Duration
+		if m.events != nil {
+			if st, ok := m.coord.Pool().Executors(req.Complete.Task)[req.Complete.Slave]; ok {
+				startAt = st
+			}
+		}
 		accepted, canceledSlaves := m.coord.CompleteWork(req.Complete.Slave, req.Complete.Task,
 			req.Complete.Hits, req.Complete.Cells, req.Complete.Rate, now)
 		for _, o := range canceledSlaves {
 			m.pendingCancel[o] = append(m.pendingCancel[o], req.Complete.Task)
 		}
+		if accepted && m.events != nil {
+			m.events.Emit(metrics.Event{
+				Kind: metrics.EventExec, PE: m.slaveName(req.Complete.Slave),
+				Task: int(req.Complete.Task), TimeSec: startAt.Seconds(),
+				EndSec: now.Seconds(), Completed: true,
+			})
+		}
 		if m.coord.Done() && !m.closed {
 			m.closed = true
 			close(m.done)
+			m.emitSummary(now)
 		}
 		return wire.Envelope{CompleteAck: &wire.CompleteAckMsg{
 			Accepted: accepted,
@@ -243,6 +331,36 @@ func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
 	default:
 		return wire.Envelope{Error: "unknown message"}
 	}
+}
+
+// slaveName is the event-stream PE label for a slave. Callers hold m.mu.
+func (m *Master) slaveName(id sched.SlaveID) string {
+	if name := m.coord.SlaveInfoOf(id).Name; name != "" {
+		return name
+	}
+	return fmt.Sprintf("slave%d", int(id))
+}
+
+// emitSummary closes the event stream with per-slave and overall summary
+// lines, mirroring platform.WriteTrace's trailer. Callers hold m.mu.
+func (m *Master) emitSummary(now time.Duration) {
+	if m.events == nil {
+		return
+	}
+	won := map[sched.SlaveID]int{}
+	var cells int64
+	for _, r := range m.coord.Results() {
+		won[r.Slave]++
+		cells += m.coord.Pool().Task(r.Task).Cells
+	}
+	for id, n := range won {
+		m.events.Emit(metrics.Event{Kind: metrics.EventSummary, PE: m.slaveName(id), TasksWon: n})
+	}
+	overall := metrics.Event{Kind: metrics.EventSummary, MakespanSec: now.Seconds(), CellsDone: cells}
+	if now > 0 {
+		overall.TotalGCUPS = float64(cells) / now.Seconds() / 1e9
+	}
+	m.events.Emit(overall)
 }
 
 // takeCancels pops the queued cancellations for a slave. Callers hold m.mu.
@@ -261,7 +379,13 @@ func (m *Master) SlaveGone(id sched.SlaveID) {
 	if id < 0 || int(id) >= m.coord.Slaves() {
 		return
 	}
+	if m.coord.Dead(id) {
+		return
+	}
 	m.coord.SlaveDied(id)
+	if m.met != nil {
+		m.met.deadSlaves.Inc()
+	}
 }
 
 // Done returns a channel closed when every task has a result.
@@ -329,8 +453,11 @@ func (m *Master) Listen(addr string) (net.Listener, error) {
 	if err != nil {
 		return nil, err
 	}
+	// With a registry attached, every served connection's dispatches are
+	// timed per message kind (wire_call_seconds).
+	h := wire.MeterHandler(wire.Handler(m), m.wireMet)
 	go func() {
-		err := wire.Serve(l, m)
+		err := wire.Serve(l, h)
 		select {
 		case m.serveErr <- err:
 		default: // nobody drained the previous error; keep the oldest
@@ -380,11 +507,7 @@ func LoadCheckpoint(r io.Reader, cfg Config) (*Master, error) {
 	// New may already have started the lease-expiry loop, which reads
 	// m.coord under the mutex — swap the restored coordinator in under it.
 	m.mu.Lock()
-	m.coord = sched.Restore(&snap, sched.Config{
-		Policy: cfg.Policy,
-		Adjust: cfg.Adjust,
-		Omega:  cfg.Omega,
-	})
+	m.coord = sched.Restore(&snap, cfg.schedConfig())
 	if m.coord.Done() && !m.closed {
 		m.closed = true
 		close(m.done)

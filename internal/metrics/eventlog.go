@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one line of a structured scheduler event stream. Its JSON field
+// names deliberately mirror internal/platform's TraceEvent so a wall-clock
+// master run and a discrete-event simulation produce interchangeable
+// JSON-lines files: the same jq filter or pandas loader reads both.
+// (The types cannot be shared — platform sits above sched while metrics is
+// a leaf package — so the JSON shape is the contract, locked in by the
+// round-trip test in internal/platform.)
+type Event struct {
+	Kind    string  `json:"kind"`
+	TimeSec float64 `json:"t"`
+	PE      string  `json:"pe,omitempty"`
+
+	// assign
+	Tasks   []int `json:"tasks,omitempty"`
+	Replica bool  `json:"replica,omitempty"`
+
+	// sample
+	GCUPS float64 `json:"gcups,omitempty"`
+
+	// exec (one task occupancy window)
+	Task      int     `json:"task,omitempty"`
+	EndSec    float64 `json:"end,omitempty"`
+	Completed bool    `json:"completed,omitempty"`
+
+	// summary (one per PE plus one overall with PE == "")
+	CellsDone   int64   `json:"cells,omitempty"`
+	TasksWon    int     `json:"won,omitempty"`
+	BusySec     float64 `json:"busy_s,omitempty"`
+	MakespanSec float64 `json:"makespan_s,omitempty"`
+	TotalGCUPS  float64 `json:"total_gcups,omitempty"`
+}
+
+// Event kinds shared with platform.TraceEvent.
+const (
+	EventAssign  = "assign"
+	EventSample  = "sample"
+	EventExec    = "exec"
+	EventSummary = "summary"
+)
+
+// EventLog serialises events as JSON lines to a writer. It is safe for
+// concurrent Emit from any number of goroutines; a nil *EventLog discards
+// events, so call sites need no guards.
+type EventLog struct {
+	mu      sync.Mutex
+	enc     *json.Encoder
+	emitted atomic.Uint64
+}
+
+// NewEventLog writes events to w (one JSON object per line).
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event line. Emitting on a nil log is a no-op.
+func (l *EventLog) Emit(e Event) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.enc.Encode(e); err != nil {
+		return err
+	}
+	l.emitted.Add(1)
+	return nil
+}
+
+// Emitted returns how many events have been written.
+func (l *EventLog) Emitted() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.emitted.Load()
+}

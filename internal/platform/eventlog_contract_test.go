@@ -1,0 +1,62 @@
+package platform
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestEventLogTraceContract locks in the cross-package contract: a
+// metrics.Event line (wall-clock master) must parse into an identical
+// platform.TraceEvent (discrete-event trace), because the two packages
+// cannot share the type but promise the same JSON shape.
+func TestEventLogTraceContract(t *testing.T) {
+	in := metrics.Event{
+		Kind: "exec", TimeSec: 1.5, PE: "GPU1",
+		Tasks: []int{3, 4}, Replica: true,
+		GCUPS: 2.25,
+		Task:  7, EndSec: 9.75, Completed: true,
+		CellsDone: 12345, TasksWon: 3, BusySec: 8.5,
+		MakespanSec: 100.25, TotalGCUPS: 3.5,
+	}
+	var buf bytes.Buffer
+	if err := metrics.NewEventLog(&buf).Emit(in); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("event-log line unreadable as a trace: %v", err)
+	}
+	want := TraceEvent{
+		Kind: "exec", TimeSec: 1.5, PE: "GPU1",
+		Tasks: []int{3, 4}, Replica: true,
+		GCUPS: 2.25,
+		Task:  7, EndSec: 9.75, Completed: true,
+		CellsDone: 12345, TasksWon: 3, BusySec: 8.5,
+		MakespanSec: 100.25, TotalGCUPS: 3.5,
+	}
+	if len(evs) != 1 || !reflect.DeepEqual(evs[0], want) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", evs, want)
+	}
+}
+
+// TestEventLogTraceTagsMatch verifies the two structs declare the same
+// JSON tags field for field, so a new field added to one side without the
+// other fails here instead of silently dropping data.
+func TestEventLogTraceTagsMatch(t *testing.T) {
+	tags := func(v any) map[string]string {
+		out := map[string]string{}
+		rt := reflect.TypeOf(v)
+		for i := 0; i < rt.NumField(); i++ {
+			f := rt.Field(i)
+			out[f.Name] = f.Tag.Get("json")
+		}
+		return out
+	}
+	a, b := tags(TraceEvent{}), tags(metrics.Event{})
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("field/tag mismatch:\n platform.TraceEvent: %v\n metrics.Event:       %v", a, b)
+	}
+}

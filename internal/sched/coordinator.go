@@ -73,6 +73,11 @@ type Config struct {
 	// default (0.1); negative means replicate on any positive gain.
 	// Higher values avoid wasted replicas at the cost of slower rescue.
 	GainThreshold float64
+	// Metrics, when non-nil, receives task-lifecycle counters, pool-depth
+	// gauges and per-slave rate gauges (see NewMetrics). The coordinator is
+	// clock-agnostic, so the same hooks serve the wall-clock master and the
+	// discrete-event runner.
+	Metrics *Metrics
 }
 
 type slaveState struct {
@@ -144,10 +149,54 @@ func NewCoordinator(tasks []Task, cfg Config) *Coordinator {
 	if cfg.Omega < 1 {
 		cfg.Omega = DefaultOmega
 	}
-	return &Coordinator{
+	c := &Coordinator{
 		cfg:     cfg,
 		pool:    NewPool(tasks),
 		results: make(map[TaskID]Result, len(tasks)),
+	}
+	c.syncGauges()
+	return c
+}
+
+// syncGauges refreshes the pool-depth and slave-count gauges after any
+// state transition. Cheap enough to call unconditionally from every
+// mutating method.
+func (c *Coordinator) syncGauges() {
+	m := c.cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.ReadyTasks.Set(float64(c.pool.Ready()))
+	m.ExecutingTasks.Set(float64(c.pool.ExecutingCount()))
+	m.FinishedTasks.Set(float64(c.pool.Finished()))
+	m.AliveSlaves.Set(float64(c.aliveSlaves()))
+}
+
+// gaugeRate publishes the slave's current speed estimate in GCUPS.
+func (c *Coordinator) gaugeRate(id SlaveID) {
+	m := c.cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.SlaveRate.With(c.slaveLabel(id)).Set(c.SpeedOf(id) / 1e9)
+}
+
+// slaveLabel is the metric label for a slave: its registered name, or a
+// synthetic one when it registered anonymously.
+func (c *Coordinator) slaveLabel(id SlaveID) string {
+	if name := c.slaves[id].info.Name; name != "" {
+		return name
+	}
+	return fmt.Sprintf("slave%d", int(id))
+}
+
+// abandonToPool routes every executor-removal through one place so the
+// requeue counter sees each executing->ready fallback exactly once.
+func (c *Coordinator) abandonToPool(tid TaskID, sid SlaveID) {
+	wasExecuting := c.pool.StateOf(tid) == Executing
+	c.pool.Abandon(tid, sid)
+	if m := c.cfg.Metrics; m != nil && wasExecuting && c.pool.StateOf(tid) == Ready {
+		m.TasksRequeued.Inc()
 	}
 }
 
@@ -169,6 +218,7 @@ func (c *Coordinator) Register(info SlaveInfo, now time.Duration) SlaveID {
 		executing:   map[TaskID]bool{},
 		lastContact: now,
 	})
+	c.syncGauges()
 	return SlaveID(len(c.slaves) - 1)
 }
 
@@ -203,6 +253,7 @@ func (c *Coordinator) Progress(id SlaveID, cells int64, now time.Duration) {
 	if cells > 0 {
 		s.credit += cells
 	}
+	c.gaugeRate(id)
 }
 
 // ProgressRate ingests a directly measured speed sample (cells/second) plus
@@ -218,6 +269,7 @@ func (c *Coordinator) ProgressRate(id SlaveID, cellsPerSecond float64, cells int
 	if cells > 0 {
 		s.credit += cells
 	}
+	c.gaugeRate(id)
 }
 
 // RequestWork grants tasks to an idle slave. The policy decides how many
@@ -265,6 +317,10 @@ func (c *Coordinator) RequestWork(id SlaveID, now time.Duration) (tasks []Task, 
 		}
 		if len(tasks) > 0 {
 			c.log = append(c.log, Assignment{Time: now, Slave: id, Tasks: taskIDs(tasks)})
+			if m := c.cfg.Metrics; m != nil {
+				m.TasksAssigned.Add(float64(len(tasks)))
+			}
+			c.syncGauges()
 			return tasks, false
 		}
 	}
@@ -273,6 +329,9 @@ func (c *Coordinator) RequestWork(id SlaveID, now time.Duration) (tasks []Task, 
 			c.pool.AddExecutor(tid, id, now)
 			c.slaves[id].assign(tid)
 			c.log = append(c.log, Assignment{Time: now, Slave: id, Tasks: []TaskID{tid}, Replica: true})
+			if m := c.cfg.Metrics; m != nil {
+				m.TasksReplicated.Inc()
+			}
 			return []Task{c.pool.Task(tid)}, true
 		}
 	}
@@ -406,6 +465,10 @@ func (c *Coordinator) Complete(id SlaveID, tid TaskID, payload any, now time.Dur
 	for _, o := range others {
 		c.slaves[o].drop(tid, task.Cells)
 	}
+	if m := c.cfg.Metrics; m != nil {
+		m.TasksCompleted.Inc()
+	}
+	c.syncGauges()
 	return true, others
 }
 
@@ -426,6 +489,10 @@ func (c *Coordinator) CompleteWork(id SlaveID, tid TaskID, payload any, cells in
 		if cells > 0 {
 			s.credit += cells
 		}
+		// Publish the refreshed estimate: tasks short enough to finish
+		// inside one notification interval would otherwise never move the
+		// per-slave rate gauge.
+		c.gaugeRate(id)
 	}
 	return c.Complete(id, tid, payload, now)
 }
@@ -433,7 +500,8 @@ func (c *Coordinator) CompleteWork(id SlaveID, tid TaskID, payload any, cells in
 // Abandon records that a slave gave up a task (cancellation acknowledged).
 func (c *Coordinator) Abandon(id SlaveID, tid TaskID) {
 	c.slaves[id].drop(tid, c.pool.Task(tid).Cells)
-	c.pool.Abandon(tid, id)
+	c.abandonToPool(tid, id)
+	c.syncGauges()
 }
 
 // SlaveDied removes a slave: its executing tasks lose an executor and
@@ -446,11 +514,15 @@ func (c *Coordinator) SlaveDied(id SlaveID) {
 	}
 	s.dead = true
 	for tid := range s.executing {
-		c.pool.Abandon(tid, id)
+		c.abandonToPool(tid, id)
 	}
 	s.executing = map[TaskID]bool{}
 	s.order = nil
 	s.credit = 0
+	if m := c.cfg.Metrics; m != nil {
+		m.SlaveRate.With(c.slaveLabel(id)).Set(0)
+	}
+	c.syncGauges()
 }
 
 // Expire is the lease-based failure detector: every slave silent for
@@ -476,6 +548,9 @@ func (c *Coordinator) Expire(now, lease time.Duration) []SlaveID {
 		}
 		c.SlaveDied(SlaveID(i))
 		expired = append(expired, SlaveID(i))
+		if m := c.cfg.Metrics; m != nil {
+			m.LeaseExpirations.Inc()
+		}
 	}
 	return expired
 }

@@ -1,0 +1,47 @@
+package sched
+
+import "repro/internal/metrics"
+
+// Metrics is the coordinator's instrumentation bundle. Every hook is
+// optional: a Coordinator with a nil Config.Metrics skips all accounting,
+// so the discrete-event experiments pay nothing unless they opt in.
+//
+// The counters follow the task lifecycle (§IV-A.3): assigned counts
+// first-copy grants, replicated counts extra copies from the workload
+// adjustment mechanism, requeued counts executing tasks that fell back to
+// ready because every executor abandoned them or died, completed counts
+// accepted first-finisher results. The gauges mirror the pool's
+// ready/executing/finished depths and the per-slave Ω-window speed
+// estimate that drives PSS and the adjustment mechanism.
+type Metrics struct {
+	TasksAssigned    *metrics.Counter
+	TasksCompleted   *metrics.Counter
+	TasksRequeued    *metrics.Counter
+	TasksReplicated  *metrics.Counter
+	LeaseExpirations *metrics.Counter
+
+	ReadyTasks     *metrics.Gauge
+	ExecutingTasks *metrics.Gauge
+	FinishedTasks  *metrics.Gauge
+	AliveSlaves    *metrics.Gauge
+
+	// SlaveRate is the current speed estimate per slave, in GCUPS —
+	// the live version of the paper's per-device throughput plots.
+	SlaveRate *metrics.GaugeVec
+}
+
+// NewMetrics registers (or re-attaches to) the scheduler families on r.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		TasksAssigned:    r.Counter("sched_tasks_assigned_total", "Tasks granted to slaves by the allocation policy (first copies only)."),
+		TasksCompleted:   r.Counter("sched_tasks_completed_total", "Tasks with an accepted (first-finisher) result."),
+		TasksRequeued:    r.Counter("sched_tasks_requeued_total", "Executing tasks returned to ready after losing every executor (death, cancellation or abandonment)."),
+		TasksReplicated:  r.Counter("sched_tasks_replicated_total", "Extra task copies granted by the workload adjustment mechanism."),
+		LeaseExpirations: r.Counter("sched_lease_expirations_total", "Slaves declared dead by the lease-based failure detector."),
+		ReadyTasks:       r.Gauge("sched_ready_tasks", "Tasks not yet assigned to any slave."),
+		ExecutingTasks:   r.Gauge("sched_executing_tasks", "Tasks running on at least one slave."),
+		FinishedTasks:    r.Gauge("sched_finished_tasks", "Tasks with a collected result."),
+		AliveSlaves:      r.Gauge("sched_alive_slaves", "Registered slaves not declared dead."),
+		SlaveRate:        r.GaugeVec("sched_slave_rate_gcups", "Current Omega-window speed estimate per slave, in GCUPS.", "slave"),
+	}
+}

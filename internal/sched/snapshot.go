@@ -57,6 +57,7 @@ func Restore(snap *Snapshot, cfg Config) *Coordinator {
 			Payload: f.Payload,
 		}
 	}
+	c.syncGauges()
 	return c
 }
 

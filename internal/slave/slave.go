@@ -44,6 +44,10 @@ type Options struct {
 	// RetrySeed seeds the backoff jitter so tests are reproducible; 0
 	// seeds from the wall clock.
 	RetrySeed int64
+
+	// Metrics, when non-nil, records task wall times, cells reported,
+	// reconnections and backoff sleeps (see NewMetrics).
+	Metrics *Metrics
 }
 
 // DefaultMaxRetries is the consecutive-reconnect-failure budget when
@@ -93,7 +97,12 @@ func Run(caller wire.Caller, eng Engine, opts Options) (int, error) {
 			if failures >= opts.MaxRetries {
 				return completed, fmt.Errorf("slave: giving up after %d reconnect attempts: %w", failures, err)
 			}
-			time.Sleep(opts.Backoff.Delay(failures, rng))
+			delay := opts.Backoff.Delay(failures, rng)
+			if m := opts.Metrics; m != nil {
+				m.BackoffSleeps.Inc()
+				m.BackoffSeconds.Add(delay.Seconds())
+			}
+			time.Sleep(delay)
 			failures++
 			next, derr := opts.Reconnect()
 			if derr != nil {
@@ -101,6 +110,9 @@ func Run(caller wire.Caller, eng Engine, opts Options) (int, error) {
 				continue
 			}
 			caller = next
+			if m := opts.Metrics; m != nil {
+				m.Reconnects.Inc()
+			}
 			break
 		}
 	}
@@ -173,7 +185,8 @@ func runSession(caller wire.Caller, eng Engine, opts Options) (completed int, pr
 func runTask(caller wire.Caller, eng Engine, id sched.SlaveID, spec wire.TaskSpec, canceled *cancelSet, opts Options) (completed, jobDone bool, err error) {
 	query := &seq.Sequence{ID: spec.QueryID, Residues: spec.Residues}
 	var callErr error
-	lastNotify := time.Now()
+	taskStart := time.Now()
+	lastNotify := taskStart
 	var lastCells int64
 	progress := func(cells int64) {
 		now := time.Now()
@@ -190,6 +203,9 @@ func runTask(caller wire.Caller, eng Engine, id sched.SlaveID, spec wire.TaskSpe
 		}
 		if resp.ProgressAck != nil {
 			canceled.add(resp.ProgressAck.Cancel)
+		}
+		if m := opts.Metrics; m != nil && delta > 0 {
+			m.Cells.Add(float64(delta))
 		}
 		lastNotify, lastCells = now, cells
 	}
@@ -231,6 +247,12 @@ func runTask(caller wire.Caller, eng Engine, id sched.SlaveID, spec wire.TaskSpe
 	}})
 	if err != nil {
 		return false, false, err
+	}
+	if m := opts.Metrics; m != nil {
+		m.TaskSeconds.Observe(time.Since(taskStart).Seconds())
+		if finalCells > 0 {
+			m.Cells.Add(float64(finalCells))
+		}
 	}
 	if resp.CompleteAck != nil {
 		canceled.add(resp.CompleteAck.Cancel)

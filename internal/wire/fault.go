@@ -93,6 +93,7 @@ type FaultCaller struct {
 
 	mu      sync.Mutex
 	rng     *rand.Rand
+	meter   *Metrics
 	matched []int // matching-call count per rule
 	fired   []int // fault count per rule
 
@@ -111,6 +112,14 @@ func NewFaultCaller(inner Caller, seed int64, rules ...Rule) *FaultCaller {
 		fired:   make([]int, len(rules)),
 		closed:  make(chan struct{}),
 	}
+}
+
+// SetMetrics attaches an instrumentation bundle: every fault that fires
+// additionally increments m.Faults, so chaos runs show up on /metrics.
+func (f *FaultCaller) SetMetrics(m *Metrics) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.meter = m
 }
 
 // Fired returns how many times rule i injected its fault.
@@ -142,6 +151,9 @@ func (f *FaultCaller) Call(req Envelope) (Envelope, error) {
 			continue
 		}
 		f.fired[i]++
+		if f.meter != nil {
+			f.meter.Faults.Inc()
+		}
 		action, delay = r.Action, r.Delay
 		break
 	}
