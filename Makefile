@@ -7,7 +7,7 @@
 # whole module.
 RACE_PKGS := ./internal/sched/... ./internal/master/... ./internal/slave/... ./internal/wire/... ./internal/httpapi/... ./internal/metrics/...
 
-all: build test
+all: build lint test
 
 build:
 	go build ./...
@@ -15,10 +15,12 @@ build:
 vet:
 	go vet ./...
 
-# Enforce the metric naming convention (subsystem_name_unit; see
-# cmd/metriclint) on every registration literal in the tree.
+# Run the repo's own static-analysis suite (see cmd/swcheck and DESIGN §7):
+# scheduler purity, enum-switch exhaustiveness, mutex discipline, nil-guarded
+# metric handles, dropped errors and metric naming. cmd/metriclint survives
+# as a thin alias for the metricname analyzer alone.
 lint:
-	go run ./cmd/metriclint .
+	go run ./cmd/swcheck ./...
 
 test: vet lint
 	go test ./...

@@ -1,118 +1,50 @@
 // Command metriclint enforces the repository's metric naming convention
-// (subsystem_name_unit; counters end in _total, gauges must not, histogram
-// names carry a unit suffix — see metrics.CheckName). It parses every .go
-// file under the given directories and checks each string literal passed
-// as the name of a registry constructor call:
+// (subsystem_name_unit; counters end in _total, gauges must not,
+// histogram names carry a unit suffix — see metrics.CheckName).
 //
-//	r.Counter("sched_tasks_assigned_total", ...)
-//	r.HistogramVec("wire_call_seconds", ..., buckets, "kind")
-//
-// The registry panics on a bad name at run time; the linter catches the
-// same mistake at `make test` time, including on code paths no test
-// registers. Exit status 1 when any name violates the convention.
+// It is kept as a thin alias for `swcheck -only metricname`: the check
+// itself now lives in internal/analysis (MetricNameAnalyzer), where it
+// runs type-checked alongside the rest of the suite. Directory arguments
+// are accepted for backwards compatibility with the original linter and
+// are walked recursively; the default is the whole module.
 //
 // Usage:
 //
-//	metriclint [dir ...]   # default: .
+//	metriclint [dir ...]   # default: the enclosing module
 package main
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"strconv"
-	"strings"
 
-	"repro/internal/metrics"
+	"repro/internal/analysis"
 )
 
-// constructors maps registry method names to the metric kind their first
-// string argument names.
-var constructors = map[string]metrics.Kind{
-	"Counter":      metrics.KindCounter,
-	"CounterVec":   metrics.KindCounter,
-	"Gauge":        metrics.KindGauge,
-	"GaugeVec":     metrics.KindGauge,
-	"Histogram":    metrics.KindHistogram,
-	"HistogramVec": metrics.KindHistogram,
-}
-
 func main() {
-	roots := os.Args[1:]
-	if len(roots) == 0 {
-		roots = []string{"."}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+		os.Exit(2)
 	}
-	bad := 0
-	for _, root := range roots {
-		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if d.IsDir() {
-				name := d.Name()
-				if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
-					return filepath.SkipDir
-				}
-				return nil
-			}
-			// Tests are exempt: the metrics package's own tests register
-			// bad names on purpose to prove the registry rejects them.
-			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-				return nil
-			}
-			n, err := lintFile(path)
-			bad += n
-			return err
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
-			os.Exit(1)
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+		os.Exit(2)
+	}
+	patterns := []string{"./..."}
+	if args := os.Args[1:]; len(args) > 0 {
+		patterns = nil
+		for _, dir := range args {
+			patterns = append(patterns, dir+"/...")
 		}
 	}
-	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "metriclint: %d bad metric name(s)\n", bad)
+	n, err := analysis.Run(root, patterns, []*analysis.Analyzer{analysis.MetricNameAnalyzer}, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-// lintFile reports every constructor call in one file whose name literal
-// violates the convention.
-func lintFile(path string) (bad int, err error) {
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
-	if err != nil {
-		return 0, err
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "metriclint: %d bad metric name(s)\n", n)
+		os.Exit(1)
 	}
-	ast.Inspect(f, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok || len(call.Args) == 0 {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		kind, ok := constructors[sel.Sel.Name]
-		if !ok {
-			return true
-		}
-		lit, ok := call.Args[0].(*ast.BasicLit)
-		if !ok || lit.Kind != token.STRING {
-			return true
-		}
-		name, uerr := strconv.Unquote(lit.Value)
-		if uerr != nil {
-			return true
-		}
-		if cerr := metrics.CheckName(kind, name); cerr != nil {
-			fmt.Printf("%s: %v\n", fset.Position(lit.Pos()), cerr)
-			bad++
-		}
-		return true
-	})
-	return bad, nil
 }

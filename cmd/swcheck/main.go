@@ -1,0 +1,77 @@
+// Command swcheck is the repository's static-analysis suite: a
+// stdlib-only (go/parser + go/types, no x/tools) multi-analyzer driver
+// that enforces the invariants DESIGN §7 documents — scheduler purity,
+// enum-switch exhaustiveness, mutex discipline, nil-guarded metric
+// handles, checked errors and the subsystem_name_unit metric naming
+// convention. `make lint` (and therefore `make test` and CI) runs it over
+// the whole module.
+//
+// Usage:
+//
+//	swcheck [-only a,b] [-list] [package pattern ...]
+//
+// Patterns are directories, optionally ending in /... for a recursive
+// walk (default ./... from the enclosing module root). Exit status is 1
+// when any diagnostic is reported; each is printed as
+//
+//	file:line:col: [analyzer] message
+//
+// A finding can be suppressed with a trailing or preceding comment
+// `//swcheck:ignore <analyzer> <reason>`; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		var err error
+		analyzers, err = analysis.Select(strings.Split(*only, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swcheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swcheck: %v\n", err)
+		os.Exit(2)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swcheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := analysis.Run(root, patterns, analyzers, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "swcheck: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

@@ -106,7 +106,7 @@ func main() {
 	if *ckpt != "" {
 		if f, err := os.Open(*ckpt); err == nil {
 			m, err = master.LoadCheckpoint(f, cfg)
-			f.Close()
+			_ = f.Close()
 			if err != nil {
 				fail("resuming %s: %v", *ckpt, err)
 			}
@@ -129,9 +129,9 @@ func main() {
 				return
 			}
 			if err := m.SaveCheckpoint(f); err == nil && f.Close() == nil {
-				os.Rename(tmp, *ckpt)
+				_ = os.Rename(tmp, *ckpt)
 			} else {
-				f.Close()
+				_ = f.Close()
 			}
 		}
 		defer saveCheckpoint()

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrcheckAnalyzer flags statement-position calls whose results include an
+// error that is silently dropped. It is a "lite" errcheck: only plain
+// expression statements are considered (deferred Close calls and
+// goroutine launches follow their own conventions), and the classic
+// cannot-fail sinks are exempt — fmt.Print*/Fprint* (the repo's errWriter
+// pattern makes these deliberate) and methods on strings.Builder and
+// bytes.Buffer, whose errors are documented to be always nil. An explicit
+// `_ = f()` is an acknowledged discard and is never flagged; that is the
+// idiomatic fix where ignoring the error is correct, e.g. rendering
+// metrics into an http.ResponseWriter.
+var ErrcheckAnalyzer = &Analyzer{
+	Name: "errcheck",
+	Doc:  "error results must be checked or explicitly discarded with _ =",
+	Run:  runErrcheck,
+}
+
+func runErrcheck(pass *Pass) {
+	info := pass.Pkg.Info
+	pass.Pkg.WalkStack(func(n ast.Node, _ []ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[call]
+		if !ok || !resultHasError(tv.Type) {
+			return true
+		}
+		if exemptCallee(info, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s returns an error that is silently dropped (check it or discard with _ =)",
+			calleeName(info, call))
+		return true
+	})
+}
+
+// resultHasError reports whether a call's result type includes error.
+func resultHasError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exemptCallee reports whether the call target is on the cannot-fail
+// exemption list.
+func exemptCallee(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	// bufio.Writer keeps a sticky error that the mandatory trailing Flush
+	// (whose error IS checked) reports, so intermediate writes are exempt.
+	return (pkg == "strings" && name == "Builder") ||
+		(pkg == "bytes" && name == "Buffer") ||
+		(pkg == "bufio" && name == "Writer")
+}
+
+// calleeFunc resolves the called function or method, if statically known.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeName renders the call target for diagnostics.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		return fn.Name()
+	}
+	return types.ExprString(call.Fun)
+}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockguardAnalyzer enforces the repo's mutex convention: in a struct
+// with a field `mu sync.Mutex` (or sync.RWMutex), the contiguous field
+// group below mu — up to the first blank line — is what mu guards.
+// A method that touches a guarded sibling field must acquire the lock
+// somewhere in its body (mu.Lock or mu.RLock, directly or via defer), be
+// named *Locked (the caller-holds-the-lock convention), or carry an
+// ignore directive explaining why unlocked access is safe.
+//
+// The check is deliberately coarse — it demands that a method locking
+// guarded state locks at all, not that every access is dominated by the
+// lock — so it catches the real failure mode (a new method that forgets
+// mu entirely) without drowning refactors in false positives.
+//
+// Two lock-copy hazards are flagged as well: value receivers on structs
+// that contain a mutex, and struct literals that copy a mutex value into
+// a mutex field (a fresh composite literal like sync.Mutex{} is fine).
+var LockguardAnalyzer = &Analyzer{
+	Name: "lockguard",
+	Doc:  "methods touching mu-guarded fields must lock mu or be named *Locked; no mutex copies",
+	Run:  runLockguard,
+}
+
+// guardedType describes one struct type with a mu field.
+type guardedType struct {
+	name    string
+	mutexRW bool
+	guarded map[string]bool // sibling fields mu guards
+	hasMu   bool
+}
+
+func runLockguard(pass *Pass) {
+	guards := map[string]*guardedType{} // by type name
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			if g := analyzeStruct(pass, st); g != nil {
+				g.name = ts.Name.Name
+				guards[ts.Name.Name] = g
+			}
+			return true
+		})
+	}
+
+	pass.Pkg.WalkStack(func(n ast.Node, _ []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkMethod(pass, guards, n)
+		case *ast.CompositeLit:
+			checkLiteralCopies(pass, n)
+		}
+		return true
+	})
+}
+
+// analyzeStruct returns the guard info for a struct with a mu field, or
+// nil when it has none. Guarded fields are those declared after mu with
+// no intervening blank line (doc comments do not break the group).
+func analyzeStruct(pass *Pass, st *ast.StructType) *guardedType {
+	fset := pass.Pkg.Fset
+	g := &guardedType{guarded: map[string]bool{}}
+	inGroup := false
+	prevEnd := 0
+	for _, field := range st.Fields.List {
+		start := fset.Position(field.Pos()).Line
+		if field.Doc != nil {
+			start = fset.Position(field.Doc.Pos()).Line
+		}
+		if inGroup && start > prevEnd+1 {
+			inGroup = false // blank line ends the guarded group
+		}
+		if inGroup && !selfSynchronized(pass.Pkg.Info.Types[field.Type].Type) {
+			for _, name := range field.Names {
+				g.guarded[name.Name] = true
+			}
+		}
+		if isMutexField(pass, field) {
+			g.hasMu = true
+			g.mutexRW = isRWMutex(pass.Pkg.Info.Types[field.Type].Type)
+			inGroup = true
+		}
+		prevEnd = fset.Position(field.End()).Line
+	}
+	if !g.hasMu || len(g.guarded) == 0 {
+		return nil
+	}
+	return g
+}
+
+// selfSynchronized reports whether a field type provides its own
+// synchronization, so sitting below mu does not make mu its guard:
+// sync/atomic values, sync.Once and sync.WaitGroup.
+func selfSynchronized(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sync/atomic":
+		return true
+	case "sync":
+		return obj.Name() == "Once" || obj.Name() == "WaitGroup"
+	}
+	return false
+}
+
+// isMutexField reports whether the field is the conventional `mu` lock.
+func isMutexField(pass *Pass, field *ast.Field) bool {
+	if len(field.Names) != 1 || field.Names[0].Name != "mu" {
+		return false
+	}
+	return isMutexType(pass.Pkg.Info.Types[field.Type].Type)
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func isRWMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "RWMutex"
+}
+
+// checkMethod flags a method of a guarded type that touches guarded
+// fields through its receiver without ever locking mu.
+func checkMethod(pass *Pass, guards map[string]*guardedType, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+		return
+	}
+	recvType, byValue := receiverTypeName(fd.Recv.List[0].Type)
+	g, ok := guards[recvType]
+	if !ok {
+		return
+	}
+	if byValue {
+		pass.Reportf(fd.Name.Pos(), "method %s.%s has a value receiver but %s contains a sync.Mutex: receiver must be *%s",
+			recvType, fd.Name.Name, recvType, recvType)
+		return
+	}
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	var recvObj types.Object
+	if len(fd.Recv.List[0].Names) == 1 {
+		recvObj = pass.Pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+	}
+	if recvObj == nil {
+		return // anonymous receiver cannot touch fields
+	}
+
+	locks := false
+	var firstGuarded *ast.SelectorExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// recv.mu.Lock / RLock, in plain or deferred form.
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "mu" &&
+			isReceiver(pass, inner.X, recvObj) &&
+			(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+			locks = true
+		}
+		if g.guarded[sel.Sel.Name] && isReceiver(pass, sel.X, recvObj) && firstGuarded == nil {
+			firstGuarded = sel
+		}
+		return true
+	})
+	if firstGuarded != nil && !locks {
+		pass.Reportf(firstGuarded.Pos(), "method %s.%s accesses %s.%s, which %s.mu guards, without locking mu (lock it, rename to %sLocked, or ignore with a reason)",
+			recvType, fd.Name.Name, recvType, firstGuarded.Sel.Name, recvType, fd.Name.Name)
+	}
+}
+
+// isReceiver reports whether e is a direct use of the receiver variable.
+func isReceiver(pass *Pass, e ast.Expr, recvObj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.Pkg.Info.Uses[id] == recvObj
+}
+
+// receiverTypeName unwraps a method receiver type to its type name,
+// reporting whether the receiver is by value.
+func receiverTypeName(e ast.Expr) (name string, byValue bool) {
+	byValue = true
+	if star, ok := e.(*ast.StarExpr); ok {
+		byValue = false
+		e = star.X
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name, byValue
+	}
+	return "", byValue
+}
+
+// checkLiteralCopies flags composite-literal elements that copy an
+// existing mutex value into a mutex-typed field.
+func checkLiteralCopies(pass *Pass, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		tv, ok := pass.Pkg.Info.Types[val]
+		if !ok || !isMutexType(tv.Type) {
+			continue
+		}
+		if _, fresh := val.(*ast.CompositeLit); fresh {
+			continue
+		}
+		pass.Reportf(val.Pos(), "struct literal copies a %s value; a lock must not be copied after first use",
+			types.TypeString(tv.Type, nil))
+	}
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NilMetricAnalyzer preserves the zero-overhead-when-uninstrumented
+// contract from PR 2: every instrumentation bundle (sched.Metrics,
+// wire.Metrics, ...) is optional, so any access to one of its
+// *metrics.Counter / Gauge / Histogram (or *Vec) fields must be dominated
+// by a nil check of the bundle pointer. The analyzer recognises the two
+// guard shapes the codebase uses:
+//
+//	if m := c.cfg.Metrics; m != nil { m.TasksAssigned.Inc() }
+//
+//	m := c.cfg.Metrics
+//	if m == nil {
+//	    return
+//	}
+//	m.ReadyTasks.Set(...)
+//
+// i.e. an enclosing if whose condition nil-checks the same expression, or
+// an earlier `if X == nil { return/continue/break/panic }` statement in an
+// enclosing block. Handles reached through a non-pointer owner (which
+// cannot be nil) are exempt, as are uses inside the nil comparison
+// itself. Structural guarantees the analyzer cannot see (e.g. wire.Meter
+// returning early on a nil bundle) are documented with an ignore
+// directive at the use site.
+var NilMetricAnalyzer = &Analyzer{
+	Name: "nilmetric",
+	Doc:  "metric-handle fields must be reached through a nil-checked bundle pointer",
+	Run:  runNilMetric,
+}
+
+// metricHandleNames are the instrument types of internal/metrics whose
+// use as a struct field marks an optional instrumentation hook.
+// EventLog is absent on purpose: its methods are nil-receiver safe, so a
+// nil log needs no call-site guard.
+var metricHandleNames = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+}
+
+func runNilMetric(pass *Pass) {
+	// The metrics package itself is exempt: its internals (registry
+	// children) keep exactly one non-nil instrument per family kind, which
+	// the bundle contract does not describe.
+	if strings.HasSuffix(pass.Pkg.Path, "internal/metrics") {
+		return
+	}
+	info := pass.Pkg.Info
+	pass.Pkg.WalkStack(func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		if !isMetricHandle(selection.Obj().Type()) {
+			return true
+		}
+		// Owners that cannot be nil need no guard.
+		ownerType := info.Types[sel.X].Type
+		if _, ptr := ownerType.Underlying().(*types.Pointer); !ptr {
+			return true
+		}
+		// Either the bundle pointer or the handle field itself may carry
+		// the nil check: `if m != nil { m.Faults.Inc() }` and
+		// `if s.met == nil { return }; s.met.Faults.Inc()` both count.
+		owner := types.ExprString(sel.X)
+		if guardedByNilCheck(info, stack, owner) ||
+			guardedByNilCheck(info, stack, types.ExprString(sel)) ||
+			insideNilComparison(stack) {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "use of metric handle %s is not dominated by a nil check of %s (uninstrumented runs must pay nothing)",
+			types.ExprString(sel), owner)
+		return true
+	})
+}
+
+// isMetricHandle reports whether t is a pointer to one of
+// internal/metrics' instrument types.
+func isMetricHandle(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/metrics") &&
+		metricHandleNames[obj.Name()]
+}
+
+// guardedByNilCheck walks the ancestor stack looking for either guard
+// shape for owner (rendered with types.ExprString).
+func guardedByNilCheck(info *types.Info, stack []ast.Node, owner string) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		child := ast.Node(nil)
+		if i+1 < len(stack) {
+			child = stack[i+1]
+		}
+		switch anc := stack[i].(type) {
+		case *ast.IfStmt:
+			// Guarded when the use sits in the body of `if owner != nil`.
+			if child == anc.Body && condChecksNotNil(anc.Cond, owner) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// Guarded when an earlier statement of an enclosing block is
+			// `if owner == nil { return/continue/break/panic }`.
+			for _, stmt := range anc.List {
+				if stmt == child {
+					break
+				}
+				if ifs, ok := stmt.(*ast.IfStmt); ok && ifs.Init == nil &&
+					condChecksNil(ifs.Cond, owner) && terminates(ifs.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condChecksNotNil reports whether cond contains `owner != nil` (possibly
+// inside && chains).
+func condChecksNotNil(cond ast.Expr, owner string) bool {
+	return condHasNilCmp(cond, owner, "!=")
+}
+
+// condChecksNil reports whether cond contains `owner == nil`.
+func condChecksNil(cond ast.Expr, owner string) bool {
+	return condHasNilCmp(cond, owner, "==")
+}
+
+func condHasNilCmp(cond ast.Expr, owner, op string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || bin.Op.String() != op {
+			return true
+		}
+		if (isNilIdent(bin.Y) && types.ExprString(bin.X) == owner) ||
+			(isNilIdent(bin.X) && types.ExprString(bin.Y) == owner) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a guard body unconditionally leaves the
+// enclosing flow: its last statement is a return, branch or panic.
+func terminates(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// insideNilComparison exempts the nil check itself: `if m.Faults != nil`.
+func insideNilComparison(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if bin, ok := stack[i].(*ast.BinaryExpr); ok {
+			if (bin.Op.String() == "==" || bin.Op.String() == "!=") &&
+				(isNilIdent(bin.X) || isNilIdent(bin.Y)) {
+				return true
+			}
+		}
+	}
+	return false
+}

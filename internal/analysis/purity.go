@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// PurityAnalyzer enforces DESIGN §1's central contract: internal/sched,
+// internal/platform and internal/vtime are pure state machines — every
+// method takes the current time as an argument and performs no I/O, no
+// sleeping and no goroutine spawning. That purity is what lets the same
+// code drive both the wall-clock master and the calibrated discrete-event
+// experiments, so it must hold mechanically, not by convention.
+//
+// Inside the pure packages the analyzer forbids:
+//   - go statements (concurrency belongs to the drivers, not the model);
+//   - wall-clock and sleeping calls from package time (Now, Sleep, Since,
+//     Until, After, Tick, NewTimer, NewTicker, AfterFunc);
+//   - importing I/O-capable packages (os, os/exec, os/signal, net and its
+//     subtree, syscall, io/ioutil);
+//   - math/rand functions that draw from the process-global source (Intn,
+//     Float64, Shuffle, ...). Explicitly seeded generators via rand.New /
+//     rand.NewSource stay allowed: a seeded *rand.Rand is deterministic,
+//     which is the property the checker actually guards.
+var PurityAnalyzer = &Analyzer{
+	Name: "purity",
+	Doc:  "forbid goroutines, wall-clock time, I/O imports and global randomness in the pure scheduler/simulator packages",
+	Run:  runPurity,
+}
+
+// purePackages are the packages (matched on import-path segments) the
+// purity analyzer applies to.
+var purePackages = []string{"internal/sched", "internal/platform", "internal/vtime"}
+
+// forbiddenTimeFuncs are package time functions that read the wall clock
+// or sleep.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// allowedRandFuncs are the math/rand constructors for explicitly seeded
+// generators; every other package-level rand function uses the global
+// source and is forbidden in pure packages.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// forbiddenImports are I/O-capable packages pure code must not import.
+// net matches its whole subtree via pathHasPackage.
+var forbiddenImports = []string{"os", "os/exec", "os/signal", "net", "syscall", "io/ioutil"}
+
+func runPurity(pass *Pass) {
+	pure := false
+	for _, p := range purePackages {
+		if pathHasPackage(pass.Pkg.Path, p) {
+			pure = true
+			break
+		}
+	}
+	if !pure {
+		return
+	}
+
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, bad := range forbiddenImports {
+				if path == bad || (bad == "net" && strings.HasPrefix(path, "net/")) {
+					pass.Reportf(imp.Pos(), "pure package %s imports %s (no I/O in the scheduler/simulator core)", pass.Pkg.Types.Name(), path)
+				}
+			}
+		}
+	}
+
+	pass.Pkg.WalkStack(func(n ast.Node, _ []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in pure package %s: concurrency belongs to the drivers, not the state machine", pass.Pkg.Types.Name())
+		case *ast.SelectorExpr:
+			pkgName, ok := pkgNameOf(pass.Pkg.Info, n.X)
+			if !ok {
+				return true
+			}
+			// Only function uses matter: type references like *rand.Rand or
+			// time.Duration are pure values.
+			if _, isFunc := pass.Pkg.Info.Uses[n.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if forbiddenTimeFuncs[n.Sel.Name] {
+					pass.Reportf(n.Pos(), "time.%s in pure package %s: take the current time as an argument instead", n.Sel.Name, pass.Pkg.Types.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[n.Sel.Name] {
+					pass.Reportf(n.Pos(), "rand.%s draws from the global source; use an explicitly seeded *rand.Rand for determinism", n.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// pkgNameOf resolves an expression to the package it names, if it is a
+// plain package qualifier like `time` in `time.Now`.
+func pkgNameOf(info *types.Info, e ast.Expr) (*types.PkgName, bool) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return pn, ok
+}

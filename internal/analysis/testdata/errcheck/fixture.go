@@ -1,0 +1,40 @@
+// Package errcheck is the golden fixture for the dropped-error analyzer.
+package errcheck
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func valAndErr() (int, error) { return 0, nil }
+
+func bad() {
+	mayFail()         // want "mayFail returns an error that is silently dropped"
+	os.Remove("gone") // want "Remove returns an error that is silently dropped"
+	valAndErr()       // want "valAndErr returns an error that is silently dropped"
+}
+
+func clean(buf *bytes.Buffer, sb *strings.Builder) error {
+	// An explicit discard is an acknowledged decision: never flagged.
+	_ = mayFail()
+
+	// Checked errors are the point.
+	if err := mayFail(); err != nil {
+		return err
+	}
+
+	// fmt print sinks and the always-nil writers are exempt.
+	fmt.Println("print sinks are deliberate in the errWriter pattern")
+	buf.WriteString("bytes.Buffer errors are documented always-nil")
+	sb.WriteString("strings.Builder too")
+
+	// Deferred calls follow their own conventions (close-on-exit) and are
+	// out of scope for the lite checker.
+	defer mayFail()
+
+	return nil
+}

@@ -1,0 +1,81 @@
+// Package exhaustive is the golden fixture for the enum-switch analyzer.
+package exhaustive
+
+// Phase qualifies as a module enum: a named integer type with at least
+// two package-level constants of exactly that type.
+type Phase int
+
+const (
+	PhaseIdle Phase = iota
+	PhaseRun
+	PhaseDone
+)
+
+// PhaseRunning aliases PhaseRun; same-value constants collapse to one
+// enum member, so covering either name covers the member.
+const PhaseRunning = PhaseRun
+
+// Mode is a string-backed enum.
+type Mode string
+
+const (
+	ModeFast Mode = "fast"
+	ModeSafe Mode = "safe"
+)
+
+// lone has only one constant, so it is not an enum and its switches are
+// never checked.
+type lone int
+
+const onlyLone lone = 0
+
+func bad(p Phase) string {
+	switch p { // want "switch over Phase misses PhaseDone and has no default case"
+	case PhaseIdle:
+		return "idle"
+	case PhaseRun:
+		return "run"
+	}
+	return "?"
+}
+
+func badString(m Mode) {
+	switch m { // want "switch over Mode misses ModeSafe and has no default case"
+	case ModeFast:
+	}
+}
+
+func coversAll(p Phase) string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseRunning: // alias name covers the PhaseRun member
+		return "run"
+	case PhaseDone:
+		return "done"
+	}
+	return "?"
+}
+
+func hasDefault(p Phase) string {
+	switch p {
+	case PhaseDone:
+		return "done"
+	default:
+		return "busy"
+	}
+}
+
+func nonConstantCase(p, q Phase) bool {
+	switch p { // skipped: a non-constant case defeats static reasoning
+	case q:
+		return true
+	}
+	return false
+}
+
+func notAnEnum(l lone) {
+	switch l { // single-constant types are not enums
+	case onlyLone:
+	}
+}

@@ -1,0 +1,71 @@
+// Package lockguard is the golden fixture for the mutex-discipline
+// analyzer: mu guards the contiguous field group below it, methods
+// touching that group must lock (or be named *Locked), and lock values
+// must never be copied.
+package lockguard
+
+import "sync"
+
+// Counter follows the repo convention: name (above mu) is immutable,
+// mu guards n and last.
+type Counter struct {
+	name string
+
+	mu   sync.Mutex
+	n    int
+	last int64
+}
+
+// Inc locks before touching guarded state: clean.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// bump forgets the lock entirely — the failure mode the analyzer exists
+// to catch.
+func (c *Counter) bump() {
+	c.n++ // want "accesses Counter.n, which Counter.mu guards, without locking mu"
+}
+
+// drainLocked follows the caller-holds-the-lock naming convention: clean.
+func (c *Counter) drainLocked() int {
+	n := c.n
+	c.n = 0
+	return n
+}
+
+// Label reads only the unguarded field, but a value receiver copies the
+// mutex itself.
+func (c Counter) Label() string { // want "value receiver but Counter contains a sync.Mutex"
+	return c.name
+}
+
+// clone copies a held lock through a struct literal.
+func clone(c *Counter) *Counter {
+	return &Counter{mu: c.mu} // want "struct literal copies a sync.Mutex value"
+}
+
+// fresh initialises the mutex field from a fresh composite literal,
+// which copies nothing: clean.
+func fresh() *Counter {
+	return &Counter{mu: sync.Mutex{}}
+}
+
+// Queue shows the group boundary: the blank line after items ends mu's
+// guard, so closed is unguarded and IsClosed needs no lock.
+type Queue struct {
+	mu    sync.Mutex
+	items []int
+
+	closed bool
+}
+
+func (q *Queue) IsClosed() bool { return q.closed }
+
+func (q *Queue) Push(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, v)
+}

@@ -1,0 +1,29 @@
+// Package metricname is the golden fixture for the metric-name analyzer:
+// every literal name handed to a Registry constructor must satisfy
+// metrics.CheckName, and a method merely named Counter on some other
+// type must not be confused for one.
+package metricname
+
+import "repro/internal/metrics"
+
+func register(r *metrics.Registry) {
+	r.Counter("demo_events_total", "Well-formed counter name.")
+	r.Gauge("demo_queue_depth", "Well-formed gauge name.")
+	r.Histogram("demo_wait_seconds", "Well-formed histogram name.", nil)
+	r.CounterVec("demo_calls_total", "Well-formed vec name.", "kind")
+
+	r.Counter("demo_events", "Counter without its unit suffix.") // want "counter .demo_events. must end in _total"
+	r.Gauge("demo_live_total", "Gauge with a counter suffix.")   // want "gauge .demo_live_total. must not end in _total"
+	r.Histogram("demo_wait", "Histogram without a unit.", nil)   // want "histogram .demo_wait. must end in a unit suffix"
+	r.CounterVec("BadTotal", "Not snake_case at all.", "kind")   // want "not subsystem_name_unit lowercase snake_case"
+}
+
+// notARegistry has a method named Counter; the analyzer resolves the
+// receiver type and leaves it alone.
+type notARegistry struct{}
+
+func (notARegistry) Counter(name, help string) {}
+
+func unrelated(n notARegistry) {
+	n.Counter("AnythingGoes", "not a metrics.Registry constructor")
+}

@@ -1,0 +1,69 @@
+// Package nilmetric is the golden fixture for the optional-instrumentation
+// analyzer: metric handles reached through a nilable bundle pointer must
+// be dominated by a nil check, in one of the guard shapes the codebase
+// uses.
+package nilmetric
+
+import "repro/internal/metrics"
+
+// bundle mimics an optional instrumentation bundle like sched.Metrics.
+type bundle struct {
+	Hits  *metrics.Counter
+	Depth *metrics.Gauge
+	Calls *metrics.CounterVec
+}
+
+type server struct {
+	met *bundle
+}
+
+func (s *server) bad() {
+	s.met.Hits.Inc() // want "use of metric handle s.met.Hits is not dominated by a nil check of s.met"
+}
+
+func (s *server) badVec(route string) {
+	s.met.Calls.With(route).Inc() // want "use of metric handle s.met.Calls is not dominated by a nil check of s.met"
+}
+
+// enclosingIf is guard shape one: the use sits in the body of
+// `if owner != nil`.
+func (s *server) enclosingIf() {
+	if s.met != nil {
+		s.met.Hits.Inc()
+	}
+}
+
+// ifInit is the codebase's favourite spelling of shape one.
+func (s *server) ifInit() {
+	if m := s.met; m != nil {
+		m.Hits.Inc()
+	}
+}
+
+// earlyReturn is guard shape two: an earlier `if owner == nil { return }`
+// in an enclosing block.
+func (s *server) earlyReturn(d float64) {
+	if s.met == nil {
+		return
+	}
+	s.met.Depth.Set(d)
+}
+
+// handleGuard nil-checks the handle itself rather than the bundle, which
+// also counts.
+func (s *server) handleGuard() {
+	if s.met.Hits == nil {
+		return
+	}
+	s.met.Hits.Inc()
+}
+
+// valueBundle owns its bundle by value: the owner cannot be nil, so no
+// guard is demanded.
+type valueBundle struct {
+	b bundle
+}
+
+func (v *valueBundle) ok() {
+	v.b.Hits.Inc()
+}

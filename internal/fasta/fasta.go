@@ -209,7 +209,7 @@ func WriteFile(path string, seqs []*seq.Sequence) error {
 	}
 	w := NewWriter(f)
 	if err := w.WriteAll(seqs); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

@@ -89,15 +89,17 @@ type QueryResult struct {
 	Replicas int           // how many extra copies the adjustment mechanism ran
 }
 
-// Master serves one job to any number of slaves.
+// Master serves one job to any number of slaves. The struct follows the
+// lockguard grouping convention: fields above mu are set once in New and
+// never reassigned (channels synchronize themselves; the instrumentation
+// hooks are nil unless Config.Registry/Events were set); the group below
+// mu is what mu guards.
 type Master struct {
-	mu      sync.Mutex
-	coord   *sched.Coordinator
 	queries []*seq.Sequence
 	start   time.Time
-	done    chan struct{}
-	closed  bool
 	lease   time.Duration
+	// done closes when every task has a result.
+	done chan struct{}
 	// stop ends the lease-expiry ticker when the master is shut down
 	// before the job completes (Close); loopDone closes when the ticker
 	// goroutine has actually exited, so Close can join it.
@@ -106,14 +108,17 @@ type Master struct {
 	loopDone chan struct{}
 	// serveErr receives each Listen serve loop's terminal error.
 	serveErr chan error
+	met      *masterMetrics
+	wireMet  *wire.Metrics
+	events   *metrics.EventLog
+
+	mu     sync.Mutex
+	coord  *sched.Coordinator
+	closed bool
 	// pendingCancel queues cancellations per slave: the protocol is
 	// slave-initiated, so a slave learns that its copy of a task became
 	// moot on its next Progress or Complete acknowledgement.
 	pendingCancel map[sched.SlaveID][]sched.TaskID
-	// met/wireMet/events are nil unless Config.Registry/Events were set.
-	met     *masterMetrics
-	wireMet *wire.Metrics
-	events  *metrics.EventLog
 }
 
 // New builds a master for the job.
@@ -252,9 +257,9 @@ func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
 			for i, t := range tasks {
 				ids[i] = int(t.ID)
 			}
-			m.events.Emit(metrics.Event{
+			_ = m.events.Emit(metrics.Event{
 				Kind: metrics.EventAssign, TimeSec: now.Seconds(),
-				PE: m.slaveName(req.Request.Slave), Tasks: ids, Replica: replica,
+				PE: m.slaveNameLocked(req.Request.Slave), Tasks: ids, Replica: replica,
 			})
 		}
 		specs := make([]wire.TaskSpec, len(tasks))
@@ -277,13 +282,13 @@ func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
 		}
 		m.coord.ProgressRate(req.Progress.Slave, req.Progress.Rate, req.Progress.Cells, now)
 		if m.events != nil {
-			m.events.Emit(metrics.Event{
+			_ = m.events.Emit(metrics.Event{
 				Kind: metrics.EventSample, TimeSec: now.Seconds(),
-				PE: m.slaveName(req.Progress.Slave), GCUPS: req.Progress.Rate / 1e9,
+				PE: m.slaveNameLocked(req.Progress.Slave), GCUPS: req.Progress.Rate / 1e9,
 			})
 		}
 		return wire.Envelope{ProgressAck: &wire.ProgressAckMsg{
-			Cancel: m.takeCancels(req.Progress.Slave),
+			Cancel: m.takeCancelsLocked(req.Progress.Slave),
 			Done:   m.coord.Done(),
 		}}
 
@@ -311,8 +316,8 @@ func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
 			m.pendingCancel[o] = append(m.pendingCancel[o], req.Complete.Task)
 		}
 		if accepted && m.events != nil {
-			m.events.Emit(metrics.Event{
-				Kind: metrics.EventExec, PE: m.slaveName(req.Complete.Slave),
+			_ = m.events.Emit(metrics.Event{
+				Kind: metrics.EventExec, PE: m.slaveNameLocked(req.Complete.Slave),
 				Task: int(req.Complete.Task), TimeSec: startAt.Seconds(),
 				EndSec: now.Seconds(), Completed: true,
 			})
@@ -320,11 +325,11 @@ func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
 		if m.coord.Done() && !m.closed {
 			m.closed = true
 			close(m.done)
-			m.emitSummary(now)
+			m.emitSummaryLocked(now)
 		}
 		return wire.Envelope{CompleteAck: &wire.CompleteAckMsg{
 			Accepted: accepted,
-			Cancel:   m.takeCancels(req.Complete.Slave),
+			Cancel:   m.takeCancelsLocked(req.Complete.Slave),
 			Done:     m.coord.Done(),
 		}}
 
@@ -334,7 +339,7 @@ func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
 }
 
 // slaveName is the event-stream PE label for a slave. Callers hold m.mu.
-func (m *Master) slaveName(id sched.SlaveID) string {
+func (m *Master) slaveNameLocked(id sched.SlaveID) string {
 	if name := m.coord.SlaveInfoOf(id).Name; name != "" {
 		return name
 	}
@@ -343,7 +348,7 @@ func (m *Master) slaveName(id sched.SlaveID) string {
 
 // emitSummary closes the event stream with per-slave and overall summary
 // lines, mirroring platform.WriteTrace's trailer. Callers hold m.mu.
-func (m *Master) emitSummary(now time.Duration) {
+func (m *Master) emitSummaryLocked(now time.Duration) {
 	if m.events == nil {
 		return
 	}
@@ -354,17 +359,17 @@ func (m *Master) emitSummary(now time.Duration) {
 		cells += m.coord.Pool().Task(r.Task).Cells
 	}
 	for id, n := range won {
-		m.events.Emit(metrics.Event{Kind: metrics.EventSummary, PE: m.slaveName(id), TasksWon: n})
+		_ = m.events.Emit(metrics.Event{Kind: metrics.EventSummary, PE: m.slaveNameLocked(id), TasksWon: n})
 	}
 	overall := metrics.Event{Kind: metrics.EventSummary, MakespanSec: now.Seconds(), CellsDone: cells}
 	if now > 0 {
 		overall.TotalGCUPS = float64(cells) / now.Seconds() / 1e9
 	}
-	m.events.Emit(overall)
+	_ = m.events.Emit(overall)
 }
 
 // takeCancels pops the queued cancellations for a slave. Callers hold m.mu.
-func (m *Master) takeCancels(id sched.SlaveID) []sched.TaskID {
+func (m *Master) takeCancelsLocked(id sched.SlaveID) []sched.TaskID {
 	out := m.pendingCancel[id]
 	delete(m.pendingCancel, id)
 	return out
@@ -441,7 +446,11 @@ func (m *Master) Results() []QueryResult {
 func (m *Master) Elapsed() time.Duration { return m.now() }
 
 // Coordinator exposes the scheduling state for reports.
-func (m *Master) Coordinator() *sched.Coordinator { return m.coord }
+func (m *Master) Coordinator() *sched.Coordinator {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.coord
+}
 
 // Listen binds addr and serves slave connections in the background. It
 // returns the bound listener so callers can learn the address and close

@@ -451,7 +451,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", ContentType)
-		r.WritePrometheus(w)
+		_ = r.WritePrometheus(w)
 	})
 }
 
@@ -525,7 +525,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 func (r *Registry) VarzHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		r.WriteJSON(w)
+		_ = r.WriteJSON(w)
 	})
 }
 

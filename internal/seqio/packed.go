@@ -86,7 +86,7 @@ func WritePacked(path string, alpha *seq.Alphabet, seqs []*seq.Sequence) error {
 		return w.Flush()
 	}()
 	if werr != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("seqio: packing %s: %w", path, werr)
 	}
 	return f.Close()

@@ -102,7 +102,7 @@ func Build(fastaPath, idxPath string) (int, error) {
 		return binary.Write(out, binary.LittleEndian, offsets)
 	}()
 	if writeErr != nil {
-		out.Close()
+		_ = out.Close()
 		return 0, writeErr
 	}
 	if err := out.Close(); err != nil {

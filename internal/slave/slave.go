@@ -92,7 +92,7 @@ func Run(caller wire.Caller, eng Engine, opts Options) (int, error) {
 			// fresh outage rather than a continuation of the last one.
 			failures = 0
 		}
-		caller.Close()
+		_ = caller.Close()
 		for {
 			if failures >= opts.MaxRetries {
 				return completed, fmt.Errorf("slave: giving up after %d reconnect attempts: %w", failures, err)

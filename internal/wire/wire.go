@@ -163,10 +163,13 @@ type Client struct {
 	// usable — re-dial before calling again. Zero disables deadlines.
 	Timeout time.Duration
 
-	mu   sync.Mutex
+	// conn is set once at Dial and never reassigned, so Close can read it
+	// without mu and interrupt a Call blocked mid-receive.
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+
+	mu  sync.Mutex
+	enc *gob.Encoder
+	dec *gob.Decoder
 }
 
 // Dial connects to a master at addr.
@@ -193,7 +196,9 @@ func (c *Client) Call(req Envelope) (Envelope, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.Timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+		// A failed SetDeadline means a dead connection, which the Encode
+		// just below reports with a more useful error.
+		_ = c.conn.SetDeadline(time.Now().Add(c.Timeout))
 	}
 	if err := c.enc.Encode(&req); err != nil {
 		return Envelope{}, fmt.Errorf("wire: send: %w", err)
