@@ -3,19 +3,31 @@
 //
 // Usage:
 //
-//	swserve -db db.fasta -listen :8080 -gpus 1 -sse 2
+//	swserve -db db.fasta -listen :8080 -gpus 1 -sse 2 -jobs-dir /var/lib/swserve
 //
 // Endpoints:
 //
-//	GET  /healthz   liveness and uptime
-//	GET  /database  database name/size
-//	GET  /metrics   Prometheus text exposition (scheduler, wire, slave, HTTP)
-//	GET  /varz      the same metrics as one JSON document
-//	POST /search    {"queries_fasta": ">q\nACDE...", "top_k": 5, "align": true}
-//	POST /align     {"a": "MKVL...", "b": "MKIL...", "global": false}
+//	GET    /healthz           liveness and uptime
+//	GET    /database          database name/size
+//	GET    /metrics           Prometheus text exposition (scheduler, wire, slave, jobs, HTTP)
+//	GET    /varz              the same metrics as one JSON document
+//	POST   /search            {"queries_fasta": ">q\nACDE...", "top_k": 5, "align": true}
+//	POST   /align             {"a": "MKVL...", "b": "MKIL...", "global": false}
+//	POST   /jobs              same payload as /search; returns 202 + job id
+//	GET    /jobs              list jobs (optionally ?state=queued|running|done|failed|canceled)
+//	GET    /jobs/{id}         poll one job
+//	GET    /jobs/{id}/result  fetch a finished job's search response
+//	DELETE /jobs/{id}         cancel a queued or running job
+//
+// Searches flow through the job subsystem: a bounded queue with admission
+// control (-queue, -executors), a content-addressed result cache
+// (-cache-bytes) with singleflight coalescing, and — with -jobs-dir — a
+// durable store so queued jobs survive a restart.
 //
 // SIGINT/SIGTERM starts a graceful shutdown: the listener closes, requests
-// in flight get -drain to finish, then the process exits.
+// and running jobs in flight get -drain to finish (past the deadline a
+// running job is aborted and re-queued for the next boot), then the
+// process exits.
 package main
 
 import (
@@ -34,6 +46,7 @@ import (
 	hybridsw "repro"
 	"repro/internal/fasta"
 	"repro/internal/httpapi"
+	"repro/internal/jobs"
 	"repro/internal/seq"
 	"repro/internal/seqio"
 )
@@ -48,6 +61,14 @@ func main() {
 		adjust = flag.Bool("adjust", true, "enable the workload adjustment mechanism")
 		drain  = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
 		quiet  = flag.Bool("quiet", false, "suppress the per-request access log")
+
+		jobsDir     = flag.String("jobs-dir", "", "directory for the durable job store (empty: in-memory only)")
+		executors   = flag.Int("executors", 0, "job executor-pool size (0: default, negative: none)")
+		queueDepth  = flag.Int("queue", 0, "max queued jobs before 429 (0: default)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "result-cache budget in bytes (0: default, negative: disabled)")
+		maxQueries  = flag.Int("max-queries", 0, "per-request query-count cap (0: default, negative: uncapped)")
+		maxResidues = flag.Int64("max-residues", 0, "per-request total-residue cap (0: default, negative: uncapped)")
+		maxTopK     = flag.Int("max-topk", 0, "per-request top_k cap (0: default, negative: uncapped)")
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -64,11 +85,23 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	srv, err := httpapi.New(*dbPath, db, hybridsw.Platform{
+	srv, err := httpapi.NewWithOptions(*dbPath, db, hybridsw.Platform{
 		GPUs:     *gpus,
 		SSECores: *sse,
 		Policy:   *policy,
 		Adjust:   *adjust,
+	}, httpapi.Options{
+		Limits: httpapi.Limits{
+			MaxQueries:  *maxQueries,
+			MaxResidues: *maxResidues,
+			MaxTopK:     *maxTopK,
+		},
+		Jobs: jobs.Config{
+			Dir:        *jobsDir,
+			Executors:  *executors,
+			MaxQueue:   *queueDepth,
+			CacheBytes: *cacheBytes,
+		},
 	})
 	if err != nil {
 		fail("%v", err)
@@ -94,6 +127,12 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(sdCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			fail("shutdown: %v", err)
+		}
+		// Drain the job subsystem on the same deadline: running jobs finish
+		// or are aborted and re-queued for the next boot, and the durable
+		// store is compacted and closed.
+		if err := srv.Close(sdCtx); err != nil {
+			fail("jobs shutdown: %v", err)
 		}
 		fmt.Println("swserve: shut down cleanly")
 	}

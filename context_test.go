@@ -1,0 +1,61 @@
+package hybridsw_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	hybridsw "repro"
+)
+
+func TestSearchContextPreCancelled(t *testing.T) {
+	db, err := hybridsw.GenerateDatabase("Ensembl Dog Proteins", 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := hybridsw.GenerateQueries(db, 2, 50, 100, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = hybridsw.SearchContext(ctx, queries, db, hybridsw.Platform{SSECores: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled search returned %v, want context.Canceled", err)
+	}
+}
+
+func TestSearchContextCancelMidRun(t *testing.T) {
+	// A workload big enough that the full search takes well over the
+	// cancellation delay: cancellation must cut it short and surface as
+	// context.Canceled rather than a (partial) report.
+	db, err := hybridsw.GenerateDatabase("UniProtKB/SwissProt", 0.002, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := hybridsw.GenerateQueries(db, 4, 300, 500, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	rep, err := hybridsw.SearchContext(ctx, queries, db, hybridsw.Platform{SSECores: 2, Adjust: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled search returned (%v, %v), want context.Canceled", rep, err)
+	}
+}
+
+func TestSearchContextBackground(t *testing.T) {
+	// A background context must behave exactly like Search.
+	db, err := hybridsw.GenerateDatabase("Ensembl Dog Proteins", 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := hybridsw.GenerateQueries(db, 2, 50, 100, 7)
+	rep, err := hybridsw.SearchContext(context.Background(), queries, db, hybridsw.Platform{SSECores: 1, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerQuery) != 2 {
+		t.Fatalf("%d per-query results, want 2", len(rep.PerQuery))
+	}
+}

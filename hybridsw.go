@@ -28,6 +28,7 @@
 package hybridsw
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -156,6 +157,100 @@ func (r *Report) GCUPS() float64 {
 // platform: the master/slave environment runs with real engines on real
 // data, wall-clock time, and the selected allocation policy.
 func Search(queries, db []*Sequence, p Platform) (*Report, error) {
+	return SearchContext(context.Background(), queries, db, p)
+}
+
+// ctxCaller gates a slave's protocol calls on a context. While the context
+// is live, calls pass through and the caller tracks which tasks the master
+// assigned on this connection. Once the context is cancelled it stops
+// dispatching to the master: work requests are answered with Done (no new
+// tasks start) and progress notifications are acknowledged with a
+// cancellation of every task still assigned here, which closes the engine's
+// cancel channel and aborts the in-flight scan. Completions that race the
+// cancellation still reach the master so its accounting stays consistent.
+type ctxCaller struct {
+	ctx   context.Context
+	inner wire.Caller
+
+	mu sync.Mutex
+	// pending are tasks assigned through this caller and not yet finished
+	// with (completed, or cancelled by the master or the context).
+	pending map[sched.TaskID]bool
+}
+
+func newCtxCaller(ctx context.Context, inner wire.Caller) *ctxCaller {
+	return &ctxCaller{ctx: ctx, inner: inner, pending: map[sched.TaskID]bool{}}
+}
+
+// Call implements wire.Caller.
+func (c *ctxCaller) Call(req wire.Envelope) (wire.Envelope, error) {
+	if c.ctx.Err() != nil {
+		switch {
+		case req.Request != nil:
+			return wire.Envelope{Assign: &wire.AssignMsg{Done: true}}, nil
+		case req.Progress != nil:
+			return wire.Envelope{ProgressAck: &wire.ProgressAckMsg{
+				Cancel: c.takePending(), Done: true,
+			}}, nil
+		}
+		// Register and Complete still go to the (in-process) master:
+		// registration is the session's first call and completions keep the
+		// coordinator's books straight for results that beat the cancel.
+	}
+	resp, err := c.inner.Call(req)
+	if err != nil {
+		return resp, err
+	}
+	c.track(req, resp)
+	return resp, nil
+}
+
+// track maintains the pending-task set from the live protocol flow.
+func (c *ctxCaller) track(req, resp wire.Envelope) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if resp.Assign != nil {
+		for _, t := range resp.Assign.Tasks {
+			c.pending[t.ID] = true
+		}
+	}
+	if req.Complete != nil {
+		delete(c.pending, req.Complete.Task)
+	}
+	var cancels []sched.TaskID
+	if resp.ProgressAck != nil {
+		cancels = resp.ProgressAck.Cancel
+	}
+	if resp.CompleteAck != nil {
+		cancels = resp.CompleteAck.Cancel
+	}
+	for _, id := range cancels {
+		delete(c.pending, id)
+	}
+}
+
+// takePending drains the pending-task set for a synthetic cancellation ack.
+func (c *ctxCaller) takePending() []sched.TaskID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]sched.TaskID, 0, len(c.pending))
+	for id := range c.pending {
+		out = append(out, id)
+	}
+	c.pending = map[sched.TaskID]bool{}
+	return out
+}
+
+// Close implements wire.Caller.
+func (c *ctxCaller) Close() error { return c.inner.Close() }
+
+// SearchContext is Search with cancellation: when ctx is cancelled the
+// slaves stop asking for new tasks and every in-flight task is aborted
+// through the engines' cancel channels (the same path a replica's victory
+// uses), so a cancelled search releases its CPU promptly instead of
+// finishing the whole job. It returns ctx.Err() when cancelled before the
+// job completed.
+func SearchContext(ctx context.Context, queries, db []*Sequence, p Platform) (*Report, error) {
 	if p.GPUs+p.SSECores == 0 {
 		p.SSECores = 1
 	}
@@ -226,7 +321,7 @@ func Search(queries, db []*Sequence, p Platform) (*Report, error) {
 		wg.Add(1)
 		go func(i int, eng slave.Engine) {
 			defer wg.Done()
-			_, errs[i] = slave.Run(wire.Meter(wire.Local{H: m}, wireMet), eng, slave.Options{
+			_, errs[i] = slave.Run(newCtxCaller(ctx, wire.Meter(wire.Local{H: m}, wireMet)), eng, slave.Options{
 				NotifyEvery: 50 * time.Millisecond,
 				Poll:        10 * time.Millisecond,
 				TopK:        p.TopK,
@@ -240,6 +335,11 @@ func Search(queries, db []*Sequence, p Platform) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled mid-job: the slaves have stopped, but the master never
+		// saw every task complete, so its done channel will not close.
+		return nil, err
 	}
 	if err := m.Wait(time.Second); err != nil {
 		return nil, err

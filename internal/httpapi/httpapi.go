@@ -8,9 +8,19 @@
 // metrics registry — shared with the search platform, so scheduler, wire
 // and slave families accumulate across requests — is exposed at
 // GET /metrics (Prometheus text exposition) and GET /varz (JSON).
+//
+// Searches execute through the asynchronous job subsystem
+// (internal/jobs): POST /jobs submits work and returns immediately,
+// GET /jobs/{id} polls it, GET /jobs/{id}/result fetches the outcome and
+// DELETE /jobs/{id} aborts real in-flight work. POST /search remains the
+// synchronous facade — it submits a job and waits, so it shares the same
+// admission control, singleflight coalescing and result cache, and a
+// disconnected client cancels the underlying search instead of letting it
+// burn to completion.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,6 +31,7 @@ import (
 
 	hybridsw "repro"
 	"repro/internal/fasta"
+	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/seq"
@@ -28,6 +39,36 @@ import (
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
+
+// Limits are the request-validation caps: a request exceeding one is
+// rejected with 422 before any work is admitted, so a single oversized
+// FASTA body cannot monopolize the server.
+type Limits struct {
+	MaxQueries  int   // queries per request
+	MaxResidues int64 // total query residues per request
+	MaxTopK     int   // hits per query a request may ask for
+	MaxAlignLen int   // per-sequence length cap for POST /align
+}
+
+// DefaultLimits caps requests at sizes a shared deployment tolerates;
+// every field can be raised (or zeroed to disable) via Options.Limits.
+var DefaultLimits = Limits{
+	MaxQueries:  64,
+	MaxResidues: 1 << 20,
+	MaxTopK:     1000,
+	MaxAlignLen: 100_000,
+}
+
+// Options tunes a Server beyond the platform defaults.
+type Options struct {
+	// Limits are the validation caps; zero fields take DefaultLimits
+	// values. A negative field disables that cap.
+	Limits Limits
+	// Jobs configures the job subsystem (queue depth, executor-pool size,
+	// cache budget, durable dir). Run, Salt, Metrics, MaxQueries and
+	// MaxResidues are supplied by the server and need not be set.
+	Jobs jobs.Config
+}
 
 // Server serves search requests against one resident database.
 type Server struct {
@@ -39,6 +80,8 @@ type Server struct {
 	reg      *metrics.Registry
 	met      *httpMetrics
 	maxBody  int64
+	limits   Limits
+	jobs     *jobs.Manager
 
 	// Log, when non-nil, receives one access-log line per request
 	// (method, path, status, latency, request ID). Set it before Handler
@@ -51,6 +94,12 @@ type Server struct {
 // platform.Registry is nil a fresh registry is created; either way every
 // search instruments into the registry that /metrics serves.
 func New(dbName string, db []*seq.Sequence, platform hybridsw.Platform) (*Server, error) {
+	return NewWithOptions(dbName, db, platform, Options{})
+}
+
+// NewWithOptions is New with explicit validation caps and job-subsystem
+// configuration.
+func NewWithOptions(dbName string, db []*seq.Sequence, platform hybridsw.Platform, opts Options) (*Server, error) {
 	if len(db) == 0 {
 		return nil, fmt.Errorf("httpapi: empty database")
 	}
@@ -67,12 +116,68 @@ func New(dbName string, db []*seq.Sequence, platform hybridsw.Platform) (*Server
 	s := &Server{
 		db: db, dbName: dbName, platform: platform, started: time.Now(),
 		reg: reg, met: newHTTPMetrics(reg), maxBody: DefaultMaxBody,
+		limits: fillLimits(opts.Limits),
 	}
 	for _, d := range db {
 		s.residues += int64(d.Len())
 	}
+	jc := opts.Jobs
+	jc.Run = s.runJob
+	jc.Salt = s.cacheSalt()
+	jc.Metrics = jobs.NewMetrics(reg)
+	jc.MaxQueries = s.limits.MaxQueries
+	jc.MaxResidues = s.limits.MaxResidues
+	mgr, err := jobs.New(jc)
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = mgr
 	return s, nil
 }
+
+// fillLimits resolves the zero-means-default, negative-means-disabled
+// convention field by field.
+func fillLimits(l Limits) Limits {
+	fill := func(v, def int) int {
+		if v == 0 {
+			return def
+		}
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	l.MaxQueries = fill(l.MaxQueries, DefaultLimits.MaxQueries)
+	l.MaxTopK = fill(l.MaxTopK, DefaultLimits.MaxTopK)
+	l.MaxAlignLen = fill(l.MaxAlignLen, DefaultLimits.MaxAlignLen)
+	switch {
+	case l.MaxResidues == 0:
+		l.MaxResidues = DefaultLimits.MaxResidues
+	case l.MaxResidues < 0:
+		l.MaxResidues = 0
+	}
+	return l
+}
+
+// cacheSalt folds the serving identity into every job's cache key, so a
+// redeploy over a different database or scoring scheme can never serve
+// stale results from a reused jobs dir.
+func (s *Server) cacheSalt() string {
+	scheme := s.platform.Scheme
+	if scheme.Matrix == nil {
+		scheme = hybridsw.DefaultScheme()
+	}
+	return fmt.Sprintf("%s|%d|%d|%s|%s", s.dbName, len(s.db), s.residues,
+		scheme.Matrix.Name(), scheme.Gap)
+}
+
+// Jobs exposes the job subsystem (tests and embedders).
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Close drains the job subsystem: running searches get until ctx ends to
+// finish, then are aborted and re-queued for the next boot; the durable
+// store (if any) is compacted and closed.
+func (s *Server) Close(ctx context.Context) error { return s.jobs.Close(ctx) }
 
 // Registry returns the server's metrics registry (the one /metrics
 // serves).
@@ -85,6 +190,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /database", s.instrument("database", s.handleDatabase))
 	mux.HandleFunc("POST /search", s.instrument("search", s.handleSearch))
 	mux.HandleFunc("POST /align", s.instrument("align", s.handleAlign))
+	mux.HandleFunc("POST /jobs", s.instrument("jobs_submit", s.handleJobSubmit))
+	mux.HandleFunc("GET /jobs", s.instrument("jobs_list", s.handleJobList))
+	mux.HandleFunc("GET /jobs/{id}", s.instrument("jobs_get", s.handleJobGet))
+	mux.HandleFunc("GET /jobs/{id}/result", s.instrument("jobs_result", s.handleJobResult))
+	mux.HandleFunc("DELETE /jobs/{id}", s.instrument("jobs_cancel", s.handleJobCancel))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.reg.Handler().ServeHTTP))
 	mux.HandleFunc("GET /varz", s.instrument("varz", s.reg.VarzHandler().ServeHTTP))
 	return mux
@@ -121,13 +231,16 @@ func (s *Server) handleDatabase(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// SearchRequest is the POST /search payload.
+// SearchRequest is the POST /search and POST /jobs payload.
 type SearchRequest struct {
 	// QueriesFasta holds one or more FASTA records.
 	QueriesFasta string `json:"queries_fasta"`
 	TopK         int    `json:"top_k,omitempty"`
 	Policy       string `json:"policy,omitempty"`
 	Align        bool   `json:"align,omitempty"`
+	// Priority orders the job queue: higher runs first, FIFO within a
+	// level. Only meaningful while the queue is backed up.
+	Priority int `json:"priority,omitempty"`
 }
 
 // SearchHit is one reported hit.
@@ -154,19 +267,74 @@ type SearchResponse struct {
 	Database string         `json:"database"`
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+// decodeSearch decodes and validates a search payload: JSON errors and
+// empty FASTA get 400, cap violations get 422 with a machine-readable
+// reason, an unknown policy gets 422 (catching it before an async job
+// would fail obscurely at run time). On failure the response is already
+// written and ok is false.
+func (s *Server) decodeSearch(w http.ResponseWriter, r *http.Request) (jreq jobs.Request, ok bool) {
 	var req SearchRequest
 	if !decodeJSON(w, r, &req) {
-		return
+		return jreq, false
 	}
 	queries, err := fasta.NewReader(strings.NewReader(req.QueriesFasta)).ReadAll()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "queries_fasta: %v", err)
-		return
+		return jreq, false
 	}
 	if len(queries) == 0 {
 		writeErr(w, http.StatusBadRequest, "queries_fasta contains no sequences")
-		return
+		return jreq, false
+	}
+	if s.limits.MaxQueries > 0 && len(queries) > s.limits.MaxQueries {
+		writeReject(w, http.StatusUnprocessableEntity, "too_many_queries",
+			"%d queries exceeds the %d-query cap", len(queries), s.limits.MaxQueries)
+		return jreq, false
+	}
+	var residues int64
+	for _, q := range queries {
+		if q.Len() == 0 {
+			writeReject(w, http.StatusUnprocessableEntity, "empty_query",
+				"query %q is empty", q.ID)
+			return jreq, false
+		}
+		residues += int64(q.Len())
+	}
+	if s.limits.MaxResidues > 0 && residues > s.limits.MaxResidues {
+		writeReject(w, http.StatusUnprocessableEntity, "too_many_residues",
+			"%d total query residues exceeds the %d-residue cap", residues, s.limits.MaxResidues)
+		return jreq, false
+	}
+	if s.limits.MaxTopK > 0 && req.TopK > s.limits.MaxTopK {
+		writeReject(w, http.StatusUnprocessableEntity, "top_k_too_large",
+			"top_k %d exceeds the cap of %d", req.TopK, s.limits.MaxTopK)
+		return jreq, false
+	}
+	if req.Policy != "" {
+		if _, err := sched.NewPolicy(req.Policy); err != nil {
+			writeReject(w, http.StatusUnprocessableEntity, "unknown_policy",
+				"policy: %v", err)
+			return jreq, false
+		}
+	}
+	return jobs.Request{
+		QueriesFasta: req.QueriesFasta,
+		TopK:         req.TopK,
+		Policy:       req.Policy,
+		Align:        req.Align,
+		Priority:     req.Priority,
+		Queries:      len(queries),
+		Residues:     residues,
+	}, true
+}
+
+// runJob is the executor body the job subsystem runs: one full search with
+// cancellation plumbed through to the scheduler, encoded as the POST
+// /search response shape.
+func (s *Server) runJob(ctx context.Context, req jobs.Request) ([]byte, error) {
+	queries, err := fasta.NewReader(strings.NewReader(req.QueriesFasta)).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("queries_fasta: %w", err)
 	}
 	p := s.platform
 	if req.TopK > 0 {
@@ -176,12 +344,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		p.Policy = req.Policy
 	}
 	p.AlignBest = req.Align
-
-	rep, err := hybridsw.Search(queries, s.db, p)
+	rep, err := hybridsw.SearchContext(ctx, queries, s.db, p)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "search: %v", err)
-		return
+		return nil, err
 	}
+	return json.Marshal(s.buildSearchResponse(queries, rep, p))
+}
+
+// buildSearchResponse shapes a report into the API response, attaching
+// E-values when the scheme has tabulated statistics.
+func (s *Server) buildSearchResponse(queries []*seq.Sequence, rep *hybridsw.Report, p hybridsw.Platform) SearchResponse {
 	scheme := p.Scheme
 	if scheme.Matrix == nil {
 		scheme = hybridsw.DefaultScheme()
@@ -212,7 +384,55 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results = append(resp.Results, res)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// handleSearch is the synchronous facade over the job subsystem: submit,
+// wait, stream the result. It shares admission control, coalescing and the
+// result cache with POST /jobs, and a disconnected client cancels the
+// underlying search (unless an async submission also owns it).
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	jreq, ok := s.decodeSearch(w, r)
+	if !ok {
+		return
+	}
+	job, err := s.jobs.Submit(jreq, false)
+	if err != nil {
+		writeJobErr(w, err)
+		return
+	}
+	job, err = s.jobs.Wait(r.Context(), job.ID)
+	if err != nil {
+		// The client went away; the response will never be read. The Wait
+		// already cancelled the job if nobody else wants it.
+		writeErr(w, http.StatusServiceUnavailable, "client cancelled: %v", err)
+		return
+	}
+	s.writeJobOutcome(w, job)
+}
+
+// writeJobOutcome renders a terminal job for a synchronous caller.
+func (s *Server) writeJobOutcome(w http.ResponseWriter, job jobs.Job) {
+	switch job.State {
+	case jobs.StateDone:
+		body, _, err := s.jobs.Result(job.ID)
+		if err != nil {
+			writeErr(w, http.StatusGone, "result: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+	case jobs.StateFailed:
+		writeErr(w, http.StatusInternalServerError, "search: %s", job.Error)
+	case jobs.StateCanceled:
+		writeErr(w, http.StatusConflict, "search was cancelled")
+	case jobs.StateQueued, jobs.StateRunning:
+		// Unreachable after Wait; kept for exhaustiveness.
+		writeErr(w, http.StatusInternalServerError, "job %s still %s", job.ID, job.State)
+	default:
+		writeErr(w, http.StatusInternalServerError, "job %s in unknown state %q", job.ID, job.State)
+	}
 }
 
 // AlignRequest is the POST /align payload: two literal sequences.
@@ -239,14 +459,30 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "both a and b are required")
 		return
 	}
+	if cap := s.limits.MaxAlignLen; cap > 0 && (len(req.A) > cap || len(req.B) > cap) {
+		writeReject(w, http.StatusUnprocessableEntity, "sequence_too_long",
+			"alignment sequences are capped at %d residues", cap)
+		return
+	}
 	scheme := hybridsw.DefaultScheme()
-	a := hybridsw.Align([]byte(strings.ToUpper(req.A)), []byte(strings.ToUpper(req.B)), scheme)
-	writeJSON(w, http.StatusOK, AlignResponse{
-		Score:     a.Score,
-		Identity:  a.Identity(),
-		QueryRow:  string(a.QueryRow),
-		TargetRow: string(a.TargetRow),
-	})
+	// The DP runs off-handler so a disconnected client releases the
+	// request slot immediately; the stray computation is bounded by
+	// MaxAlignLen and finishes on its own.
+	done := make(chan *hybridsw.Alignment, 1)
+	go func() {
+		done <- hybridsw.Align([]byte(strings.ToUpper(req.A)), []byte(strings.ToUpper(req.B)), scheme)
+	}()
+	select {
+	case a := <-done:
+		writeJSON(w, http.StatusOK, AlignResponse{
+			Score:     a.Score,
+			Identity:  a.Identity(),
+			QueryRow:  string(a.QueryRow),
+			TargetRow: string(a.TargetRow),
+		})
+	case <-r.Context().Done():
+		writeErr(w, http.StatusServiceUnavailable, "client cancelled: %v", r.Context().Err())
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -257,4 +493,39 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeReject renders a validation/admission rejection with a
+// machine-readable reason alongside the human-readable error.
+func writeReject(w http.ResponseWriter, code int, reason, format string, args ...any) {
+	writeJSON(w, code, map[string]string{
+		"error":  fmt.Sprintf(format, args...),
+		"reason": reason,
+	})
+}
+
+// writeJobErr maps job-subsystem errors onto HTTP statuses: queue overload
+// is 429 with a Retry-After hint, size-cap rejections are 422, a draining
+// server is 503, unknown IDs are 404.
+func writeJobErr(w http.ResponseWriter, err error) {
+	var rej *jobs.RejectError
+	if errors.As(err, &rej) {
+		code := http.StatusBadRequest
+		switch rej.Reason {
+		case "queue_full":
+			code = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(rej.RetryAfter.Seconds()+0.5)))
+		case "too_many_queries", "too_many_residues":
+			code = http.StatusUnprocessableEntity
+		case "draining":
+			code = http.StatusServiceUnavailable
+		}
+		writeReject(w, code, rej.Reason, "%s", rej.Detail)
+		return
+	}
+	if errors.Is(err, jobs.ErrNotFound) {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, "jobs: %v", err)
 }

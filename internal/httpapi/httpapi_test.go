@@ -114,7 +114,8 @@ func TestSearchEndpointErrors(t *testing.T) {
 		t.Errorf("bad JSON: status %d", raw.StatusCode)
 	}
 	raw.Body.Close()
-	if resp, _ := post(t, ts.URL+"/search", SearchRequest{QueriesFasta: ">q\nACD\n", Policy: "bogus"}); resp.StatusCode != 500 {
+	// An unknown policy is caught by validation (422), not at run time.
+	if resp, _ := post(t, ts.URL+"/search", SearchRequest{QueriesFasta: ">q\nACD\n", Policy: "bogus"}); resp.StatusCode != 422 {
 		t.Errorf("bad policy: status %d", resp.StatusCode)
 	}
 }

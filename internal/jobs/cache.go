@@ -1,0 +1,86 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a byte-budgeted LRU cache of encoded job results, keyed by the
+// job's content digest. It is safe for concurrent use on its own lock so
+// result reads (GET /jobs/{id}/result) never contend with the Manager's
+// scheduling mutex.
+type lru struct {
+	maxBytes int64
+
+	mu    sync.Mutex
+	order *list.List // front = most recently used; values are *lruEntry
+	byKey map[string]*list.Element
+	bytes int64
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+func newLRU(maxBytes int64) *lru {
+	return &lru{maxBytes: maxBytes, order: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// get returns the cached body for key (and refreshes its recency).
+func (c *lru) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// put inserts (or refreshes) key and returns how many entries were evicted
+// to respect the byte budget. Bodies larger than the whole budget are not
+// cached at all (they would evict everything for a single entry).
+func (c *lru) put(key string, body []byte) (evicted int) {
+	if c.maxBytes <= 0 || int64(len(body)) > c.maxBytes {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		c.order.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.order.PushFront(&lruEntry{key: key, body: body})
+		c.bytes += int64(len(body))
+	}
+	for c.bytes > c.maxBytes {
+		last := c.order.Back()
+		if last == nil {
+			break
+		}
+		e := last.Value.(*lruEntry)
+		c.order.Remove(last)
+		delete(c.byKey, e.key)
+		c.bytes -= int64(len(e.body))
+		evicted++
+	}
+	return evicted
+}
+
+// size returns the cached byte total.
+func (c *lru) size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// entries returns the number of cached results.
+func (c *lru) entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey)
+}

@@ -1,0 +1,743 @@
+// Package jobs is the asynchronous job subsystem between the HTTP serving
+// layer and the hybrid search engine: a bounded priority queue with
+// admission control, a fixed-size executor pool with end-to-end context
+// cancellation, a content-addressed result cache with singleflight
+// coalescing of identical in-flight submissions, and an optional durable
+// store (JSON-lines WAL + snapshot) so queued work survives a restart.
+//
+// The paper's environment runs one batch search at a time on a dedicated
+// master (§IV-A); this package is what lets the same engine absorb many
+// concurrent callers: overload is rejected early (429-style, with a retry
+// hint) instead of accepted and thrashed, identical work executes once, and
+// repeated queries are answered from the cache without touching a kernel.
+//
+// The Manager knows nothing about Smith-Waterman: Config.Run is the
+// executor body (the HTTP layer closes it over hybridsw.SearchContext), and
+// results are opaque byte slices, which keeps the subsystem independently
+// testable.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// The job lifecycle: queued -> running -> done | failed | canceled.
+// Cancellation can also strike a queued job directly. On restart, a job
+// found running is demoted to queued and re-executed.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCanceled:
+		return true
+	case StateQueued, StateRunning:
+		return false
+	default:
+		return false
+	}
+}
+
+// Request is the executable payload of a job. QueriesFasta, TopK, Policy
+// and Align define the work (and the cache identity); Priority orders the
+// queue (higher first, FIFO within a level); Queries and Residues are
+// accounting filled in by the submitter after parsing, so admission control
+// can cap request size without re-parsing FASTA.
+type Request struct {
+	QueriesFasta string `json:"queries_fasta"`
+	TopK         int    `json:"top_k,omitempty"`
+	Policy       string `json:"policy,omitempty"`
+	Align        bool   `json:"align,omitempty"`
+	Priority     int    `json:"priority,omitempty"`
+	Queries      int    `json:"queries,omitempty"`
+	Residues     int64  `json:"residues,omitempty"`
+}
+
+// Job is the public snapshot of one job's state.
+type Job struct {
+	ID       string    `json:"id"`
+	Key      string    `json:"key"`
+	State    State     `json:"state"`
+	Request  Request   `json:"request"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	Error    string    `json:"error,omitempty"`
+	// Coalesced counts extra submissions merged into this execution.
+	Coalesced int `json:"coalesced,omitempty"`
+	// CacheHit marks a job answered from the result cache without running.
+	CacheHit    bool  `json:"cache_hit,omitempty"`
+	ResultBytes int64 `json:"result_bytes,omitempty"`
+}
+
+// job is the Manager's live record: the public snapshot plus coordination
+// state. Every field is mutated under the Manager's mutex.
+type job struct {
+	Job
+	done     chan struct{}      // closed on terminal transition
+	cancel   context.CancelFunc // set while running
+	canceled bool               // a caller asked for cancellation
+	async    bool               // owned by a fire-and-forget submission
+	waiters  int                // attached synchronous waiters
+}
+
+func (j *job) snapshot() Job { return j.Job }
+
+// ErrNotFound is returned for unknown job IDs.
+var ErrNotFound = errors.New("jobs: no such job")
+
+// RejectError is an admission-control rejection. Reason is machine-readable
+// ("queue_full", "too_many_queries", "too_many_residues", "draining");
+// RetryAfter, when positive, hints that the same request can succeed later
+// (the HTTP layer turns it into a Retry-After header on a 429).
+type RejectError struct {
+	Reason     string
+	Detail     string
+	RetryAfter time.Duration
+}
+
+func (e *RejectError) Error() string { return "jobs: " + e.Detail }
+
+// Config describes a Manager.
+type Config struct {
+	// Run executes one job. It must honor ctx: cancellation aborts the job
+	// (DELETE, client disconnect, shutdown past the drain deadline).
+	Run func(ctx context.Context, req Request) ([]byte, error)
+	// Salt folds the serving identity (database, platform, scheme) into the
+	// cache key, so results never leak across different configurations.
+	Salt string
+	// Executors is the worker-pool size; 0 means DefaultExecutors and
+	// negative means none (jobs queue but never run — tests and drained
+	// replicas).
+	Executors int
+	// MaxQueue bounds queued (not running) jobs; 0 means DefaultMaxQueue.
+	MaxQueue int
+	// MaxQueries and MaxResidues cap one request's declared size; 0 means
+	// uncapped here (the HTTP layer applies its own validation caps).
+	MaxQueries  int
+	MaxResidues int64
+	// CacheBytes budgets the in-memory result cache; 0 means
+	// DefaultCacheBytes and negative disables caching.
+	CacheBytes int64
+	// Dir, when non-empty, makes the Manager durable: job records are
+	// WAL-logged and snapshotted there and results are persisted, so
+	// queued/finished jobs survive a restart.
+	Dir string
+	// MaxJobs bounds retained terminal job records (oldest-finished pruned
+	// at snapshot time); 0 means DefaultMaxJobs.
+	MaxJobs int
+	// RetryAfter is the hint attached to queue-full rejections; 0 means
+	// DefaultRetryAfter.
+	RetryAfter time.Duration
+	// Metrics, when non-nil, instruments every transition (see NewMetrics).
+	Metrics *Metrics
+}
+
+// Defaults for the zero-valued Config knobs.
+const (
+	DefaultExecutors  = 2
+	DefaultMaxQueue   = 64
+	DefaultCacheBytes = 64 << 20
+	DefaultMaxJobs    = 1024
+	DefaultRetryAfter = 2 * time.Second
+
+	// snapshotEvery compacts the WAL after this many appended records.
+	snapshotEvery = 256
+)
+
+// Manager owns the queue, the executor pool, the cache and the durable
+// store. Fields above mu are set once in New; the group below mu is what mu
+// guards (the cache carries its own lock so result reads skip mu).
+type Manager struct {
+	cfg   Config
+	base  context.Context
+	abort context.CancelFunc
+	cache *lru
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	st       *store
+	jobs     map[string]*job
+	byKey    map[string]*job
+	q        *queue
+	stopped  bool
+	draining bool
+}
+
+// New builds a Manager and starts its executor pool. With Config.Dir set it
+// first recovers the surviving job records: terminal jobs reload as history
+// (their results readable if persisted), and queued or previously running
+// jobs re-enqueue in creation order.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Run == nil {
+		return nil, fmt.Errorf("jobs: Config.Run is required")
+	}
+	if cfg.Executors == 0 {
+		cfg.Executors = DefaultExecutors
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = DefaultMaxQueue
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.MaxJobs == 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	base, abort := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:   cfg,
+		base:  base,
+		abort: abort,
+		cache: newLRU(cfg.CacheBytes),
+		jobs:  map[string]*job{},
+		byKey: map[string]*job{},
+		q:     newQueue(cfg.MaxQueue),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	if cfg.Dir != "" {
+		st, recs, err := openStore(cfg.Dir)
+		if err != nil {
+			abort()
+			return nil, err
+		}
+		m.mu.Lock()
+		m.st = st
+		m.recoverLocked(recs)
+		m.mu.Unlock()
+	}
+	for i := 0; i < cfg.Executors; i++ {
+		m.wg.Add(1)
+		go m.executor()
+	}
+	return m, nil
+}
+
+// recoverLocked rebuilds the live state from persisted records.
+func (m *Manager) recoverLocked(recs []Job) {
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].Created.Equal(recs[j].Created) {
+			return recs[i].Created.Before(recs[j].Created)
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	for _, rec := range recs {
+		j := &job{Job: rec, done: make(chan struct{}), async: true}
+		switch rec.State {
+		case StateQueued, StateRunning:
+			// A job caught mid-run by the crash restarts from scratch.
+			j.Started, j.Finished = time.Time{}, time.Time{}
+			j.Error = ""
+			j.State = "" // setStateLocked charges the gauge fresh
+			m.setStateLocked(j, StateQueued)
+			m.q.forcePush(j)
+			if m.byKey[j.Key] == nil {
+				m.byKey[j.Key] = j
+			}
+			m.logLocked(j)
+		case StateDone, StateFailed, StateCanceled:
+			close(j.done)
+			if mm := m.cfg.Metrics; mm != nil {
+				mm.ByState.With(string(rec.State)).Inc()
+			}
+		default:
+			continue // unknown state in a newer WAL: skip, don't crash
+		}
+		m.jobs[j.ID] = j
+	}
+	if mm := m.cfg.Metrics; mm != nil {
+		mm.QueueDepth.Set(float64(m.q.len()))
+	}
+}
+
+// key derives the content address of a request: everything that determines
+// the result (queries, scoring knobs) plus the Manager's serving salt.
+func (m *Manager) key(req Request) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%d\x00%s\x00%t\x00%s",
+		m.cfg.Salt, req.TopK, req.Policy, req.Align, req.QueriesFasta)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// newID mints a job identifier.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("j%016x", time.Now().UnixNano())
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// Submit runs a request through admission control and either coalesces it
+// into an identical in-flight job, answers it from the result cache, or
+// enqueues it. async marks a fire-and-forget submission (POST /jobs): such
+// jobs run to completion even if nobody waits, and only an explicit
+// DELETE cancels them. Synchronous submissions (async=false) are cancelled
+// automatically when their last waiter disconnects.
+func (m *Manager) Submit(req Request, async bool) (Job, error) {
+	if err := m.admit(req); err != nil {
+		return Job{}, err
+	}
+	key := m.key(req)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped || m.draining {
+		m.countRejectLocked("draining")
+		return Job{}, &RejectError{Reason: "draining", Detail: "server is draining; not accepting jobs"}
+	}
+	if j := m.byKey[key]; j != nil && !j.State.Terminal() {
+		j.Coalesced++
+		if async {
+			j.async = true
+		}
+		if mm := m.cfg.Metrics; mm != nil {
+			mm.Coalesced.Inc()
+		}
+		return j.snapshot(), nil
+	}
+	if body, ok := m.cachedLocked(key); ok {
+		j := m.newJobLocked(key, req, async)
+		now := time.Now()
+		j.Started, j.Finished = now, now
+		j.CacheHit = true
+		j.ResultBytes = int64(len(body))
+		m.setStateLocked(j, StateDone)
+		close(j.done)
+		if mm := m.cfg.Metrics; mm != nil {
+			mm.Submitted.Inc()
+			mm.CacheHits.Inc()
+		}
+		m.logLocked(j)
+		return j.snapshot(), nil
+	}
+	if m.q.len() >= m.cfg.MaxQueue {
+		m.countRejectLocked("queue_full")
+		return Job{}, &RejectError{
+			Reason:     "queue_full",
+			Detail:     fmt.Sprintf("queue is full (%d jobs)", m.q.len()),
+			RetryAfter: m.cfg.RetryAfter,
+		}
+	}
+	j := m.newJobLocked(key, req, async)
+	m.setStateLocked(j, StateQueued)
+	m.q.push(j)
+	m.byKey[key] = j
+	if mm := m.cfg.Metrics; mm != nil {
+		mm.Submitted.Inc()
+		mm.CacheMisses.Inc()
+		mm.QueueDepth.Set(float64(m.q.len()))
+	}
+	m.logLocked(j)
+	m.cond.Signal()
+	return j.snapshot(), nil
+}
+
+// admit applies the per-request size caps (no lock needed: caps are
+// immutable and the rejection counter is atomic).
+func (m *Manager) admit(req Request) error {
+	var reason, detail string
+	switch {
+	case m.cfg.MaxQueries > 0 && req.Queries > m.cfg.MaxQueries:
+		reason = "too_many_queries"
+		detail = fmt.Sprintf("%d queries exceeds the %d-query cap", req.Queries, m.cfg.MaxQueries)
+	case m.cfg.MaxResidues > 0 && req.Residues > m.cfg.MaxResidues:
+		reason = "too_many_residues"
+		detail = fmt.Sprintf("%d total query residues exceeds the %d-residue cap", req.Residues, m.cfg.MaxResidues)
+	default:
+		return nil
+	}
+	if mm := m.cfg.Metrics; mm != nil {
+		mm.Rejected.With(reason).Inc()
+	}
+	return &RejectError{Reason: reason, Detail: detail}
+}
+
+func (m *Manager) countRejectLocked(reason string) {
+	if mm := m.cfg.Metrics; mm != nil {
+		mm.Rejected.With(reason).Inc()
+	}
+}
+
+func (m *Manager) newJobLocked(key string, req Request, async bool) *job {
+	j := &job{
+		Job: Job{
+			ID:      newID(),
+			Key:     key,
+			Request: req,
+			Created: time.Now(),
+		},
+		done:  make(chan struct{}),
+		async: async,
+	}
+	m.jobs[j.ID] = j
+	return j
+}
+
+// setStateLocked transitions a job and keeps the by-state gauge honest.
+func (m *Manager) setStateLocked(j *job, s State) {
+	if mm := m.cfg.Metrics; mm != nil {
+		if j.State != "" {
+			mm.ByState.With(string(j.State)).Dec()
+		}
+		mm.ByState.With(string(s)).Inc()
+	}
+	j.State = s
+}
+
+// cachedLocked looks a result up in memory, then in the durable store
+// (warming the memory cache on a disk hit).
+func (m *Manager) cachedLocked(key string) ([]byte, bool) {
+	if body, ok := m.cache.get(key); ok {
+		return body, true
+	}
+	if m.st == nil {
+		return nil, false
+	}
+	body, ok := m.st.loadResult(key)
+	if !ok {
+		return nil, false
+	}
+	evicted := m.cache.put(key, body)
+	if mm := m.cfg.Metrics; mm != nil {
+		mm.CacheEvictions.Add(float64(evicted))
+		mm.CacheBytes.Set(float64(m.cache.size()))
+	}
+	return body, true
+}
+
+// logLocked appends the job's current record to the WAL (when durable) and
+// compacts once the WAL has grown enough.
+func (m *Manager) logLocked(j *job) {
+	if m.st == nil {
+		return
+	}
+	if err := m.st.append(j.Job); err != nil {
+		if mm := m.cfg.Metrics; mm != nil {
+			mm.StoreErrors.Inc()
+		}
+		return
+	}
+	if m.st.appends >= snapshotEvery {
+		m.snapshotLocked()
+	}
+}
+
+// snapshotLocked prunes retention and compacts the durable store.
+func (m *Manager) snapshotLocked() {
+	if m.st == nil {
+		return
+	}
+	// Retention: drop the oldest-finished terminal records beyond MaxJobs.
+	if over := len(m.jobs) - m.cfg.MaxJobs; over > 0 {
+		var terminal []*job
+		for _, j := range m.jobs {
+			if j.State.Terminal() {
+				terminal = append(terminal, j)
+			}
+		}
+		sort.Slice(terminal, func(i, k int) bool {
+			return terminal[i].Finished.Before(terminal[k].Finished)
+		})
+		for _, j := range terminal {
+			if over <= 0 {
+				break
+			}
+			delete(m.jobs, j.ID)
+			if mm := m.cfg.Metrics; mm != nil {
+				mm.ByState.With(string(j.State)).Dec()
+			}
+			over--
+		}
+	}
+	all := make([]Job, 0, len(m.jobs))
+	keep := make(map[string]bool, len(m.jobs))
+	for _, j := range m.jobs {
+		all = append(all, j.Job)
+		keep[j.Key] = true
+	}
+	if err := m.st.snapshot(all, keep); err != nil {
+		if mm := m.cfg.Metrics; mm != nil {
+			mm.StoreErrors.Inc()
+		}
+	}
+}
+
+// executor is one worker: it pops queued jobs and runs them until the
+// Manager drains.
+func (m *Manager) executor() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for !m.stopped && !m.draining && m.q.len() == 0 {
+			m.cond.Wait()
+		}
+		if m.stopped || m.draining {
+			m.mu.Unlock()
+			return
+		}
+		j := m.q.pop()
+		jctx, cancel := context.WithCancel(m.base)
+		j.cancel = cancel
+		j.Started = time.Now()
+		m.setStateLocked(j, StateRunning)
+		if mm := m.cfg.Metrics; mm != nil {
+			mm.QueueDepth.Set(float64(m.q.len()))
+			mm.ExecutorsBusy.Inc()
+			mm.WaitSeconds.Observe(j.Started.Sub(j.Created).Seconds())
+		}
+		m.logLocked(j)
+		req := j.Request
+		m.mu.Unlock()
+
+		body, err := m.cfg.Run(jctx, req)
+		cancel()
+
+		m.mu.Lock()
+		j.cancel = nil
+		j.Finished = time.Now()
+		switch {
+		case err == nil:
+			j.ResultBytes = int64(len(body))
+			m.setStateLocked(j, StateDone)
+			m.storeResultLocked(j.Key, body)
+			m.finishLocked(j, "done")
+		case j.canceled:
+			j.Error = context.Canceled.Error()
+			m.setStateLocked(j, StateCanceled)
+			m.finishLocked(j, "canceled")
+		case m.base.Err() != nil:
+			// Shutdown aborted the run: the job goes back to queued so the
+			// next boot re-executes it; done stays open.
+			j.Started, j.Finished = time.Time{}, time.Time{}
+			m.setStateLocked(j, StateQueued)
+			m.q.forcePush(j)
+			m.logLocked(j)
+		default:
+			j.Error = err.Error()
+			m.setStateLocked(j, StateFailed)
+			m.finishLocked(j, "failed")
+		}
+		if mm := m.cfg.Metrics; mm != nil {
+			mm.ExecutorsBusy.Dec()
+			if !j.Finished.IsZero() {
+				mm.RunSeconds.Observe(j.Finished.Sub(j.Started).Seconds())
+			}
+		}
+		m.mu.Unlock()
+	}
+}
+
+// finishLocked records a terminal transition: the singleflight slot frees,
+// waiters wake, the outcome is counted and logged.
+func (m *Manager) finishLocked(j *job, outcome string) {
+	if m.byKey[j.Key] == j {
+		delete(m.byKey, j.Key)
+	}
+	close(j.done)
+	if mm := m.cfg.Metrics; mm != nil {
+		mm.Completed.With(outcome).Inc()
+	}
+	m.logLocked(j)
+}
+
+// storeResultLocked caches and persists one result body.
+func (m *Manager) storeResultLocked(key string, body []byte) {
+	evicted := m.cache.put(key, body)
+	if mm := m.cfg.Metrics; mm != nil {
+		mm.CacheEvictions.Add(float64(evicted))
+		mm.CacheBytes.Set(float64(m.cache.size()))
+		mm.ResultBytes.Observe(float64(len(body)))
+	}
+	if m.st != nil {
+		if err := m.st.saveResult(key, body); err != nil {
+			if mm := m.cfg.Metrics; mm != nil {
+				mm.StoreErrors.Inc()
+			}
+		}
+	}
+}
+
+// Get returns a job's snapshot.
+func (m *Manager) Get(id string) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return Job{}, ErrNotFound
+	}
+	return j.snapshot(), nil
+}
+
+// List returns every tracked job, newest first.
+func (m *Manager) List() []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j.snapshot())
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].Created.Equal(out[k].Created) {
+			return out[i].Created.After(out[k].Created)
+		}
+		return out[i].ID > out[k].ID
+	})
+	return out
+}
+
+// Result returns a done job's encoded result body along with its snapshot.
+// For a job in any other state the body is nil and the caller inspects the
+// snapshot. A done job whose result was evicted from both cache and store
+// reports an error.
+func (m *Manager) Result(id string) ([]byte, Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return nil, Job{}, ErrNotFound
+	}
+	snap := j.snapshot()
+	if snap.State != StateDone {
+		return nil, snap, nil
+	}
+	body, ok := m.cachedLocked(snap.Key)
+	if !ok {
+		return nil, snap, fmt.Errorf("jobs: result of %s was evicted", id)
+	}
+	return body, snap, nil
+}
+
+// Cancel aborts a job: a queued job leaves the queue immediately, a running
+// one has its context cancelled (the executor records the terminal state
+// once Run unwinds). Terminal jobs are left untouched — Cancel is
+// idempotent and returns the current snapshot either way.
+func (m *Manager) Cancel(id string) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return Job{}, ErrNotFound
+	}
+	m.cancelLocked(j)
+	return j.snapshot(), nil
+}
+
+func (m *Manager) cancelLocked(j *job) {
+	switch j.State {
+	case StateQueued:
+		if !m.q.remove(j) {
+			return // racing executor already popped it; treat as running
+		}
+		j.canceled = true
+		j.Finished = time.Now()
+		j.Error = context.Canceled.Error()
+		m.setStateLocked(j, StateCanceled)
+		if mm := m.cfg.Metrics; mm != nil {
+			mm.QueueDepth.Set(float64(m.q.len()))
+		}
+		m.finishLocked(j, "canceled")
+	case StateRunning:
+		j.canceled = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	case StateDone, StateFailed, StateCanceled:
+		// Terminal: nothing to abort.
+	default:
+	}
+}
+
+// Wait blocks until the job reaches a terminal state or ctx ends. When the
+// last synchronous waiter of a non-async job gives up, the job itself is
+// cancelled — a disconnected client must not keep burning a full search.
+func (m *Manager) Wait(ctx context.Context, id string) (Job, error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	if j == nil {
+		m.mu.Unlock()
+		return Job{}, ErrNotFound
+	}
+	j.waiters++
+	done := j.done
+	m.mu.Unlock()
+	select {
+	case <-done:
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		j.waiters--
+		return j.snapshot(), nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		j.waiters--
+		if j.waiters == 0 && !j.async {
+			m.cancelLocked(j)
+		}
+		return j.snapshot(), ctx.Err()
+	}
+}
+
+// QueueDepth reports how many jobs are waiting for an executor.
+func (m *Manager) QueueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.q.len()
+}
+
+// Close drains the Manager: no new submissions are admitted, idle executors
+// exit, and running jobs get until ctx ends to finish — past the deadline
+// their contexts are cancelled and they return to the queue, to be
+// re-executed on the next boot. The durable store is then compacted and
+// closed. Close is idempotent.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		m.abort()
+		<-idle
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stopped = true
+	if m.st == nil {
+		return nil
+	}
+	m.snapshotLocked()
+	return m.st.close()
+}

@@ -1,0 +1,67 @@
+package jobs
+
+// queue is a bounded priority FIFO: jobs pop highest Priority first and in
+// submission order within a priority level. It is not safe for concurrent
+// use; the Manager serializes access under its mutex.
+type queue struct {
+	max   int
+	items []*job // sorted: higher priority first, then arrival order
+}
+
+func newQueue(max int) *queue { return &queue{max: max} }
+
+func (q *queue) len() int { return len(q.items) }
+
+// push appends j in priority position; it reports false when the queue is
+// at capacity (admission control rejects, it never blocks).
+func (q *queue) push(j *job) bool {
+	if q.max > 0 && len(q.items) >= q.max {
+		return false
+	}
+	// Insert after the last item with priority >= j's: stable within a
+	// level. Queues are small (bounded); linear scan is fine.
+	i := len(q.items)
+	for i > 0 && q.items[i-1].Request.Priority < j.Request.Priority {
+		i--
+	}
+	q.items = append(q.items, nil)
+	copy(q.items[i+1:], q.items[i:])
+	q.items[i] = j
+	return true
+}
+
+// forcePush inserts j regardless of capacity — recovery re-enqueues every
+// surviving job even when the configured bound shrank, and a job bumped by
+// a shutdown abort must never be dropped.
+func (q *queue) forcePush(j *job) {
+	max := q.max
+	q.max = 0
+	q.push(j)
+	q.max = max
+}
+
+// pop removes and returns the head, or nil when empty.
+func (q *queue) pop() *job {
+	if len(q.items) == 0 {
+		return nil
+	}
+	j := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return j
+}
+
+// remove drops a specific job (cancellation of a queued job); it reports
+// whether the job was present.
+func (q *queue) remove(j *job) bool {
+	for i, it := range q.items {
+		if it == j {
+			copy(q.items[i:], q.items[i+1:])
+			q.items[len(q.items)-1] = nil
+			q.items = q.items[:len(q.items)-1]
+			return true
+		}
+	}
+	return false
+}

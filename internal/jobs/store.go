@@ -1,0 +1,169 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// store is the durable side of the Manager: a JSON-lines write-ahead log of
+// job records plus a periodic snapshot, and one file per cached result.
+// Layout under the jobs dir:
+//
+//	snapshot.json   JSON array of job records (the compacted base state)
+//	wal.jsonl       one job record per line, appended on every transition;
+//	                replayed over the snapshot on boot, last record wins
+//	results/        <key>.json encoded result bodies, content-addressed
+//
+// The store is not safe for concurrent use; the Manager serializes access
+// under its mutex. Write failures degrade durability, never serving: the
+// Manager counts them and keeps going.
+type store struct {
+	dir     string
+	wal     *os.File
+	appends int // records since the last snapshot, drives compaction
+}
+
+const (
+	walName      = "wal.jsonl"
+	snapshotName = "snapshot.json"
+	resultsDir   = "results"
+)
+
+// openStore opens (creating if needed) a jobs dir and returns the surviving
+// job records: the snapshot with the WAL replayed over it, in no particular
+// order.
+func openStore(dir string) (*store, []Job, error) {
+	if err := os.MkdirAll(filepath.Join(dir, resultsDir), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("jobs: creating %s: %w", dir, err)
+	}
+	byID := map[string]Job{}
+	if raw, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
+		var snap []Job
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return nil, nil, fmt.Errorf("jobs: corrupt snapshot in %s: %w", dir, err)
+		}
+		for _, j := range snap {
+			byID[j.ID] = j
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	if f, err := os.Open(filepath.Join(dir, walName)); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var j Job
+			if err := json.Unmarshal([]byte(line), &j); err != nil {
+				// A torn final line (crash mid-append) is expected; any
+				// earlier complete records already took effect.
+				continue
+			}
+			byID[j.ID] = j
+		}
+		err = sc.Err()
+		_ = f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("jobs: reading WAL in %s: %w", dir, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]Job, 0, len(byID))
+	for _, j := range byID {
+		out = append(out, j)
+	}
+	return &store{dir: dir, wal: wal}, out, nil
+}
+
+// append logs one job record.
+func (s *store) append(j Job) error {
+	raw, err := json.Marshal(j)
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if _, err := s.wal.Write(raw); err != nil {
+		return err
+	}
+	s.appends++
+	return nil
+}
+
+// saveResult persists one result body under its content key, atomically.
+func (s *store) saveResult(key string, body []byte) error {
+	final := s.resultPath(key)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// loadResult returns a persisted result body, if present.
+func (s *store) loadResult(key string) ([]byte, bool) {
+	raw, err := os.ReadFile(s.resultPath(key))
+	if err != nil {
+		return nil, false
+	}
+	return raw, true
+}
+
+func (s *store) resultPath(key string) string {
+	return filepath.Join(s.dir, resultsDir, key+".json")
+}
+
+// snapshot compacts the store: the given records become the new snapshot,
+// the WAL restarts empty, and result files whose key is not in keep are
+// pruned (their jobs aged out of retention).
+func (s *store) snapshot(all []Job, keep map[string]bool) error {
+	raw, err := json.MarshalIndent(all, "", " ")
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(s.dir, snapshotName)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	// The snapshot holds every record, so the WAL can restart from zero.
+	// Truncate-in-place keeps the open append handle valid.
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		return err
+	}
+	s.appends = 0
+	entries, err := os.ReadDir(filepath.Join(s.dir, resultsDir))
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		key := strings.TrimSuffix(e.Name(), ".json")
+		if key == e.Name() || keep[key] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, resultsDir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// close releases the WAL handle (callers snapshot first).
+func (s *store) close() error { return s.wal.Close() }
