@@ -1,11 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint test race race-full bench tables svg csv examples clean
+.PHONY: all build vet lint test race race-full sim-smoke fuzz-smoke cover bench tables svg csv examples clean
 
 # The concurrency-heavy packages (distributed path + scheduler) always run
 # under the race detector as part of `make test`; `race-full` covers the
-# whole module.
-RACE_PKGS := ./internal/sched/... ./internal/master/... ./internal/slave/... ./internal/wire/... ./internal/httpapi/... ./internal/metrics/... ./internal/jobs/...
+# whole module. internal/sim is single-threaded by construction (the purity
+# analyzer forbids goroutines there), but it rides along so any accidental
+# concurrency shows up as a race, not just a determinism break.
+RACE_PKGS := ./internal/sched/... ./internal/master/... ./internal/slave/... ./internal/wire/... ./internal/httpapi/... ./internal/metrics/... ./internal/jobs/... ./internal/sim/...
 
 all: build lint test
 
@@ -31,6 +33,27 @@ race:
 
 race-full:
 	go test -race ./...
+
+# Chaos-test the master/slave/jobs stack: 200 generated fault scenarios
+# replayed under virtual time from pinned seeds (see cmd/swsim and
+# DESIGN §9). Fails loudly with a shrunken reproducer on any invariant
+# violation.
+sim-smoke:
+	go run ./cmd/swsim -seed 1 -scenarios 200 -duration 60s
+
+# Short runs of the coverage-guided fuzzers over the two parsers that
+# consume untrusted or crash-corrupted bytes: the wire codec and the jobs
+# WAL replayer. Each target fuzzes for a fixed budget; regressions land in
+# testdata/fuzz and replay as ordinary tests forever after.
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire
+	go test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/jobs
+
+# Coverage with a ratcheted floor: cmd/covercheck fails the build when
+# total statement coverage drops below -min.
+cover:
+	go test -coverprofile=cover.out ./...
+	go run ./cmd/covercheck -profile cover.out -min 75
 
 # Run every benchmark with allocation stats and archive the run as
 # BENCH_<date>.json (see EXPERIMENTS.md for the format); raw output

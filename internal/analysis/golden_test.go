@@ -22,6 +22,10 @@ func TestPurityGolden(t *testing.T) {
 	runGolden(t, "testdata/purity/internal/sched", PurityAnalyzer)
 }
 
+func TestPurityGoldenSim(t *testing.T) {
+	runGolden(t, "testdata/purity/internal/sim", PurityAnalyzer)
+}
+
 func TestExhaustiveGolden(t *testing.T) {
 	runGolden(t, "testdata/exhaustive", ExhaustiveAnalyzer)
 }

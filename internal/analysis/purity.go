@@ -8,11 +8,13 @@ import (
 )
 
 // PurityAnalyzer enforces DESIGN §1's central contract: internal/sched,
-// internal/platform and internal/vtime are pure state machines — every
-// method takes the current time as an argument and performs no I/O, no
-// sleeping and no goroutine spawning. That purity is what lets the same
-// code drive both the wall-clock master and the calibrated discrete-event
-// experiments, so it must hold mechanically, not by convention.
+// internal/platform, internal/vtime and internal/sim are pure state
+// machines — every method takes the current time as an argument and
+// performs no I/O, no sleeping and no goroutine spawning. That purity is
+// what lets the same code drive both the wall-clock master and the
+// calibrated discrete-event experiments, and what makes the cluster
+// simulator's chaos runs replay byte-identically from a seed, so it must
+// hold mechanically, not by convention.
 //
 // Inside the pure packages the analyzer forbids:
 //   - go statements (concurrency belongs to the drivers, not the model);
@@ -32,7 +34,7 @@ var PurityAnalyzer = &Analyzer{
 
 // purePackages are the packages (matched on import-path segments) the
 // purity analyzer applies to.
-var purePackages = []string{"internal/sched", "internal/platform", "internal/vtime"}
+var purePackages = []string{"internal/sched", "internal/platform", "internal/vtime", "internal/sim"}
 
 // forbiddenTimeFuncs are package time functions that read the wall clock
 // or sleep.

@@ -1,0 +1,27 @@
+// Package sim is the purity golden fixture for the cluster simulator's
+// scope. Its directory sits under testdata/purity/internal/sim, so the
+// loader's synthetic import path matches the analyzer's internal/sim
+// scope: determinism there is load-bearing — a wall-clock read or a
+// goroutine would silently break byte-identical seed replay — so the
+// contract is enforced mechanically.
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	_ "net" // want "pure package sim imports net"
+)
+
+// Step is the clean idiom: virtual time arrives as an argument and all
+// randomness flows from a seeded generator, so a scenario is a pure
+// function of its seed.
+func Step(now time.Duration, rng *rand.Rand) time.Duration {
+	return now + time.Duration(rng.Int63n(int64(time.Millisecond)))
+}
+
+func violations() {
+	_ = time.Now()        // want "time.Now in pure package sim"
+	_ = rand.Float64()    // want "rand.Float64 draws from the global source"
+	go func() { _ = 0 }() // want "go statement in pure package sim"
+}

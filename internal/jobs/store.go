@@ -1,7 +1,6 @@
 package jobs
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -34,66 +33,47 @@ const (
 )
 
 // openStore opens (creating if needed) a jobs dir and returns the surviving
-// job records: the snapshot with the WAL replayed over it, in no particular
-// order.
+// job records: the snapshot with the WAL replayed over it (see Replay),
+// sorted by creation.
 func openStore(dir string) (*store, []Job, error) {
 	if err := os.MkdirAll(filepath.Join(dir, resultsDir), 0o755); err != nil {
 		return nil, nil, fmt.Errorf("jobs: creating %s: %w", dir, err)
 	}
-	byID := map[string]Job{}
+	var snapRaw, walRaw []byte
 	if raw, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
-		var snap []Job
-		if err := json.Unmarshal(raw, &snap); err != nil {
-			return nil, nil, fmt.Errorf("jobs: corrupt snapshot in %s: %w", dir, err)
-		}
-		for _, j := range snap {
-			byID[j.ID] = j
-		}
+		snapRaw = raw
 	} else if !os.IsNotExist(err) {
 		return nil, nil, err
 	}
-	if f, err := os.Open(filepath.Join(dir, walName)); err == nil {
-		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
-		for sc.Scan() {
-			line := strings.TrimSpace(sc.Text())
-			if line == "" {
-				continue
-			}
-			var j Job
-			if err := json.Unmarshal([]byte(line), &j); err != nil {
-				// A torn final line (crash mid-append) is expected; any
-				// earlier complete records already took effect.
-				continue
-			}
-			byID[j.ID] = j
-		}
-		err = sc.Err()
-		_ = f.Close()
-		if err != nil {
-			return nil, nil, fmt.Errorf("jobs: reading WAL in %s: %w", dir, err)
-		}
+	if raw, err := os.ReadFile(filepath.Join(dir, walName)); err == nil {
+		walRaw = raw
 	} else if !os.IsNotExist(err) {
 		return nil, nil, err
+	}
+	out, err := Replay(snapRaw, walRaw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w (in %s)", err, dir)
+	}
+	// Drop a torn final line (crash mid-append) before reopening for
+	// append, or the next record would be concatenated onto it and lost.
+	if clean := CleanLength(walRaw); clean != len(walRaw) {
+		if err := os.Truncate(filepath.Join(dir, walName), int64(clean)); err != nil {
+			return nil, nil, fmt.Errorf("jobs: truncating torn WAL tail: %w", err)
+		}
 	}
 	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, err
-	}
-	out := make([]Job, 0, len(byID))
-	for _, j := range byID {
-		out = append(out, j)
 	}
 	return &store{dir: dir, wal: wal}, out, nil
 }
 
 // append logs one job record.
 func (s *store) append(j Job) error {
-	raw, err := json.Marshal(j)
+	raw, err := MarshalRecord(j)
 	if err != nil {
 		return err
 	}
-	raw = append(raw, '\n')
 	if _, err := s.wal.Write(raw); err != nil {
 		return err
 	}

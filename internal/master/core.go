@@ -1,0 +1,336 @@
+package master
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/seq"
+	"repro/internal/wire"
+)
+
+// Core is the master's protocol state machine with the clock factored out:
+// one envelope in, one envelope out, with the current time passed as an
+// argument. It is deliberately single-threaded and performs no I/O — the
+// same discipline sched.Coordinator follows — so the identical dispatch
+// code serves two drivers:
+//
+//   - Master wraps a Core with a mutex and the wall clock for real TCP and
+//     in-process slaves;
+//   - the deterministic cluster simulator (internal/sim) drives a Core from
+//     a virtual-time event loop, where reproducibility demands that no
+//     goroutine or wall-clock read sneaks onto the decision path.
+//
+// Methods are not safe for concurrent use; the driver owns the locking.
+type Core struct {
+	queries []*seq.Sequence
+	coord   *sched.Coordinator
+	events  *metrics.EventLog
+	// pendingCancel queues cancellations per slave: the protocol is
+	// slave-initiated, so a slave learns that its copy of a task became
+	// moot on its next Progress or Complete acknowledgement.
+	pendingCancel map[sched.SlaveID][]sched.TaskID
+	// finished latches the job-done transition so the summary trailer is
+	// emitted exactly once.
+	finished bool
+}
+
+// NewCore builds the protocol core for a job: one very coarse-grained task
+// per query (|query| x database residues cells), all ready. events may be
+// nil to discard the structured event stream.
+func NewCore(queries []*seq.Sequence, dbResidues int64, sc sched.Config, events *metrics.EventLog) (*Core, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("master: no queries")
+	}
+	if dbResidues <= 0 {
+		return nil, fmt.Errorf("master: DBResidues = %d", dbResidues)
+	}
+	tasks := make([]sched.Task, len(queries))
+	for i, q := range queries {
+		if q.Len() == 0 {
+			return nil, fmt.Errorf("master: query %d (%s) is empty", i, q.ID)
+		}
+		tasks[i] = sched.Task{
+			QueryID: q.ID,
+			Cells:   int64(q.Len()) * dbResidues,
+		}
+	}
+	return &Core{
+		queries:       queries,
+		coord:         sched.NewCoordinator(tasks, sc),
+		events:        events,
+		pendingCancel: map[sched.SlaveID][]sched.TaskID{},
+	}, nil
+}
+
+// RestoreCore rebuilds a protocol core from a checkpoint snapshot. The
+// same queries (in the same order) must be supplied — the checkpoint
+// carries only scheduling state, not sequence data — and are verified
+// against the snapshot. Finished tasks keep their results; everything else
+// re-runs.
+func RestoreCore(snap *sched.Snapshot, queries []*seq.Sequence, sc sched.Config, events *metrics.EventLog) (*Core, error) {
+	if len(snap.Tasks) != len(queries) {
+		return nil, fmt.Errorf("master: checkpoint has %d tasks but %d queries were supplied",
+			len(snap.Tasks), len(queries))
+	}
+	for i, t := range snap.Tasks {
+		if t.QueryID != queries[i].ID {
+			return nil, fmt.Errorf("master: checkpoint task %d is %q but query %d is %q",
+				i, t.QueryID, i, queries[i].ID)
+		}
+	}
+	c := &Core{
+		queries:       queries,
+		coord:         sched.Restore(snap, sc),
+		events:        events,
+		pendingCancel: map[sched.SlaveID][]sched.TaskID{},
+	}
+	// A job restored already-done never emits a completion summary: the
+	// incarnation that finished it did (or died trying).
+	c.finished = c.coord.Done()
+	return c, nil
+}
+
+// Dispatch is the single protocol entry point: it applies one request
+// envelope at virtual or wall time now and returns the response. Malformed
+// messages (unknown slave or task IDs) get an error envelope instead of
+// crashing the server: the master faces the network.
+func (c *Core) Dispatch(req wire.Envelope, now time.Duration) wire.Envelope {
+	badSlave := func(id sched.SlaveID) bool {
+		return id < 0 || int(id) >= c.coord.Slaves()
+	}
+	badTask := func(id sched.TaskID) bool {
+		return id < 0 || int(id) >= c.coord.Pool().Len()
+	}
+	// deadSlave answers a lease-expired or disconnected slave with an
+	// explicit error so a hung-then-recovered slave learns its ID is gone
+	// and re-registers for a fresh one instead of polling forever.
+	deadSlave := func(id sched.SlaveID) *wire.Envelope {
+		if !c.coord.Dead(id) {
+			return nil
+		}
+		return &wire.Envelope{Error: fmt.Sprintf("slave %d expired; re-register", id)}
+	}
+	switch {
+	case req.Register != nil:
+		id := c.coord.Register(sched.SlaveInfo{
+			Name:          req.Register.Name,
+			Kind:          req.Register.Kind,
+			DeclaredSpeed: req.Register.DeclaredSpeed,
+		}, now)
+		return wire.Envelope{RegisterAck: &wire.RegisterAckMsg{Slave: id}}
+
+	case req.Request != nil:
+		if badSlave(req.Request.Slave) {
+			return wire.Envelope{Error: fmt.Sprintf("unknown slave %d", req.Request.Slave)}
+		}
+		if e := deadSlave(req.Request.Slave); e != nil {
+			return *e
+		}
+		if c.coord.Done() {
+			return wire.Envelope{Assign: &wire.AssignMsg{Done: true}}
+		}
+		tasks, replica := c.coord.RequestWork(req.Request.Slave, now)
+		if len(tasks) == 0 {
+			return wire.Envelope{Assign: &wire.AssignMsg{Standby: true, Done: c.coord.Done()}}
+		}
+		if c.events != nil {
+			ids := make([]int, len(tasks))
+			for i, t := range tasks {
+				ids[i] = int(t.ID)
+			}
+			_ = c.events.Emit(metrics.Event{
+				Kind: metrics.EventAssign, TimeSec: now.Seconds(),
+				PE: c.slaveName(req.Request.Slave), Tasks: ids, Replica: replica,
+			})
+		}
+		specs := make([]wire.TaskSpec, len(tasks))
+		for i, t := range tasks {
+			specs[i] = wire.TaskSpec{
+				ID:       t.ID,
+				QueryID:  t.QueryID,
+				Residues: c.queries[t.ID].Residues,
+				Cells:    t.Cells,
+			}
+		}
+		return wire.Envelope{Assign: &wire.AssignMsg{Tasks: specs, Replica: replica}}
+
+	case req.Progress != nil:
+		if badSlave(req.Progress.Slave) {
+			return wire.Envelope{Error: fmt.Sprintf("unknown slave %d", req.Progress.Slave)}
+		}
+		if e := deadSlave(req.Progress.Slave); e != nil {
+			return *e
+		}
+		c.coord.ProgressRate(req.Progress.Slave, req.Progress.Rate, req.Progress.Cells, now)
+		if c.events != nil {
+			_ = c.events.Emit(metrics.Event{
+				Kind: metrics.EventSample, TimeSec: now.Seconds(),
+				PE: c.slaveName(req.Progress.Slave), GCUPS: req.Progress.Rate / 1e9,
+			})
+		}
+		return wire.Envelope{ProgressAck: &wire.ProgressAckMsg{
+			Cancel: c.takeCancels(req.Progress.Slave),
+			Done:   c.coord.Done(),
+		}}
+
+	case req.Complete != nil:
+		if badSlave(req.Complete.Slave) {
+			return wire.Envelope{Error: fmt.Sprintf("unknown slave %d", req.Complete.Slave)}
+		}
+		if badTask(req.Complete.Task) {
+			return wire.Envelope{Error: fmt.Sprintf("unknown task %d", req.Complete.Task)}
+		}
+		if e := deadSlave(req.Complete.Slave); e != nil {
+			return *e
+		}
+		// Capture the executor's start time before CompleteWork clears it,
+		// so the exec event carries the full occupancy window.
+		var startAt time.Duration
+		if c.events != nil {
+			if st, ok := c.coord.Pool().Executors(req.Complete.Task)[req.Complete.Slave]; ok {
+				startAt = st
+			}
+		}
+		accepted, canceledSlaves := c.coord.CompleteWork(req.Complete.Slave, req.Complete.Task,
+			req.Complete.Hits, req.Complete.Cells, req.Complete.Rate, now)
+		for _, o := range canceledSlaves {
+			c.pendingCancel[o] = append(c.pendingCancel[o], req.Complete.Task)
+		}
+		if accepted && c.events != nil {
+			_ = c.events.Emit(metrics.Event{
+				Kind: metrics.EventExec, PE: c.slaveName(req.Complete.Slave),
+				Task: int(req.Complete.Task), TimeSec: startAt.Seconds(),
+				EndSec: now.Seconds(), Completed: true,
+			})
+		}
+		if c.coord.Done() && !c.finished {
+			c.finished = true
+			c.emitSummary(now)
+		}
+		return wire.Envelope{CompleteAck: &wire.CompleteAckMsg{
+			Accepted: accepted,
+			Cancel:   c.takeCancels(req.Complete.Slave),
+			Done:     c.coord.Done(),
+		}}
+
+	default:
+		return wire.Envelope{Error: "unknown message"}
+	}
+}
+
+// SlaveGone records a dropped connection: the slave's tasks return to the
+// pool (the paper's future-work scenario of nodes leaving mid-run). It
+// reports whether the slave was newly declared dead, so drivers can count
+// deaths without double-counting lease expiries.
+func (c *Core) SlaveGone(id sched.SlaveID) bool {
+	if id < 0 || int(id) >= c.coord.Slaves() {
+		return false
+	}
+	if c.coord.Dead(id) {
+		return false
+	}
+	c.coord.SlaveDied(id)
+	return true
+}
+
+// Expire drives the coordinator's lease-based failure detector.
+func (c *Core) Expire(now, lease time.Duration) []sched.SlaveID {
+	return c.coord.Expire(now, lease)
+}
+
+// Done reports whether every task has a result.
+func (c *Core) Done() bool { return c.coord.Done() }
+
+// Coordinator exposes the scheduling state for reports and invariant
+// checks. Callers must respect the driver's locking discipline.
+func (c *Core) Coordinator() *sched.Coordinator { return c.coord }
+
+// Snapshot captures the job's durable state (task set + collected
+// results).
+func (c *Core) Snapshot() *sched.Snapshot { return c.coord.Snapshot() }
+
+// Results merges and returns the per-query outcomes, in query order.
+func (c *Core) Results() []QueryResult {
+	raw := c.coord.Results()
+	out := make([]QueryResult, 0, len(raw))
+	replicas := map[sched.TaskID]int{}
+	for _, a := range c.coord.AssignmentLog() {
+		if a.Replica {
+			for _, t := range a.Tasks {
+				replicas[t]++
+			}
+		}
+	}
+	for _, r := range raw {
+		qr := QueryResult{
+			Query:    r.QueryID,
+			Slave:    r.Slave,
+			Elapsed:  r.At,
+			Replicas: replicas[r.Task],
+		}
+		if hits, ok := r.Payload.([]wire.Hit); ok {
+			qr.Hits = append(qr.Hits, hits...)
+			sort.SliceStable(qr.Hits, func(i, j int) bool {
+				if qr.Hits[i].Score != qr.Hits[j].Score {
+					return qr.Hits[i].Score > qr.Hits[j].Score
+				}
+				return qr.Hits[i].Index < qr.Hits[j].Index
+			})
+		}
+		out = append(out, qr)
+	}
+	return out
+}
+
+// slaveName is the event-stream PE label for a slave: its registered name,
+// or a synthetic one when it registered anonymously. IDs outside the
+// current slave table are possible after a checkpoint restore — results
+// restored from the snapshot credit slaves of the previous incarnation,
+// whose registrations were deliberately not captured.
+func (c *Core) slaveName(id sched.SlaveID) string {
+	if id >= 0 && int(id) < c.coord.Slaves() {
+		if name := c.coord.SlaveInfoOf(id).Name; name != "" {
+			return name
+		}
+	}
+	return fmt.Sprintf("slave%d", int(id))
+}
+
+// emitSummary closes the event stream with per-slave and overall summary
+// lines, mirroring platform.WriteTrace's trailer. Per-slave lines are
+// ordered by slave ID so the stream is deterministic — the simulator
+// asserts byte-identical logs across reruns of a seed.
+func (c *Core) emitSummary(now time.Duration) {
+	if c.events == nil {
+		return
+	}
+	won := map[sched.SlaveID]int{}
+	var cells int64
+	for _, r := range c.coord.Results() {
+		won[r.Slave]++
+		cells += c.coord.Pool().Task(r.Task).Cells
+	}
+	ids := make([]sched.SlaveID, 0, len(won))
+	for id := range won {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		_ = c.events.Emit(metrics.Event{Kind: metrics.EventSummary, PE: c.slaveName(id), TasksWon: won[id]})
+	}
+	overall := metrics.Event{Kind: metrics.EventSummary, MakespanSec: now.Seconds(), CellsDone: cells}
+	if now > 0 {
+		overall.TotalGCUPS = float64(cells) / now.Seconds() / 1e9
+	}
+	_ = c.events.Emit(overall)
+}
+
+// takeCancels pops the queued cancellations for a slave.
+func (c *Core) takeCancels(id sched.SlaveID) []sched.TaskID {
+	out := c.pendingCancel[id]
+	delete(c.pendingCancel, id)
+	return out
+}

@@ -5,8 +5,10 @@
 // adjustment mechanism), merges the results and reports them to the user.
 //
 // The scheduling brain is the same sched.Coordinator that drives the
-// virtual-time experiments; this package only adds the clock, the mutex and
-// the protocol plumbing.
+// virtual-time experiments, and the protocol brain is Core — a
+// clock-passed, single-threaded dispatch state machine shared with the
+// deterministic cluster simulator (internal/sim). This file only adds the
+// wall clock, the mutex and the network plumbing.
 package master
 
 import (
@@ -14,7 +16,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sort"
 	"sync"
 	"time"
 
@@ -95,9 +96,8 @@ type QueryResult struct {
 // hooks are nil unless Config.Registry/Events were set); the group below
 // mu is what mu guards.
 type Master struct {
-	queries []*seq.Sequence
-	start   time.Time
-	lease   time.Duration
+	start time.Time
+	lease time.Duration
 	// done closes when every task has a result.
 	done chan struct{}
 	// stop ends the lease-expiry ticker when the master is shut down
@@ -110,46 +110,26 @@ type Master struct {
 	serveErr chan error
 	met      *masterMetrics
 	wireMet  *wire.Metrics
-	events   *metrics.EventLog
 
 	mu     sync.Mutex
-	coord  *sched.Coordinator
+	core   *Core
 	closed bool
-	// pendingCancel queues cancellations per slave: the protocol is
-	// slave-initiated, so a slave learns that its copy of a task became
-	// moot on its next Progress or Complete acknowledgement.
-	pendingCancel map[sched.SlaveID][]sched.TaskID
 }
 
 // New builds a master for the job.
 func New(cfg Config) (*Master, error) {
-	if len(cfg.Queries) == 0 {
-		return nil, fmt.Errorf("master: no queries")
-	}
-	if cfg.DBResidues <= 0 {
-		return nil, fmt.Errorf("master: DBResidues = %d", cfg.DBResidues)
-	}
-	tasks := make([]sched.Task, len(cfg.Queries))
-	for i, q := range cfg.Queries {
-		if q.Len() == 0 {
-			return nil, fmt.Errorf("master: query %d (%s) is empty", i, q.ID)
-		}
-		tasks[i] = sched.Task{
-			QueryID: q.ID,
-			Cells:   int64(q.Len()) * cfg.DBResidues,
-		}
+	core, err := NewCore(cfg.Queries, cfg.DBResidues, cfg.schedConfig(), cfg.Events)
+	if err != nil {
+		return nil, err
 	}
 	m := &Master{
-		coord:         sched.NewCoordinator(tasks, cfg.schedConfig()),
-		queries:       cfg.Queries,
-		start:         time.Now(),
-		done:          make(chan struct{}),
-		stop:          make(chan struct{}),
-		loopDone:      make(chan struct{}),
-		serveErr:      make(chan error, 1),
-		lease:         cfg.Lease,
-		pendingCancel: map[sched.SlaveID][]sched.TaskID{},
-		events:        cfg.Events,
+		core:     core,
+		start:    time.Now(),
+		done:     make(chan struct{}),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+		serveErr: make(chan error, 1),
+		lease:    cfg.Lease,
 	}
 	if cfg.Registry != nil {
 		m.met = newMasterMetrics(cfg.Registry)
@@ -182,7 +162,7 @@ func (m *Master) expireLoop() {
 			return
 		case <-t.C:
 			m.mu.Lock()
-			expired := m.coord.Expire(m.now(), m.lease)
+			expired := m.core.Expire(m.now(), m.lease)
 			if m.met != nil {
 				m.met.deadSlaves.Add(float64(len(expired)))
 			}
@@ -201,178 +181,24 @@ func (m *Master) Close() {
 	}
 }
 
-// Dispatch implements wire.Handler: the single protocol entry point.
-// Malformed messages (unknown slave or task IDs) get an error envelope
-// instead of crashing the server: the master faces the network.
+// Dispatch implements wire.Handler: the single protocol entry point on the
+// wall clock. All protocol behaviour lives in Core.Dispatch; this wrapper
+// adds the lock, the clock, the protocol counters and the done channel.
 func (m *Master) Dispatch(req wire.Envelope) wire.Envelope {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	now := m.now()
 	if m.met != nil {
 		m.met.messages.With(wire.KindOf(req).String()).Inc()
 	}
-	badSlave := func(id sched.SlaveID) bool {
-		return id < 0 || int(id) >= m.coord.Slaves()
+	resp := m.core.Dispatch(req, m.now())
+	if m.met != nil && req.Register != nil && resp.RegisterAck != nil {
+		m.met.registrations.Inc()
 	}
-	badTask := func(id sched.TaskID) bool {
-		return id < 0 || int(id) >= m.coord.Pool().Len()
+	if m.core.Done() && !m.closed {
+		m.closed = true
+		close(m.done)
 	}
-	// deadSlave answers a lease-expired or disconnected slave with an
-	// explicit error so a hung-then-recovered slave learns its ID is gone
-	// and re-registers for a fresh one instead of polling forever.
-	deadSlave := func(id sched.SlaveID) *wire.Envelope {
-		if !m.coord.Dead(id) {
-			return nil
-		}
-		return &wire.Envelope{Error: fmt.Sprintf("slave %d expired; re-register", id)}
-	}
-	switch {
-	case req.Register != nil:
-		id := m.coord.Register(sched.SlaveInfo{
-			Name:          req.Register.Name,
-			Kind:          req.Register.Kind,
-			DeclaredSpeed: req.Register.DeclaredSpeed,
-		}, now)
-		if m.met != nil {
-			m.met.registrations.Inc()
-		}
-		return wire.Envelope{RegisterAck: &wire.RegisterAckMsg{Slave: id}}
-
-	case req.Request != nil:
-		if badSlave(req.Request.Slave) {
-			return wire.Envelope{Error: fmt.Sprintf("unknown slave %d", req.Request.Slave)}
-		}
-		if e := deadSlave(req.Request.Slave); e != nil {
-			return *e
-		}
-		if m.coord.Done() {
-			return wire.Envelope{Assign: &wire.AssignMsg{Done: true}}
-		}
-		tasks, replica := m.coord.RequestWork(req.Request.Slave, now)
-		if len(tasks) == 0 {
-			return wire.Envelope{Assign: &wire.AssignMsg{Standby: true, Done: m.coord.Done()}}
-		}
-		if m.events != nil {
-			ids := make([]int, len(tasks))
-			for i, t := range tasks {
-				ids[i] = int(t.ID)
-			}
-			_ = m.events.Emit(metrics.Event{
-				Kind: metrics.EventAssign, TimeSec: now.Seconds(),
-				PE: m.slaveNameLocked(req.Request.Slave), Tasks: ids, Replica: replica,
-			})
-		}
-		specs := make([]wire.TaskSpec, len(tasks))
-		for i, t := range tasks {
-			specs[i] = wire.TaskSpec{
-				ID:       t.ID,
-				QueryID:  t.QueryID,
-				Residues: m.queries[t.ID].Residues,
-				Cells:    t.Cells,
-			}
-		}
-		return wire.Envelope{Assign: &wire.AssignMsg{Tasks: specs, Replica: replica}}
-
-	case req.Progress != nil:
-		if badSlave(req.Progress.Slave) {
-			return wire.Envelope{Error: fmt.Sprintf("unknown slave %d", req.Progress.Slave)}
-		}
-		if e := deadSlave(req.Progress.Slave); e != nil {
-			return *e
-		}
-		m.coord.ProgressRate(req.Progress.Slave, req.Progress.Rate, req.Progress.Cells, now)
-		if m.events != nil {
-			_ = m.events.Emit(metrics.Event{
-				Kind: metrics.EventSample, TimeSec: now.Seconds(),
-				PE: m.slaveNameLocked(req.Progress.Slave), GCUPS: req.Progress.Rate / 1e9,
-			})
-		}
-		return wire.Envelope{ProgressAck: &wire.ProgressAckMsg{
-			Cancel: m.takeCancelsLocked(req.Progress.Slave),
-			Done:   m.coord.Done(),
-		}}
-
-	case req.Complete != nil:
-		if badSlave(req.Complete.Slave) {
-			return wire.Envelope{Error: fmt.Sprintf("unknown slave %d", req.Complete.Slave)}
-		}
-		if badTask(req.Complete.Task) {
-			return wire.Envelope{Error: fmt.Sprintf("unknown task %d", req.Complete.Task)}
-		}
-		if e := deadSlave(req.Complete.Slave); e != nil {
-			return *e
-		}
-		// Capture the executor's start time before CompleteWork clears it,
-		// so the exec event carries the full occupancy window.
-		var startAt time.Duration
-		if m.events != nil {
-			if st, ok := m.coord.Pool().Executors(req.Complete.Task)[req.Complete.Slave]; ok {
-				startAt = st
-			}
-		}
-		accepted, canceledSlaves := m.coord.CompleteWork(req.Complete.Slave, req.Complete.Task,
-			req.Complete.Hits, req.Complete.Cells, req.Complete.Rate, now)
-		for _, o := range canceledSlaves {
-			m.pendingCancel[o] = append(m.pendingCancel[o], req.Complete.Task)
-		}
-		if accepted && m.events != nil {
-			_ = m.events.Emit(metrics.Event{
-				Kind: metrics.EventExec, PE: m.slaveNameLocked(req.Complete.Slave),
-				Task: int(req.Complete.Task), TimeSec: startAt.Seconds(),
-				EndSec: now.Seconds(), Completed: true,
-			})
-		}
-		if m.coord.Done() && !m.closed {
-			m.closed = true
-			close(m.done)
-			m.emitSummaryLocked(now)
-		}
-		return wire.Envelope{CompleteAck: &wire.CompleteAckMsg{
-			Accepted: accepted,
-			Cancel:   m.takeCancelsLocked(req.Complete.Slave),
-			Done:     m.coord.Done(),
-		}}
-
-	default:
-		return wire.Envelope{Error: "unknown message"}
-	}
-}
-
-// slaveName is the event-stream PE label for a slave. Callers hold m.mu.
-func (m *Master) slaveNameLocked(id sched.SlaveID) string {
-	if name := m.coord.SlaveInfoOf(id).Name; name != "" {
-		return name
-	}
-	return fmt.Sprintf("slave%d", int(id))
-}
-
-// emitSummary closes the event stream with per-slave and overall summary
-// lines, mirroring platform.WriteTrace's trailer. Callers hold m.mu.
-func (m *Master) emitSummaryLocked(now time.Duration) {
-	if m.events == nil {
-		return
-	}
-	won := map[sched.SlaveID]int{}
-	var cells int64
-	for _, r := range m.coord.Results() {
-		won[r.Slave]++
-		cells += m.coord.Pool().Task(r.Task).Cells
-	}
-	for id, n := range won {
-		_ = m.events.Emit(metrics.Event{Kind: metrics.EventSummary, PE: m.slaveNameLocked(id), TasksWon: n})
-	}
-	overall := metrics.Event{Kind: metrics.EventSummary, MakespanSec: now.Seconds(), CellsDone: cells}
-	if now > 0 {
-		overall.TotalGCUPS = float64(cells) / now.Seconds() / 1e9
-	}
-	_ = m.events.Emit(overall)
-}
-
-// takeCancels pops the queued cancellations for a slave. Callers hold m.mu.
-func (m *Master) takeCancelsLocked(id sched.SlaveID) []sched.TaskID {
-	out := m.pendingCancel[id]
-	delete(m.pendingCancel, id)
-	return out
+	return resp
 }
 
 // SlaveGone implements wire.Handler: a slave's connection dropped, so its
@@ -381,14 +207,7 @@ func (m *Master) takeCancelsLocked(id sched.SlaveID) []sched.TaskID {
 func (m *Master) SlaveGone(id sched.SlaveID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if id < 0 || int(id) >= m.coord.Slaves() {
-		return
-	}
-	if m.coord.Dead(id) {
-		return
-	}
-	m.coord.SlaveDied(id)
-	if m.met != nil {
+	if m.core.SlaveGone(id) && m.met != nil {
 		m.met.deadSlaves.Inc()
 	}
 }
@@ -410,35 +229,7 @@ func (m *Master) Wait(timeout time.Duration) error {
 func (m *Master) Results() []QueryResult {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	raw := m.coord.Results()
-	out := make([]QueryResult, 0, len(raw))
-	replicas := map[sched.TaskID]int{}
-	for _, a := range m.coord.AssignmentLog() {
-		if a.Replica {
-			for _, t := range a.Tasks {
-				replicas[t]++
-			}
-		}
-	}
-	for _, r := range raw {
-		qr := QueryResult{
-			Query:    r.QueryID,
-			Slave:    r.Slave,
-			Elapsed:  r.At,
-			Replicas: replicas[r.Task],
-		}
-		if hits, ok := r.Payload.([]wire.Hit); ok {
-			qr.Hits = append(qr.Hits, hits...)
-			sort.SliceStable(qr.Hits, func(i, j int) bool {
-				if qr.Hits[i].Score != qr.Hits[j].Score {
-					return qr.Hits[i].Score > qr.Hits[j].Score
-				}
-				return qr.Hits[i].Index < qr.Hits[j].Index
-			})
-		}
-		out = append(out, qr)
-	}
-	return out
+	return m.core.Results()
 }
 
 // Elapsed returns the job's wall-clock duration so far (or final, once
@@ -449,7 +240,7 @@ func (m *Master) Elapsed() time.Duration { return m.now() }
 func (m *Master) Coordinator() *sched.Coordinator {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.coord
+	return m.core.Coordinator()
 }
 
 // Listen binds addr and serves slave connections in the background. It
@@ -486,7 +277,7 @@ func (m *Master) ServeErrors() <-chan error { return m.serveErr }
 // this package.
 func (m *Master) SaveCheckpoint(w io.Writer) error {
 	m.mu.Lock()
-	snap := m.coord.Snapshot()
+	snap := m.core.Snapshot()
 	m.mu.Unlock()
 	return gob.NewEncoder(w).Encode(snap)
 }
@@ -503,21 +294,15 @@ func LoadCheckpoint(r io.Reader, cfg Config) (*Master, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(snap.Tasks) != len(cfg.Queries) {
-		return nil, fmt.Errorf("master: checkpoint has %d tasks but %d queries were supplied",
-			len(snap.Tasks), len(cfg.Queries))
-	}
-	for i, t := range snap.Tasks {
-		if t.QueryID != cfg.Queries[i].ID {
-			return nil, fmt.Errorf("master: checkpoint task %d is %q but query %d is %q",
-				i, t.QueryID, i, cfg.Queries[i].ID)
-		}
+	core, err := RestoreCore(&snap, cfg.Queries, cfg.schedConfig(), cfg.Events)
+	if err != nil {
+		return nil, err
 	}
 	// New may already have started the lease-expiry loop, which reads
-	// m.coord under the mutex — swap the restored coordinator in under it.
+	// m.core under the mutex — swap the restored core in under it.
 	m.mu.Lock()
-	m.coord = sched.Restore(&snap, cfg.schedConfig())
-	if m.coord.Done() && !m.closed {
+	m.core = core
+	if m.core.Done() && !m.closed {
 		m.closed = true
 		close(m.done)
 	}

@@ -76,9 +76,11 @@ func (p *PE) CapacityAt(t time.Duration) float64 {
 	return c
 }
 
-// speedAt returns the effective speed at time t, with deterministic jitter
-// drawn from rng.
-func (p *PE) speedAt(t time.Duration, rng *rand.Rand) float64 {
+// SpeedAt returns the effective speed at time t, with deterministic jitter
+// drawn from rng. Exported so other virtual-time drivers (the cluster
+// simulator in internal/sim) share the exact speed model the
+// discrete-event runner uses.
+func (p *PE) SpeedAt(t time.Duration, rng *rand.Rand) float64 {
 	v := p.CellsPerSec * p.CapacityAt(t)
 	if p.Jitter > 0 {
 		v *= 1 + p.Jitter*(2*rng.Float64()-1)

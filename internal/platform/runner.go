@@ -362,7 +362,7 @@ func (s *simSlave) overheadDone() {
 // sampled at the slice start and held for its (bounded) duration.
 func (s *simSlave) scheduleSlice() {
 	s.sliceStart = s.now()
-	s.sliceSpeed = s.pe.speedAt(s.sliceStart, s.run.rng)
+	s.sliceSpeed = s.pe.SpeedAt(s.sliceStart, s.run.rng)
 	d := time.Duration(s.remaining / s.sliceSpeed * float64(time.Second))
 	if d > s.run.exp.NotifyEvery {
 		d = s.run.exp.NotifyEvery

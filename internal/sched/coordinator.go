@@ -283,6 +283,24 @@ func (c *Coordinator) RequestWork(id SlaveID, now time.Duration) (tasks []Task, 
 		return nil, false
 	}
 	c.slaves[id].lastContact = now
+	// Retransmission. The protocol is pull-based — a slave asks for work
+	// only when idle — so a request from a slave the coordinator still
+	// considers busy means the previous Assign response never reached it
+	// (the connection dropped, or the reply was lost, after the grant was
+	// recorded). Re-deliver the outstanding tasks instead of granting
+	// more: without this those tasks starve forever, because the slave
+	// keeps talking (so the lease never expires) and no policy ever
+	// grants an executing task a second time.
+	if s := c.slaves[id]; len(s.order) > 0 {
+		tasks = make([]Task, 0, len(s.order))
+		for _, tid := range s.order {
+			tasks = append(tasks, c.pool.Task(tid))
+		}
+		if m := c.cfg.Metrics; m != nil {
+			m.TasksRedelivered.Add(float64(len(tasks)))
+		}
+		return tasks, false
+	}
 	req := Request{
 		Slave:          id,
 		Ready:          c.pool.Ready(),

@@ -141,11 +141,37 @@ func TestAdjustmentUnknownSpeedsFallsBackToOldest(t *testing.T) {
 func TestAdjustmentNeverAssignsOwnTask(t *testing.T) {
 	c := NewCoordinator(mkTasks(1), Config{Policy: SS{}, Adjust: true})
 	s1 := c.Register(SlaveInfo{Name: "a"}, 0)
-	c.RequestWork(s1, 0)
-	// The only executing task is s1's own; asking again must yield nothing.
-	got, _ := c.RequestWork(s1, sec(1))
-	if got != nil {
+	first, _ := c.RequestWork(s1, 0)
+	// Asking again while still holding the task means the Assign reply was
+	// lost: the slave gets its own outstanding task back as a
+	// retransmission (replica=false), never as an adjustment replica.
+	got, replica := c.RequestWork(s1, sec(1))
+	if replica {
 		t.Fatalf("slave received its own task as replica: %v", got)
+	}
+	if len(got) != 1 || got[0].ID != first[0].ID {
+		t.Fatalf("retransmission = %v, want outstanding task %v", got, first)
+	}
+}
+
+func TestRequestRetransmitsLostGrant(t *testing.T) {
+	c, ids := newCoord(2, Config{Policy: SS{}})
+	first, _ := c.RequestWork(ids[0], 0)
+	// The grant was recorded but the response never arrived; the slave asks
+	// again and must receive the same task, not a second one.
+	again, replica := c.RequestWork(ids[0], sec(1))
+	if replica || len(again) != 1 || again[0].ID != first[0].ID {
+		t.Fatalf("retransmission = %v (replica=%t), want %v", again, replica, first)
+	}
+	if log := c.AssignmentLog(); len(log) != 1 {
+		t.Fatalf("retransmission polluted the assignment log: %v", log)
+	}
+	// Once the task completes the slave is genuinely idle again and the
+	// next request grants fresh work.
+	c.Complete(ids[0], first[0].ID, nil, sec(2))
+	next, _ := c.RequestWork(ids[0], sec(3))
+	if len(next) != 1 || next[0].ID == first[0].ID {
+		t.Fatalf("post-completion grant = %v, want a fresh task", next)
 	}
 }
 

@@ -2,6 +2,9 @@ package sched
 
 import (
 	"testing"
+	"time"
+
+	"repro/internal/vtime"
 )
 
 func TestExpireReapsSilentSlave(t *testing.T) {
@@ -12,7 +15,7 @@ func TestExpireReapsSilentSlave(t *testing.T) {
 	if len(tasks) != 1 {
 		t.Fatal("setup failed")
 	}
-	c.RequestWork(chatty, 0)
+	chattyTasks, _ := c.RequestWork(chatty, 0)
 
 	// Within the lease nobody expires.
 	if got := c.Expire(sec(5), sec(10)); got != nil {
@@ -34,6 +37,9 @@ func TestExpireReapsSilentSlave(t *testing.T) {
 	if w, _ := c.RequestWork(quiet, sec(12)); w != nil {
 		t.Fatal("expired slave still receives work")
 	}
+	// The survivor finishes its own task (a busy slave asking again would
+	// only get a retransmission) and then picks the requeued one up.
+	c.Complete(chatty, chattyTasks[0].ID, nil, sec(12))
 	w, _ := c.RequestWork(chatty, sec(12))
 	if len(w) != 1 || w[0].ID != tasks[0].ID {
 		t.Fatalf("survivor got %v, want the requeued task", w)
@@ -150,5 +156,69 @@ func TestHistoryAnchor(t *testing.T) {
 	h2.Observe(300, sec(8))
 	if v, _ := h2.Speed(); v != 300 {
 		t.Fatalf("second sample = %v, want 300", v)
+	}
+}
+
+// TestLeaseExpiryUnderVirtualClock drives the failure detector the way
+// the wall-clock master does — a recurring lease/4 tick — but from a
+// vtime event loop, so the timing-sensitive scenario (one slave notifying
+// on schedule, one going silent mid-run) runs instantly and reproduces
+// exactly. This is the discipline the cluster simulator (internal/sim)
+// generalizes; the test pins the minimal version against the coordinator
+// alone.
+func TestLeaseExpiryUnderVirtualClock(t *testing.T) {
+	const lease = 2 * time.Second
+	c := NewCoordinator(mkTasks(4), Config{Policy: SS{}})
+	chatty := c.Register(SlaveInfo{Name: "chatty"}, 0)
+	quiet := c.Register(SlaveInfo{Name: "quiet"}, 0)
+	c.RequestWork(chatty, 0)
+	quietTasks, _ := c.RequestWork(quiet, 0)
+
+	sim := vtime.New()
+	type expiry struct {
+		id SlaveID
+		at time.Duration
+	}
+	var expired []expiry
+	var tick func()
+	tick = func() {
+		for _, id := range c.Expire(sim.Now(), lease) {
+			expired = append(expired, expiry{id, sim.Now()})
+		}
+		if sim.Now() < 10*time.Second {
+			sim.After(lease/4, tick)
+		}
+	}
+	sim.After(lease/4, tick)
+
+	// The chatty slave notifies every 500ms for the whole horizon; the
+	// quiet one falls silent after one notification at 600ms.
+	var notify func()
+	notify = func() {
+		c.ProgressRate(chatty, 1000, 500, sim.Now())
+		if sim.Now() < 10*time.Second {
+			sim.After(500*time.Millisecond, notify)
+		}
+	}
+	sim.After(500*time.Millisecond, notify)
+	sim.Schedule(600*time.Millisecond, func() {
+		c.ProgressRate(quiet, 1000, 500, sim.Now())
+	})
+
+	if _, err := sim.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if len(expired) != 1 || expired[0].id != quiet {
+		t.Fatalf("expired = %v, want exactly the quiet slave", expired)
+	}
+	// Silence began at 600ms; the first tick past 600ms+lease is at 3s.
+	if got := expired[0].at; got != 3*time.Second {
+		t.Fatalf("quiet slave expired at %v, want the first tick after its lease ran out (3s)", got)
+	}
+	if c.Dead(chatty) {
+		t.Fatal("chatty slave reaped despite notifying inside every lease window")
+	}
+	if c.Pool().StateOf(quietTasks[0].ID) != Ready {
+		t.Fatal("expired slave's task not requeued")
 	}
 }

@@ -18,6 +18,7 @@ type Metrics struct {
 	TasksCompleted   *metrics.Counter
 	TasksRequeued    *metrics.Counter
 	TasksReplicated  *metrics.Counter
+	TasksRedelivered *metrics.Counter
 	LeaseExpirations *metrics.Counter
 
 	ReadyTasks     *metrics.Gauge
@@ -37,6 +38,7 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 		TasksCompleted:   r.Counter("sched_tasks_completed_total", "Tasks with an accepted (first-finisher) result."),
 		TasksRequeued:    r.Counter("sched_tasks_requeued_total", "Executing tasks returned to ready after losing every executor (death, cancellation or abandonment)."),
 		TasksReplicated:  r.Counter("sched_tasks_replicated_total", "Extra task copies granted by the workload adjustment mechanism."),
+		TasksRedelivered: r.Counter("sched_tasks_redelivered_total", "Outstanding assignments retransmitted to slaves whose Assign response was lost."),
 		LeaseExpirations: r.Counter("sched_lease_expirations_total", "Slaves declared dead by the lease-based failure detector."),
 		ReadyTasks:       r.Gauge("sched_ready_tasks", "Tasks not yet assigned to any slave."),
 		ExecutingTasks:   r.Gauge("sched_executing_tasks", "Tasks running on at least one slave."),

@@ -14,6 +14,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -182,6 +183,9 @@ func (p *Pool) Complete(id TaskID, s SlaveID, now time.Duration) (first bool, ot
 	for other := range e.executors {
 		others = append(others, other)
 	}
+	// Sorted so callers that fan out cancellations (and the deterministic
+	// simulator's event log) see a seed-stable order.
+	sort.Slice(others, func(i, j int) bool { return others[i] < others[j] })
 	e.executors = map[SlaveID]time.Duration{}
 	p.nExec--
 	p.nFinished++

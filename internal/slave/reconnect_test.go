@@ -11,8 +11,32 @@ import (
 	"repro/internal/wire"
 )
 
-// tinyBackoff keeps reconnect tests fast.
-var tinyBackoff = wire.Backoff{Base: time.Microsecond, Cap: 10 * time.Microsecond, Jitter: 0.1}
+// testBackoff is a realistic reconnect schedule. The tests never wait it
+// out: sleeps route through a virtualSleeper, so the schedule is asserted
+// on — instantly and deterministically — instead of shrunk to
+// microseconds and raced against the wall clock.
+var testBackoff = wire.Backoff{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Jitter: 0.1}
+
+// virtualSleeper replaces wall-clock sleeps with an instant, recorded
+// virtual clock (Options.Sleep).
+type virtualSleeper struct {
+	mu     sync.Mutex
+	now    time.Duration
+	delays []time.Duration
+}
+
+func (v *virtualSleeper) sleep(d time.Duration) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.now += d
+	v.delays = append(v.delays, d)
+}
+
+func (v *virtualSleeper) recorded() (time.Duration, []time.Duration) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now, append([]time.Duration(nil), v.delays...)
+}
 
 // dyingCaller forwards to a scripted master but starts failing every call
 // after failAfter successful ones, simulating a connection that dies
@@ -53,13 +77,15 @@ func TestRunReconnectsAfterLostMaster(t *testing.T) {
 		}
 		return m, nil
 	}
+	vs := &virtualSleeper{}
 	n, err := Run(first, eng, Options{
 		NotifyEvery: time.Microsecond,
 		Poll:        time.Millisecond,
 		Reconnect:   reconnect,
 		MaxRetries:  5,
-		Backoff:     tinyBackoff,
+		Backoff:     testBackoff,
 		RetrySeed:   1,
+		Sleep:       vs.sleep,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -70,6 +96,24 @@ func TestRunReconnectsAfterLostMaster(t *testing.T) {
 	if dialFailures != 2 || dials != 3 {
 		t.Fatalf("dials = %d (failures %d), want 3 with 2 failures", dials, dialFailures)
 	}
+	// One backoff sleep per reconnect attempt, escalating: the second
+	// delay doubles the first (modulo ±10% jitter, which cannot mask a
+	// doubling), and every delay respects the configured envelope.
+	elapsed, delays := vs.recorded()
+	if len(delays) != 3 {
+		t.Fatalf("recorded %d backoff sleeps (%v), want one per dial (3)", len(delays), delays)
+	}
+	for i, d := range delays {
+		if d < time.Duration(float64(testBackoff.Base)*0.9) || d > testBackoff.Cap {
+			t.Errorf("delay %d = %v outside the backoff envelope [%v, %v]", i, d, testBackoff.Base, testBackoff.Cap)
+		}
+	}
+	if delays[1] <= delays[0] {
+		t.Errorf("backoff did not escalate: %v then %v", delays[0], delays[1])
+	}
+	if elapsed <= 0 {
+		t.Error("no virtual time elapsed across reconnects")
+	}
 }
 
 func TestRunGivesUpAfterMaxRetries(t *testing.T) {
@@ -79,11 +123,13 @@ func TestRunGivesUpAfterMaxRetries(t *testing.T) {
 		dials++
 		return nil, fmt.Errorf("connection refused")
 	}
+	vs := &virtualSleeper{}
 	_, err := Run(failCaller{err: fmt.Errorf("boom")}, eng, Options{
 		Reconnect:  reconnect,
 		MaxRetries: 3,
-		Backoff:    tinyBackoff,
+		Backoff:    testBackoff,
 		RetrySeed:  1,
+		Sleep:      vs.sleep,
 	})
 	if err == nil {
 		t.Fatal("exhausted retries did not surface an error")
@@ -93,6 +139,9 @@ func TestRunGivesUpAfterMaxRetries(t *testing.T) {
 	}
 	if dials != 3 {
 		t.Fatalf("%d reconnect attempts, want MaxRetries = 3", dials)
+	}
+	if _, delays := vs.recorded(); len(delays) != 3 {
+		t.Fatalf("recorded %d backoff sleeps, want one per attempt (3)", len(delays))
 	}
 }
 
@@ -112,13 +161,15 @@ func TestRunFailureBudgetResetsOnProgress(t *testing.T) {
 		return &dyingCaller{inner: m, failAfter: 3}, nil
 	}
 	first, _ := reconnect()
+	vs := &virtualSleeper{}
 	n, err := Run(first, eng, Options{
 		NotifyEvery: time.Hour, // no periodic notifications
 		Poll:        time.Millisecond,
 		Reconnect:   reconnect,
 		MaxRetries:  1,
-		Backoff:     tinyBackoff,
+		Backoff:     testBackoff,
 		RetrySeed:   1,
+		Sleep:       vs.sleep,
 	})
 	if err != nil {
 		t.Fatalf("Run = %v after %d sessions", err, sessions)
@@ -128,6 +179,16 @@ func TestRunFailureBudgetResetsOnProgress(t *testing.T) {
 	}
 	if sessions != len(specs) {
 		t.Fatalf("%d sessions, want one per task (%d)", sessions, len(specs))
+	}
+	// Every outage is the first consecutive failure (the budget reset), so
+	// no delay ever escalates beyond the first backoff step.
+	if _, delays := vs.recorded(); len(delays) > 0 {
+		maxFirst := time.Duration(float64(testBackoff.Base) * 1.1)
+		for i, d := range delays {
+			if d > maxFirst {
+				t.Errorf("delay %d = %v escalated beyond the first step (%v); failure budget did not reset", i, d, maxFirst)
+			}
+		}
 	}
 }
 

@@ -44,6 +44,11 @@ type Options struct {
 	// RetrySeed seeds the backoff jitter so tests are reproducible; 0
 	// seeds from the wall clock.
 	RetrySeed int64
+	// Sleep, when non-nil, replaces time.Sleep for the reconnect backoff
+	// and the standby poll. Tests inject a virtual clock here so retry
+	// schedules are asserted on instead of waited out; nil uses the wall
+	// clock.
+	Sleep func(time.Duration)
 
 	// Metrics, when non-nil, records task wall times, cells reported,
 	// reconnections and backoff sleeps (see NewMetrics).
@@ -66,6 +71,9 @@ func (o *Options) fill() {
 	}
 	if o.RetrySeed == 0 {
 		o.RetrySeed = time.Now().UnixNano()
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
 	}
 }
 
@@ -102,7 +110,7 @@ func Run(caller wire.Caller, eng Engine, opts Options) (int, error) {
 				m.BackoffSleeps.Inc()
 				m.BackoffSeconds.Add(delay.Seconds())
 			}
-			time.Sleep(delay)
+			opts.Sleep(delay)
 			failures++
 			next, derr := opts.Reconnect()
 			if derr != nil {
@@ -153,7 +161,7 @@ func runSession(caller wire.Caller, eng Engine, opts Options) (completed int, pr
 			return completed, true, nil
 		}
 		if len(a.Tasks) == 0 {
-			time.Sleep(opts.Poll)
+			opts.Sleep(opts.Poll)
 			continue
 		}
 		for _, spec := range a.Tasks {

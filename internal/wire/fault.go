@@ -8,12 +8,16 @@ import (
 	"time"
 )
 
-// This file implements a fault-injecting Caller for robustness tests: it
-// wraps any transport and makes calls fail, hang, lag or lose their
-// response, selected per message kind and deterministically from a seed.
-// The master and slave test suites use it to prove that lease expiry
-// rescues hung slaves, that killed slaves requeue deterministically, and
-// that a reconnecting slave double-completes nothing.
+// This file implements seeded fault injection for robustness tests in two
+// layers. RuleSet is the pure decision engine: given a message kind it
+// decides — deterministically from a seed — whether a fault fires and
+// which one. FaultCaller executes those decisions on the wall clock around
+// any transport (sleeping for delays, blocking for hangs); the
+// deterministic cluster simulator (internal/sim) drives the same RuleSet
+// but executes the decisions as virtual-time events instead. The master
+// and slave test suites use the caller to prove that lease expiry rescues
+// hung slaves, that killed slaves requeue deterministically, and that a
+// reconnecting slave double-completes nothing.
 
 // ErrInjected is the transport error produced by FaultError and FaultDrop
 // rules (optionally wrapped); match it with errors.Is.
@@ -69,6 +73,11 @@ const (
 	// state changes (it may have accepted a completion) while the slave
 	// sees a failure — the classic at-least-once duplication hazard.
 	FaultDrop
+	// FaultDup delivers the request twice: a retransmit whose original also
+	// arrived. The master dispatches both copies (exercising its
+	// duplicate-completion and double-registration protections); the caller
+	// sees the second response.
+	FaultDup
 )
 
 // Rule selects calls and assigns them a fault. Matching calls are counted
@@ -84,18 +93,67 @@ type Rule struct {
 	Delay  time.Duration // used by FaultDelay
 }
 
+// RuleSet is the deterministic decision half of fault injection: it
+// matches calls against rules and decides which fault (if any) fires,
+// drawing probabilistic decisions from an explicitly seeded generator so a
+// run is a pure function of its seed. It performs no sleeping or blocking
+// itself — executing the decided fault is the caller's business, which is
+// what lets the virtual-time simulator reuse it. Not safe for concurrent
+// use; FaultCaller serializes access under its own mutex.
+type RuleSet struct {
+	rules   []Rule
+	rng     *rand.Rand
+	matched []int // matching-call count per rule
+	fired   []int // fault count per rule
+}
+
+// NewRuleSet builds a decision engine over the rules; seed drives the
+// probabilistic rules so runs are reproducible.
+func NewRuleSet(seed int64, rules ...Rule) *RuleSet {
+	return &RuleSet{
+		rules:   rules,
+		rng:     rand.New(rand.NewSource(seed)),
+		matched: make([]int, len(rules)),
+		fired:   make([]int, len(rules)),
+	}
+}
+
+// Next decides the fate of one call of kind k: the first rule that matches
+// and fires wins (fired = true), returning its action and delay.
+func (rs *RuleSet) Next(k MsgKind) (action FaultAction, delay time.Duration, fired bool) {
+	for i, r := range rs.rules {
+		if r.Kind != AnyMsg && r.Kind != k {
+			continue
+		}
+		n := rs.matched[i]
+		rs.matched[i]++
+		if n < r.After {
+			continue
+		}
+		if r.Count > 0 && rs.fired[i] >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && rs.rng.Float64() >= r.Prob {
+			continue
+		}
+		rs.fired[i]++
+		return r.Action, r.Delay, true
+	}
+	return 0, 0, false
+}
+
+// Fired returns how many times rule i fired its fault.
+func (rs *RuleSet) Fired(i int) int { return rs.fired[i] }
+
 // FaultCaller wraps a Caller with seeded fault injection. It is safe for
 // the sequential use the Caller contract requires, plus a concurrent
 // Close to release hung calls.
 type FaultCaller struct {
 	inner Caller
-	rules []Rule
 
-	mu      sync.Mutex
-	rng     *rand.Rand
-	meter   *Metrics
-	matched []int // matching-call count per rule
-	fired   []int // fault count per rule
+	mu    sync.Mutex
+	rules *RuleSet
+	meter *Metrics
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -105,12 +163,9 @@ type FaultCaller struct {
 // probabilistic rules so runs are reproducible.
 func NewFaultCaller(inner Caller, seed int64, rules ...Rule) *FaultCaller {
 	return &FaultCaller{
-		inner:   inner,
-		rules:   rules,
-		rng:     rand.New(rand.NewSource(seed)),
-		matched: make([]int, len(rules)),
-		fired:   make([]int, len(rules)),
-		closed:  make(chan struct{}),
+		inner:  inner,
+		rules:  NewRuleSet(seed, rules...),
+		closed: make(chan struct{}),
 	}
 }
 
@@ -126,38 +181,21 @@ func (f *FaultCaller) SetMetrics(m *Metrics) {
 func (f *FaultCaller) Fired(i int) int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.fired[i]
+	return f.rules.Fired(i)
 }
 
 // Call implements Caller, applying the first matching rule that fires.
 func (f *FaultCaller) Call(req Envelope) (Envelope, error) {
 	k := KindOf(req)
 	f.mu.Lock()
-	action := FaultAction(-1)
-	var delay time.Duration
-	for i, r := range f.rules {
-		if r.Kind != AnyMsg && r.Kind != k {
-			continue
-		}
-		n := f.matched[i]
-		f.matched[i]++
-		if n < r.After {
-			continue
-		}
-		if r.Count > 0 && f.fired[i] >= r.Count {
-			continue
-		}
-		if r.Prob > 0 && r.Prob < 1 && f.rng.Float64() >= r.Prob {
-			continue
-		}
-		f.fired[i]++
-		if f.meter != nil {
-			f.meter.Faults.Inc()
-		}
-		action, delay = r.Action, r.Delay
-		break
+	action, delay, fired := f.rules.Next(k)
+	if fired && f.meter != nil {
+		f.meter.Faults.Inc()
 	}
 	f.mu.Unlock()
+	if !fired {
+		return f.inner.Call(req)
+	}
 
 	switch action {
 	case FaultError:
@@ -176,6 +214,10 @@ func (f *FaultCaller) Call(req Envelope) (Envelope, error) {
 			return Envelope{}, err
 		}
 		return Envelope{}, fmt.Errorf("%w: %v response dropped", ErrInjected, k)
+	case FaultDup:
+		if _, err := f.inner.Call(req); err != nil {
+			return Envelope{}, err
+		}
 	}
 	return f.inner.Call(req)
 }
