@@ -1,13 +1,16 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint test race race-full sim-smoke fuzz-smoke cover bench tables svg csv examples clean
+.PHONY: all build vet lint test race race-full sim-smoke fuzz-smoke bench-smoke cover bench tables svg csv examples clean
 
 # The concurrency-heavy packages (distributed path + scheduler) always run
 # under the race detector as part of `make test`; `race-full` covers the
 # whole module. internal/sim is single-threaded by construction (the purity
 # analyzer forbids goroutines there), but it rides along so any accidental
 # concurrency shows up as a race, not just a determinism break.
-RACE_PKGS := ./internal/sched/... ./internal/master/... ./internal/slave/... ./internal/wire/... ./internal/httpapi/... ./internal/metrics/... ./internal/jobs/... ./internal/sim/...
+# internal/simd rides along too: the SWAR lane-law property tests there are
+# pure math, but running them under -race keeps the exhaustive truth tables
+# honest if anyone parallelizes them later.
+RACE_PKGS := ./internal/sched/... ./internal/master/... ./internal/slave/... ./internal/wire/... ./internal/httpapi/... ./internal/metrics/... ./internal/jobs/... ./internal/sim/... ./internal/simd/...
 
 all: build lint test
 
@@ -42,12 +45,25 @@ sim-smoke:
 	go run ./cmd/swsim -seed 1 -scenarios 200 -duration 60s
 
 # Short runs of the coverage-guided fuzzers over the two parsers that
-# consume untrusted or crash-corrupted bytes: the wire codec and the jobs
-# WAL replayer. Each target fuzzes for a fixed budget; regressions land in
-# testdata/fuzz and replay as ordinary tests forever after.
+# consume untrusted or crash-corrupted bytes (the wire codec and the jobs
+# WAL replayer) plus the Farrar kernel differential fuzzer, which drives
+# random sequences and gap schemes through the full SWAR/emulated/scalar
+# ladder and fails on any score divergence. Each target fuzzes for a fixed
+# budget; regressions land in testdata/fuzz and replay as ordinary tests
+# forever after.
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire
 	go test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/jobs
+	go test -run='^$$' -fuzz=FuzzFarrarVsScalar -fuzztime=10s ./internal/farrar
+
+# Fast kernel health check: the four Score8/Score16 microbenchmarks (SWAR
+# vs emulated, so a vanished speedup is visible at a glance) plus the
+# coverage floor over the kernel packages only. Cheap enough for every PR,
+# unlike the full `bench` archive run.
+bench-smoke:
+	go test -bench='BenchmarkScore(8|16)' -benchmem -run='^$$' ./internal/farrar
+	go test -coverprofile=kernel.cover.out ./internal/farrar ./internal/simd/...
+	go run ./cmd/covercheck -profile kernel.cover.out -min 75
 
 # Coverage with a ratcheted floor: cmd/covercheck fails the build when
 # total statement coverage drops below -min.

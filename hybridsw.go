@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/cudasw"
 	"repro/internal/dataset"
+	"repro/internal/farrar"
 	"repro/internal/master"
 	"repro/internal/metrics"
 	"repro/internal/platform"
@@ -282,9 +283,11 @@ func SearchContext(ctx context.Context, queries, db []*Sequence, p Platform) (*R
 	}
 	var slaveMet *slave.Metrics
 	var wireMet *wire.Metrics
+	var kernMet *farrar.Metrics
 	if p.Registry != nil {
 		slaveMet = slave.NewMetrics(p.Registry)
 		wireMet = wire.NewMetrics(p.Registry)
+		kernMet = farrar.NewMetrics(p.Registry)
 	}
 
 	var engines []slave.Engine
@@ -313,6 +316,15 @@ func SearchContext(ctx context.Context, queries, db []*Sequence, p Platform) (*R
 			return nil, err
 		}
 		engines = append(engines, eng)
+	}
+	if kernMet != nil {
+		// Engines whose compute core is a farrar.Kernel publish the
+		// 8/16/scalar fallback telemetry their workers would otherwise drop.
+		for _, eng := range engines {
+			if ke, ok := eng.(interface{ SetKernelMetrics(*farrar.Metrics) }); ok {
+				ke.SetKernelMetrics(kernMet)
+			}
+		}
 	}
 
 	var wg sync.WaitGroup

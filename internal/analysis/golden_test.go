@@ -26,6 +26,14 @@ func TestPurityGoldenSim(t *testing.T) {
 	runGolden(t, "testdata/purity/internal/sim", PurityAnalyzer)
 }
 
+func TestPurityGoldenSwar(t *testing.T) {
+	runGolden(t, "testdata/purity/internal/simd/swar", PurityAnalyzer)
+}
+
+func TestPurityGoldenFarrar(t *testing.T) {
+	runGolden(t, "testdata/purity/internal/farrar", PurityAnalyzer)
+}
+
 func TestExhaustiveGolden(t *testing.T) {
 	runGolden(t, "testdata/exhaustive", ExhaustiveAnalyzer)
 }

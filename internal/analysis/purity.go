@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -26,9 +27,17 @@ import (
 //     Float64, Shuffle, ...). Explicitly seeded generators via rand.New /
 //     rand.NewSource stay allowed: a seeded *rand.Rand is deterministic,
 //     which is the property the checker actually guards.
+//
+// The analyzer also guards a second, unrelated purity contract: the SWAR
+// hot path. internal/simd/swar must stay loop-free bit tricks (no for or
+// range statements) and must never import the emulated internal/simd ISA;
+// the swar*.go kernel files of internal/farrar likewise must not import
+// internal/simd — the whole point of the SWAR tier is that the emulated
+// ISA is its oracle, not its substrate, so a stray import there would
+// silently reintroduce the per-lane-loop tax the tier exists to remove.
 var PurityAnalyzer = &Analyzer{
 	Name: "purity",
-	Doc:  "forbid goroutines, wall-clock time, I/O imports and global randomness in the pure scheduler/simulator packages",
+	Doc:  "forbid goroutines, wall-clock time, I/O imports and global randomness in the pure scheduler/simulator packages; keep the SWAR hot path loop-free and off the emulated ISA",
 	Run:  runPurity,
 }
 
@@ -55,7 +64,58 @@ var allowedRandFuncs = map[string]bool{
 // net matches its whole subtree via pathHasPackage.
 var forbiddenImports = []string{"os", "os/exec", "os/signal", "net", "syscall", "io/ioutil"}
 
+// swarPackage is the loop-free primitives package and emulatedISA the
+// oracle package SWAR code must not import. Both are matched as exact
+// path suffixes (pathIsPackage), because segment matching would conflate
+// internal/simd with its swar subpackage.
+const (
+	swarPackage   = "internal/simd/swar"
+	emulatedISA   = "internal/simd"
+	farrarPackage = "internal/farrar"
+)
+
+// pathIsPackage reports whether import path p IS the package pkg (exact
+// match or exact suffix), unlike pathHasPackage which also matches pkg as
+// a prefix segment and would conflate internal/simd with internal/simd/swar.
+func pathIsPackage(p, pkg string) bool {
+	return p == pkg || strings.HasSuffix(p, "/"+pkg)
+}
+
+// runSwarPurity enforces the SWAR hot-path contract; see the analyzer doc.
+func runSwarPurity(pass *Pass) {
+	switch {
+	case pathIsPackage(pass.Pkg.Path, swarPackage):
+		for _, f := range pass.Pkg.Files {
+			for _, imp := range f.Imports {
+				if path, err := strconv.Unquote(imp.Path.Value); err == nil && pathIsPackage(path, emulatedISA) {
+					pass.Reportf(imp.Pos(), "SWAR package %s imports the emulated ISA %s: the oracle must never be the substrate", pass.Pkg.Types.Name(), path)
+				}
+			}
+		}
+		pass.Pkg.WalkStack(func(n ast.Node, _ []ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				pass.Reportf(n.Pos(), "loop statement in SWAR package %s: primitives must be loop-free bit tricks over packed words", pass.Pkg.Types.Name())
+			}
+			return true
+		})
+	case pathIsPackage(pass.Pkg.Path, farrarPackage):
+		for _, f := range pass.Pkg.Files {
+			name := filepath.Base(pass.Pkg.Fset.Position(f.Pos()).Filename)
+			if !strings.HasPrefix(name, "swar") {
+				continue
+			}
+			for _, imp := range f.Imports {
+				if path, err := strconv.Unquote(imp.Path.Value); err == nil && pathIsPackage(path, emulatedISA) {
+					pass.Reportf(imp.Pos(), "SWAR kernel file %s imports the emulated ISA %s: the hot path must stay on packed-word bit tricks", name, path)
+				}
+			}
+		}
+	}
+}
+
 func runPurity(pass *Pass) {
+	runSwarPurity(pass)
 	pure := false
 	for _, p := range purePackages {
 		if pathHasPackage(pass.Pkg.Path, p) {

@@ -1,0 +1,27 @@
+// Package swar is the SWAR-purity golden fixture. Its directory sits
+// under testdata/purity/internal/simd/swar, so the loader's synthetic
+// import path ends in internal/simd/swar and the hot-path rules fire here
+// exactly as they do on the real primitives package: no loops, and no
+// import of the emulated ISA the package exists to replace.
+package swar
+
+import (
+	_ "repro/internal/simd" // want "SWAR package swar imports the emulated ISA"
+)
+
+const lo8 = 0x0101010101010101
+
+// Splat8 is the clean idiom: a pure, branch-free, loop-free expression
+// over a packed word.
+func Splat8(v uint8) uint64 { return uint64(v) * lo8 }
+
+// sumLanes shows both forbidden loop forms.
+func sumLanes(w uint64) (s uint8) {
+	for i := 0; i < 8; i++ { // want "loop statement in SWAR package swar"
+		s += uint8(w >> (8 * i))
+	}
+	for range [8]int{} { // want "loop statement in SWAR package swar"
+		s++
+	}
+	return s
+}

@@ -109,6 +109,9 @@ type Report struct {
 	IntraTaskSeqs  int
 	KernelLaunches int
 	Elapsed        time.Duration // simulated wall time on the device
+	// Kernel reports how the real compute core resolved each sequence
+	// across the 8/16/scalar overflow ladder (zero when compute=false).
+	Kernel farrar.Stats
 }
 
 // GCUPS returns the search's simulated billions of cell updates per second.
@@ -212,6 +215,9 @@ func (e *Engine) Search(query []byte, compute bool) ([]Hit, Report, error) {
 	}
 
 	rep.Elapsed = e.cost(m, rep)
+	if kern != nil {
+		rep.Kernel = kern.Stats()
+	}
 
 	// Undo the length sort so callers see database order.
 	out := make([]Hit, len(hits))

@@ -1,22 +1,38 @@
 // Package farrar implements Farrar's striped Smith-Waterman algorithm
 // (Farrar 2007, "Striped Smith-Waterman speeds database searches six times
-// over other SIMD implementations") on the emulated SSE2 ISA of
-// internal/simd.
+// over other SIMD implementations"), the algorithm the paper runs on its
+// multicore SSE slaves (§IV-C).
 //
-// This is the algorithm the paper runs on its multicore SSE slaves (§IV-C),
-// in the paper's *adapted* form: where Farrar's original held DP values as
-// biased unsigned integers, the adaptation uses signed integers, raising the
-// representable maximum score to 255 in the 8-bit kernel and 32767 in the
-// 16-bit kernel. The query is laid out in the striped pattern: with L vector
-// lanes and segment length segLen = ceil(m/L), vector element (lane l,
-// segment s) holds query position l*segLen + s, which moves the inter-lane
-// dependency of the F (vertical gap) recurrence out of the inner loop into a
-// rare correction pass.
+// The query is laid out in the striped pattern: with L vector lanes and
+// segment length segLen = ceil(m/L), vector element (lane l, segment s)
+// holds query position l*segLen + s, which moves the inter-lane dependency
+// of the F (vertical gap) recurrence out of the inner loop into a rare
+// correction pass.
+//
+// Two interchangeable kernel implementations exist behind one dispatch
+// switch (no build tags):
+//
+//   - ImplSWAR (the default) packs 8 byte lanes — or 4 word lanes in the
+//     fallback tier — into a uint64 and computes all lanes at once with
+//     the loop-free bit tricks of internal/simd/swar. This is the
+//     native-speed production path.
+//   - ImplEmulated runs the same recurrences on the emulated SSE2 ISA of
+//     internal/simd, one Go loop iteration per lane — slow, but a direct
+//     transcription of the SSE original, kept as the bit-exact oracle the
+//     differential tests compare against.
+//
+// Both implementations use the same overflow ladder. The 8-bit tier holds
+// DP values as biased unsigned bytes (Farrar's original formulation): the
+// query profile carries bias = -matrix.Min(), so the largest score the
+// tier can certify is 255 - bias, not 255 — a score reaching that ceiling
+// may have been clipped by a saturating add and escalates. The 16-bit
+// tier raises the ceiling to 32767 (the paper's adapted signed variant in
+// the emulated kernel; a biased unsigned rendering with the same ceiling
+// in the SWAR kernel), and the scalar reference resolves anything beyond.
 //
 // A Kernel precomputes the striped query profile once and scores many
-// database sequences against it, trying the 8-bit kernel first and falling
-// back to the 16-bit kernel — and ultimately to the scalar reference — on
-// score overflow, exactly like the SSE original.
+// database sequences against it, trying the 8-bit kernel first and
+// falling back on overflow, exactly like the SSE original.
 package farrar
 
 import (
@@ -28,9 +44,32 @@ import (
 )
 
 const (
-	lanes8  = 16 // byte lanes in a 128-bit register
-	lanes16 = 8  // 16-bit lanes in a 128-bit register
+	lanes8  = 16 // byte lanes in an emulated 128-bit register
+	lanes16 = 8  // 16-bit lanes in an emulated 128-bit register
 )
+
+// Impl selects which kernel implementation a Kernel dispatches to.
+type Impl int
+
+const (
+	// ImplSWAR is the native 64-bit SWAR implementation (the default).
+	ImplSWAR Impl = iota
+	// ImplEmulated is the emulated SSE2 ISA implementation, kept as the
+	// bit-exact oracle.
+	ImplEmulated
+)
+
+// String names the implementation for logs and test output.
+func (i Impl) String() string {
+	switch i {
+	case ImplSWAR:
+		return "swar"
+	case ImplEmulated:
+		return "emulated"
+	default:
+		return fmt.Sprintf("Impl(%d)", int(i))
+	}
+}
 
 // Stats counts kernel dispatch decisions across the lifetime of a Kernel.
 type Stats struct {
@@ -39,25 +78,58 @@ type Stats struct {
 	FallbackSW int64 // sequences that overflowed 16-bit and used the scalar reference
 }
 
+// Add returns the sum of two stat sets — used to aggregate the private
+// kernels of parallel workers into one observable total.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Scored8:    s.Scored8 + o.Scored8,
+		Fallback16: s.Fallback16 + o.Fallback16,
+		FallbackSW: s.FallbackSW + o.FallbackSW,
+	}
+}
+
+// Total returns the number of sequences the stats cover.
+func (s Stats) Total() int64 { return s.Scored8 + s.Fallback16 + s.FallbackSW }
+
 // Kernel holds the striped query profiles for one query sequence.
 type Kernel struct {
 	query  []byte
 	scheme score.Scheme
+	impl   Impl
 
-	bias    int // -matrix.Min(), added to 8-bit profile entries
-	segLen8 int
-	prof8   [][]simd.U8x16 // prof8[residueIndex][segment]
+	bias   int  // -matrix.Min(), added to 8-bit profile entries
+	tier8  bool // the 8-bit tier's fixed-point assumptions hold
+	tier16 bool // the 16-bit tier's fixed-point assumptions hold
 
+	// Emulated-ISA profiles (the oracle path), built lazily.
+	segLen8  int
+	prof8    [][]simd.U8x16 // prof8[residueIndex][segment]
 	segLen16 int
-	prof16   [][]simd.I16x8 // built lazily on first 8-bit overflow
+	prof16   [][]simd.I16x8
+
+	// SWAR profiles (the native path), built lazily. Byte lane l of
+	// swarProf8[r][s] holds the biased score of query position
+	// l*swarSegLen8 + s against residue r.
+	swarSegLen8  int
+	swarProf8    [][]uint64
+	swarSegLen16 int
+	swarProf16   [][]uint64
 
 	stats Stats
 }
 
-// NewKernel validates the inputs and builds the 8-bit striped profile.
+// NewKernel validates the inputs and prepares the default (SWAR) kernel.
 func NewKernel(query []byte, s score.Scheme) (*Kernel, error) {
+	return NewKernelImpl(query, s, ImplSWAR)
+}
+
+// NewKernelImpl builds a kernel dispatching to the given implementation.
+func NewKernelImpl(query []byte, s score.Scheme, impl Impl) (*Kernel, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	if impl != ImplSWAR && impl != ImplEmulated {
+		return nil, fmt.Errorf("farrar: unknown impl %v", impl)
 	}
 	if len(query) == 0 {
 		return nil, fmt.Errorf("farrar: empty query")
@@ -65,19 +137,45 @@ func NewKernel(query []byte, s score.Scheme) (*Kernel, error) {
 	if err := s.Matrix.Alphabet().Validate(query); err != nil {
 		return nil, fmt.Errorf("farrar: query: %w", err)
 	}
-	k := &Kernel{query: query, scheme: s, bias: -s.Matrix.Min()}
+	k := &Kernel{query: query, scheme: s, impl: impl, bias: -s.Matrix.Min()}
 	if k.bias < 0 {
 		k.bias = 0
 	}
-	k.buildProfile8()
+	// Tier admission: the narrow kernels hold profile entries, gap
+	// penalties and DP cells in fixed-width lanes; a scheme whose
+	// constants do not fit would wrap silently and mis-score, so such
+	// schemes skip the tier entirely instead (the overflow ladder ends at
+	// the scalar reference, which has no such limits).
+	gapOE := s.Gap.Open + s.Gap.Extend
+	k.tier8 = k.bias <= 255 && k.bias+s.Matrix.Max() <= 255 && gapOE <= 255
+	k.tier16 = k.bias <= 32767 && k.bias+s.Matrix.Max() <= 32767 && gapOE <= 32767
+	// Build the active implementation's 8-bit profile eagerly so the
+	// construction cost lands on NewKernel, not the first Score; the
+	// other tiers and the oracle's profiles are built on first use.
+	if k.tier8 {
+		if impl == ImplSWAR {
+			k.buildSwarProfile8()
+		} else {
+			k.buildProfile8()
+		}
+	}
 	return k, nil
 }
 
 // Query returns the query sequence the kernel was built for.
 func (k *Kernel) Query() []byte { return k.query }
 
+// Impl returns which implementation the kernel dispatches to.
+func (k *Kernel) Impl() Impl { return k.impl }
+
 // Stats returns cumulative kernel dispatch counters.
 func (k *Kernel) Stats() Stats { return k.stats }
+
+// ceiling8 is the largest score the 8-bit tier can certify: DP cells are
+// biased unsigned bytes, saturating adds clip at 255, and the bias is
+// subtracted back out — so a result of 255 - bias is indistinguishable
+// from a clipped larger score and must escalate.
+func (k *Kernel) ceiling8() int { return 255 - k.bias }
 
 func (k *Kernel) buildProfile8() {
 	m := len(k.query)
@@ -97,8 +195,16 @@ func (k *Kernel) buildProfile8() {
 			var v simd.U8x16
 			for l := 0; l < lanes8; l++ {
 				qi := l*k.segLen8 + s
-				sc := k.scheme.Matrix.Min() // padding lanes and invalid residues score worst
-				if qi < m && row != nil {
+				if qi >= m {
+					// Padding lanes hold biased zero — the most negative
+					// representable entry — so phantom rows past the query
+					// end can only decay (or, with bias 0, carry a real
+					// value unchanged) and never outgrow the true maximum.
+					// Matrix.Min() here would grow phantoms when Min > 0.
+					continue
+				}
+				sc := k.scheme.Matrix.Min() // invalid residues score worst, like the scalar reference
+				if row != nil {
 					sc = row[alpha.Index(k.query[qi])]
 				}
 				v[l] = uint8(sc + k.bias)
@@ -124,8 +230,12 @@ func (k *Kernel) buildProfile16() {
 			var v simd.I16x8
 			for l := 0; l < lanes16; l++ {
 				qi := l*k.segLen16 + s
+				if qi >= m {
+					v[l] = -32768 // padding: saturating add floors, so phantoms never grow
+					continue
+				}
 				sc := k.scheme.Matrix.Min()
-				if qi < m && row != nil {
+				if row != nil {
 					sc = row[alpha.Index(k.query[qi])]
 				}
 				v[l] = int16(sc)
@@ -139,11 +249,11 @@ func (k *Kernel) buildProfile16() {
 // Score returns the optimal local alignment score of the kernel's query vs
 // target, automatically escalating 8-bit -> 16-bit -> scalar on overflow.
 func (k *Kernel) Score(target []byte) int {
-	if sc, ok := k.ScoreU8(target); ok {
+	if sc, ok := k.Score8(target); ok {
 		k.stats.Scored8++
 		return sc
 	}
-	if sc, ok := k.ScoreI16(target); ok {
+	if sc, ok := k.Score16(target); ok {
 		k.stats.Fallback16++
 		return sc
 	}
@@ -151,17 +261,42 @@ func (k *Kernel) Score(target []byte) int {
 	return sw.Score(k.query, target, k.scheme)
 }
 
+// Score8 runs the active implementation's 8-bit tier. ok is false when
+// the score may have overflowed the tier's range, in which case the
+// result is unusable and the caller must rerun with a wider kernel.
+func (k *Kernel) Score8(target []byte) (sc int, ok bool) {
+	if k.impl == ImplEmulated {
+		return k.ScoreU8(target)
+	}
+	return k.ScoreSWAR8(target)
+}
+
+// Score16 runs the active implementation's 16-bit tier. ok is false when
+// the score reached the tier's 32767 ceiling.
+func (k *Kernel) Score16(target []byte) (sc int, ok bool) {
+	if k.impl == ImplEmulated {
+		return k.ScoreI16(target)
+	}
+	return k.ScoreSWAR16(target)
+}
+
 // Cells returns the DP cell count of scoring target, the GCUPS currency.
 func (k *Kernel) Cells(target []byte) int64 {
 	return sw.Cells(len(k.query), len(target))
 }
 
-// ScoreU8 runs the 8-bit saturating kernel. ok is false when the score may
-// have overflowed the 8-bit range, in which case the result is unusable and
-// the caller must rerun with a wider kernel.
+// ScoreU8 runs the emulated-ISA 8-bit saturating kernel (the oracle for
+// ScoreSWAR8). ok is false when the score may have overflowed the 8-bit
+// range.
 func (k *Kernel) ScoreU8(target []byte) (sc int, ok bool) {
 	if len(target) == 0 {
 		return 0, true
+	}
+	if !k.tier8 {
+		return 0, false
+	}
+	if k.prof8 == nil {
+		k.buildProfile8()
 	}
 	segLen := k.segLen8
 	alpha := k.scheme.Matrix.Alphabet()
@@ -201,10 +336,16 @@ func (k *Kernel) ScoreU8(target []byte) (sc int, ok bool) {
 		// Lazy-F correction (Farrar's loop): keep sweeping the decaying F
 		// carry through the striped column while it can still beat the
 		// fresh gap openings the main pass already accounted for. The
-		// carry only decays, so the loop terminates; guard bounds it
-		// defensively.
+		// carry decays by gapE >= 1 each step and the lane shift retires
+		// it entirely after lanes8 sweeps, so the loop terminates; the
+		// guard bounds it defensively, and if it ever were to expire the
+		// kernel escalates to the next tier instead of returning a score
+		// whose correction pass did not finish.
 		vF = simd.ShiftLanesLeftU8(vF, 1)
-		for s, guard := 0, segLen*(lanes8+1); simd.AnyGtU8(vF, simd.SubSatU8(vHStore[s], vGapOE)) && guard > 0; guard-- {
+		for s, guard := 0, segLen*(lanes8+1); simd.AnyGtU8(vF, simd.SubSatU8(vHStore[s], vGapOE)); guard-- {
+			if guard <= 0 {
+				return 0, false
+			}
 			nh := simd.MaxU8(vHStore[s], vF)
 			if nh != vHStore[s] {
 				vHStore[s] = nh
@@ -222,17 +363,21 @@ func (k *Kernel) ScoreU8(target []byte) (sc int, ok bool) {
 		vHLoad, vHStore = vHStore, vHLoad
 	}
 	best := int(simd.HMaxU8(vMax))
-	if best+k.bias >= 255 {
+	if best >= k.ceiling8() {
 		return 0, false // a saturating add may have clipped the true score
 	}
 	return best, true
 }
 
-// ScoreI16 runs the 16-bit signed kernel (the paper's adapted variant). ok
-// is false when the score reached the int16 ceiling.
+// ScoreI16 runs the emulated-ISA 16-bit signed kernel (the paper's
+// adapted variant, and the oracle for ScoreSWAR16). ok is false when the
+// score reached the int16 ceiling.
 func (k *Kernel) ScoreI16(target []byte) (sc int, ok bool) {
 	if len(target) == 0 {
 		return 0, true
+	}
+	if !k.tier16 {
+		return 0, false
 	}
 	if k.prof16 == nil {
 		k.buildProfile16()
@@ -274,8 +419,12 @@ func (k *Kernel) ScoreI16(target []byte) (sc int, ok bool) {
 		// Lazy-F correction, signed flavor. The shift fills with the int16
 		// minimum (F of the row-0 boundary is -infinity); filling with 0
 		// would keep the carry alive forever against negative thresholds.
+		// Guard expiry escalates, as in the 8-bit kernel.
 		vF = simd.ShiftLanesLeftI16(vF, 1, -32768)
-		for s, guard := 0, segLen*(lanes16+1); simd.AnyGtI16(vF, simd.SubSatI16(vHStore[s], vGapOE)) && guard > 0; guard-- {
+		for s, guard := 0, segLen*(lanes16+1); simd.AnyGtI16(vF, simd.SubSatI16(vHStore[s], vGapOE)); guard-- {
+			if guard <= 0 {
+				return 0, false
+			}
 			nh := simd.MaxI16(vHStore[s], vF)
 			if nh != vHStore[s] {
 				vHStore[s] = nh

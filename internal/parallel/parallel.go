@@ -33,6 +33,16 @@ const negInf = -(1 << 30)
 // `workers` goroutines claim by self-scheduling. Scores return in database
 // order.
 func CoarseGrainedSearch(q []byte, db []*seq.Sequence, s score.Scheme, workers, chunk int) ([]int, error) {
+	scores, _, err := CoarseGrainedSearchStats(q, db, s, workers, chunk)
+	return scores, err
+}
+
+// CoarseGrainedSearchStats is CoarseGrainedSearch plus the aggregated
+// kernel dispatch stats. Each worker goroutine owns a private
+// farrar.Kernel whose per-kernel counters would otherwise vanish with the
+// worker; summing them after the join is what feeds the
+// farrar_fallback_total counters.
+func CoarseGrainedSearchStats(q []byte, db []*seq.Sequence, s score.Scheme, workers, chunk int) ([]int, farrar.Stats, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -43,6 +53,7 @@ func CoarseGrainedSearch(q []byte, db []*seq.Sequence, s score.Scheme, workers, 
 	type job struct{ lo, hi int }
 	jobs := make(chan job)
 	errs := make([]error, workers)
+	stats := make([]farrar.Stats, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -60,6 +71,7 @@ func CoarseGrainedSearch(q []byte, db []*seq.Sequence, s score.Scheme, workers, 
 					scores[i] = kern.Score(db[i].Residues)
 				}
 			}
+			stats[w] = kern.Stats()
 		}(w)
 	}
 	for lo := 0; lo < len(db); lo += chunk {
@@ -67,12 +79,16 @@ func CoarseGrainedSearch(q []byte, db []*seq.Sequence, s score.Scheme, workers, 
 	}
 	close(jobs)
 	wg.Wait()
+	var agg farrar.Stats
+	for _, st := range stats {
+		agg = agg.Add(st)
+	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, agg, err
 		}
 	}
-	return scores, nil
+	return scores, agg, nil
 }
 
 // VeryCoarseGrainedSearch compares each query to the whole database with
@@ -81,12 +97,20 @@ func CoarseGrainedSearch(q []byte, db []*seq.Sequence, s score.Scheme, workers, 
 // lead to load imbalance" — which is exactly what its workload adjustment
 // mechanism repairs at the cluster level.
 func VeryCoarseGrainedSearch(queries []*seq.Sequence, db []*seq.Sequence, s score.Scheme, workers int) ([][]int, error) {
+	out, _, err := VeryCoarseGrainedSearchStats(queries, db, s, workers)
+	return out, err
+}
+
+// VeryCoarseGrainedSearchStats is VeryCoarseGrainedSearch plus the kernel
+// dispatch stats aggregated across every worker's per-query kernels.
+func VeryCoarseGrainedSearchStats(queries []*seq.Sequence, db []*seq.Sequence, s score.Scheme, workers int) ([][]int, farrar.Stats, error) {
 	if workers < 1 {
 		workers = 1
 	}
 	out := make([][]int, len(queries))
 	idx := make(chan int)
 	errs := make([]error, workers)
+	stats := make([]farrar.Stats, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -103,6 +127,7 @@ func VeryCoarseGrainedSearch(queries []*seq.Sequence, db []*seq.Sequence, s scor
 					scores[i] = kern.Score(d.Residues)
 				}
 				out[qi] = scores
+				stats[w] = stats[w].Add(kern.Stats())
 			}
 		}(w)
 	}
@@ -111,10 +136,14 @@ func VeryCoarseGrainedSearch(queries []*seq.Sequence, db []*seq.Sequence, s scor
 	}
 	close(idx)
 	wg.Wait()
+	var agg farrar.Stats
+	for _, st := range stats {
+		agg = agg.Add(st)
+	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, agg, err
 		}
 	}
-	return out, nil
+	return out, agg, nil
 }

@@ -1,0 +1,259 @@
+package swar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/simd"
+)
+
+// unpack8 extracts byte lane l.
+func unpack8(w uint64, l int) uint8 { return uint8(w >> (8 * l)) }
+
+// pack8 builds a word from 8 byte lanes.
+func pack8(lanes [Lanes8]uint8) uint64 {
+	var w uint64
+	for l, v := range lanes {
+		w |= uint64(v) << (8 * l)
+	}
+	return w
+}
+
+// unpack16 extracts 16-bit lane l.
+func unpack16(w uint64, l int) uint16 { return uint16(w >> (16 * l)) }
+
+func pack16(lanes [Lanes16]uint16) uint64 {
+	var w uint64
+	for l, v := range lanes {
+		w |= uint64(v) << (16 * l)
+	}
+	return w
+}
+
+// wordPair8 spreads the lane pair (a, b) across all 8 lanes with
+// different per-lane offsets, so a cross-lane carry or borrow leak in any
+// direction corrupts at least one checked lane.
+func wordPair8(a, b uint8) (uint64, uint64, [Lanes8]uint8, [Lanes8]uint8) {
+	var la, lb [Lanes8]uint8
+	for l := 0; l < Lanes8; l++ {
+		la[l] = a + uint8(l*37)
+		lb[l] = b + uint8(l*91)
+	}
+	return pack8(la), pack8(lb), la, lb
+}
+
+// TestExhaustive8BitLanePairs drives every (a, b) byte pair through every
+// 8-bit op and checks each lane against the scalar truth — the exhaustive
+// truth table of the saturating arithmetic the kernels rely on.
+func TestExhaustive8BitLanePairs(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			wa, wb, la, lb := wordPair8(uint8(a), uint8(b))
+			add, sub, mx, gt := AddSat8(wa, wb), SubSat8(wa, wb), Max8(wa, wb), Gt8(wa, wb)
+			anyGt := false
+			for l := 0; l < Lanes8; l++ {
+				x, y := la[l], lb[l]
+				wantAdd := uint8(255)
+				if s := int(x) + int(y); s <= 255 {
+					wantAdd = uint8(s)
+				}
+				wantSub := uint8(0)
+				if x > y {
+					wantSub = x - y
+				}
+				wantMax := max(x, y)
+				wantGt := uint8(0)
+				if x > y {
+					wantGt = 0xFF
+					anyGt = true
+				}
+				if got := unpack8(add, l); got != wantAdd {
+					t.Fatalf("AddSat8(%d,%d) lane %d = %d, want %d", x, y, l, got, wantAdd)
+				}
+				if got := unpack8(sub, l); got != wantSub {
+					t.Fatalf("SubSat8(%d,%d) lane %d = %d, want %d", x, y, l, got, wantSub)
+				}
+				if got := unpack8(mx, l); got != wantMax {
+					t.Fatalf("Max8(%d,%d) lane %d = %d, want %d", x, y, l, got, wantMax)
+				}
+				if got := unpack8(gt, l); got != wantGt {
+					t.Fatalf("Gt8(%d,%d) lane %d = %#x, want %#x", x, y, l, got, wantGt)
+				}
+			}
+			if got := AnyGt8(wa, wb); got != anyGt {
+				t.Fatalf("AnyGt8(a=%d,b=%d) = %v, want %v", a, b, got, anyGt)
+			}
+		}
+	}
+}
+
+// TestAgainstEmulatedISA8 cross-checks the SWAR ops against the emulated
+// SSE2 ISA lane by lane on random words: the two implementations must
+// agree everywhere, since internal/simd is the kernels' bit-exact oracle.
+func TestAgainstEmulatedISA8(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 20000; iter++ {
+		var la, lb [Lanes8]uint8
+		var va, vb simd.U8x16
+		for l := 0; l < Lanes8; l++ {
+			la[l] = uint8(rng.Intn(256))
+			lb[l] = uint8(rng.Intn(256))
+			va[l], vb[l] = la[l], lb[l]
+		}
+		wa, wb := pack8(la), pack8(lb)
+		eAdd, eSub, eMax := simd.AddSatU8(va, vb), simd.SubSatU8(va, vb), simd.MaxU8(va, vb)
+		sAdd, sSub, sMax := AddSat8(wa, wb), SubSat8(wa, wb), Max8(wa, wb)
+		for l := 0; l < Lanes8; l++ {
+			if unpack8(sAdd, l) != eAdd[l] || unpack8(sSub, l) != eSub[l] || unpack8(sMax, l) != eMax[l] {
+				t.Fatalf("lane %d: swar (%d,%d,%d) != emulated (%d,%d,%d) for a=%d b=%d",
+					l, unpack8(sAdd, l), unpack8(sSub, l), unpack8(sMax, l), eAdd[l], eSub[l], eMax[l], la[l], lb[l])
+			}
+		}
+		// AnyGt must agree with the emulated movemask idiom on the lanes
+		// both hold (the emulated register's upper 8 lanes stay zero).
+		if got, want := AnyGt8(wa, wb), simd.AnyGtU8(va, vb); got != want {
+			t.Fatalf("AnyGt8 = %v, emulated = %v", got, want)
+		}
+		// Shifting lanes left must match the emulated byte shift.
+		eSh := simd.ShiftLanesLeftU8(va, 1)
+		sSh := ShiftLane8(wa)
+		for l := 0; l < Lanes8; l++ {
+			if unpack8(sSh, l) != eSh[l] {
+				t.Fatalf("ShiftLane8 lane %d = %d, emulated %d", l, unpack8(sSh, l), eSh[l])
+			}
+		}
+	}
+}
+
+// TestHMax8 checks the horizontal fold on crafted and random words.
+func TestHMax8(t *testing.T) {
+	cases := [][Lanes8]uint8{
+		{}, {255}, {0, 0, 0, 0, 0, 0, 0, 255}, {1, 2, 3, 4, 5, 6, 7, 8},
+		{8, 7, 6, 5, 4, 3, 2, 1}, {0x80, 0x7F, 0xFF, 1, 0, 0xFE, 3, 9},
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 5000; i++ {
+		var c [Lanes8]uint8
+		for l := range c {
+			c[l] = uint8(rng.Intn(256))
+		}
+		cases = append(cases, c)
+	}
+	for _, c := range cases {
+		want := uint8(0)
+		for _, v := range c {
+			want = max(want, v)
+		}
+		if got := HMax8(pack8(c)); got != want {
+			t.Fatalf("HMax8(%v) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+// TestProperty16BitLanes drives the 16-bit ops through boundary values
+// and random pairs per lane (the full 2^32 cross product is out of
+// budget; boundaries plus dense sampling covers the carry structure).
+func TestProperty16BitLanes(t *testing.T) {
+	boundary := []uint16{0, 1, 2, 0x7FFE, 0x7FFF, 0x8000, 0x8001, 0xFFFE, 0xFFFF}
+	rng := rand.New(rand.NewSource(9))
+	check := func(la, lb [Lanes16]uint16) {
+		t.Helper()
+		wa, wb := pack16(la), pack16(lb)
+		add, sub, mx, gt := AddSat16(wa, wb), SubSat16(wa, wb), Max16(wa, wb), Gt16(wa, wb)
+		anyGt := false
+		for l := 0; l < Lanes16; l++ {
+			x, y := la[l], lb[l]
+			wantAdd := uint16(0xFFFF)
+			if s := int(x) + int(y); s <= 0xFFFF {
+				wantAdd = uint16(s)
+			}
+			wantSub := uint16(0)
+			if x > y {
+				wantSub = x - y
+			}
+			wantGt := uint16(0)
+			if x > y {
+				wantGt = 0xFFFF
+				anyGt = true
+			}
+			if got := unpack16(add, l); got != wantAdd {
+				t.Fatalf("AddSat16(%d,%d) lane %d = %d, want %d", x, y, l, got, wantAdd)
+			}
+			if got := unpack16(sub, l); got != wantSub {
+				t.Fatalf("SubSat16(%d,%d) lane %d = %d, want %d", x, y, l, got, wantSub)
+			}
+			if got := unpack16(mx, l); got != max(x, y) {
+				t.Fatalf("Max16(%d,%d) lane %d = %d, want %d", x, y, l, got, max(x, y))
+			}
+			if got := unpack16(gt, l); got != wantGt {
+				t.Fatalf("Gt16(%d,%d) lane %d = %#x, want %#x", x, y, l, got, wantGt)
+			}
+		}
+		if got := AnyGt16(wa, wb); got != anyGt {
+			t.Fatalf("AnyGt16(%v,%v) = %v, want %v", la, lb, got, anyGt)
+		}
+	}
+	// Every boundary pair in every lane position, same pair in all lanes.
+	for _, x := range boundary {
+		for _, y := range boundary {
+			check([Lanes16]uint16{x, y, x, y}, [Lanes16]uint16{y, x, y, x})
+			check([Lanes16]uint16{x, x, x, x}, [Lanes16]uint16{y, y, y, y})
+		}
+	}
+	for iter := 0; iter < 100000; iter++ {
+		var la, lb [Lanes16]uint16
+		for l := 0; l < Lanes16; l++ {
+			la[l] = uint16(rng.Intn(1 << 16))
+			lb[l] = uint16(rng.Intn(1 << 16))
+		}
+		check(la, lb)
+	}
+}
+
+// TestHMaxAndShift16 checks the 16-bit fold and lane shift.
+func TestHMaxAndShift16(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for iter := 0; iter < 5000; iter++ {
+		var c [Lanes16]uint16
+		for l := range c {
+			c[l] = uint16(rng.Intn(1 << 16))
+		}
+		w := pack16(c)
+		want := uint16(0)
+		for _, v := range c {
+			want = max(want, v)
+		}
+		if got := HMax16(w); got != want {
+			t.Fatalf("HMax16(%v) = %d, want %d", c, got, want)
+		}
+		sh := ShiftLane16(w)
+		if unpack16(sh, 0) != 0 {
+			t.Fatalf("ShiftLane16 lane 0 = %d, want 0", unpack16(sh, 0))
+		}
+		for l := 1; l < Lanes16; l++ {
+			if unpack16(sh, l) != c[l-1] {
+				t.Fatalf("ShiftLane16 lane %d = %d, want %d", l, unpack16(sh, l), c[l-1])
+			}
+		}
+	}
+}
+
+// TestSplat fills every lane.
+func TestSplat(t *testing.T) {
+	for _, v := range []uint8{0, 1, 0x7F, 0x80, 0xFF} {
+		w := Splat8(v)
+		for l := 0; l < Lanes8; l++ {
+			if unpack8(w, l) != v {
+				t.Fatalf("Splat8(%d) lane %d = %d", v, l, unpack8(w, l))
+			}
+		}
+	}
+	for _, v := range []uint16{0, 1, 0x7FFF, 0x8000, 0xFFFF} {
+		w := Splat16(v)
+		for l := 0; l < Lanes16; l++ {
+			if unpack16(w, l) != v {
+				t.Fatalf("Splat16(%d) lane %d = %d", v, l, unpack16(w, l))
+			}
+		}
+	}
+}

@@ -40,14 +40,20 @@ type Engine interface {
 }
 
 // FarrarEngine is the SSE-core engine: one CPU core running the adapted
-// Farrar striped Smith-Waterman over the emulated SSE2 ISA.
+// Farrar striped Smith-Waterman (the SWAR kernel by default, with the
+// emulated SSE2 ISA retained as its oracle).
 type FarrarEngine struct {
 	name     string
 	scheme   score.Scheme
 	db       []*seq.Sequence
 	residues int64
 	declared float64
+	kmet     *farrar.Metrics
 }
+
+// SetKernelMetrics attaches the farrar fallback-telemetry bundle; each
+// Search observes its kernel's aggregated tier stats on completion.
+func (e *FarrarEngine) SetKernelMetrics(m *farrar.Metrics) { e.kmet = m }
 
 // NewFarrarEngine builds an SSE-core engine over a resident database.
 func NewFarrarEngine(name string, s score.Scheme, db []*seq.Sequence, declaredSpeed float64) (*FarrarEngine, error) {
@@ -106,6 +112,7 @@ func (e *FarrarEngine) Search(query *seq.Sequence, progress func(int64), cancel 
 	if progress != nil {
 		progress(cells)
 	}
+	e.kmet.Observe(kern.Stats())
 	return hits, nil
 }
 
@@ -115,7 +122,12 @@ type GPUEngine struct {
 	name     string
 	engine   *cudasw.Engine
 	declared float64
+	kmet     *farrar.Metrics
 }
+
+// SetKernelMetrics attaches the farrar fallback-telemetry bundle for the
+// engine's real compute core.
+func (e *GPUEngine) SetKernelMetrics(m *farrar.Metrics) { e.kmet = m }
 
 // NewGPUEngine builds a GPU engine over a resident database.
 func NewGPUEngine(name string, dev cudasw.Device, s score.Scheme, db []*seq.Sequence, declaredSpeed float64) (*GPUEngine, error) {
@@ -153,6 +165,7 @@ func (e *GPUEngine) Search(query *seq.Sequence, progress func(int64), cancel <-c
 	if progress != nil {
 		progress(rep.Cells)
 	}
+	e.kmet.Observe(rep.Kernel)
 	out := make([]wire.Hit, len(hits))
 	for i, h := range hits {
 		out[i] = wire.Hit{SeqID: h.ID, Index: h.Index, Score: h.Score}

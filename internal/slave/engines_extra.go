@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/farrar"
 	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/score"
@@ -25,7 +26,13 @@ type MulticoreEngine struct {
 	residues int64
 	cores    int
 	declared float64
+	kmet     *farrar.Metrics
 }
+
+// SetKernelMetrics attaches the farrar fallback-telemetry bundle; the
+// per-worker kernel stats that CoarseGrainedSearchStats aggregates are
+// observed after each task.
+func (e *MulticoreEngine) SetKernelMetrics(m *farrar.Metrics) { e.kmet = m }
 
 // NewMulticoreEngine builds a whole-host CPU engine; cores <= 0 uses
 // runtime.NumCPU().
@@ -69,10 +76,11 @@ func (e *MulticoreEngine) Search(query *seq.Sequence, progress func(int64), canc
 		return nil, ErrCanceled
 	default:
 	}
-	scores, err := parallel.CoarseGrainedSearch(query.Residues, e.db, e.scheme, e.cores, 16)
+	scores, kstats, err := parallel.CoarseGrainedSearchStats(query.Residues, e.db, e.scheme, e.cores, 16)
 	if err != nil {
 		return nil, err
 	}
+	e.kmet.Observe(kstats)
 	select {
 	case <-cancel:
 		return nil, ErrCanceled

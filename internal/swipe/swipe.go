@@ -239,7 +239,7 @@ func (sr *Searcher) rescore(target []byte) int {
 		}
 		sr.fb = k
 	}
-	if v, ok := sr.fb.ScoreI16(target); ok {
+	if v, ok := sr.fb.Score16(target); ok {
 		return v
 	}
 	return sw.Score(sr.query, target, sr.scheme)
