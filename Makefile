@@ -10,7 +10,7 @@
 # internal/simd rides along too: the SWAR lane-law property tests there are
 # pure math, but running them under -race keeps the exhaustive truth tables
 # honest if anyone parallelizes them later.
-RACE_PKGS := ./internal/sched/... ./internal/master/... ./internal/slave/... ./internal/wire/... ./internal/httpapi/... ./internal/metrics/... ./internal/jobs/... ./internal/sim/... ./internal/simd/...
+RACE_PKGS := ./internal/sched/... ./internal/master/... ./internal/slave/... ./internal/wire/... ./internal/httpapi/... ./internal/metrics/... ./internal/jobs/... ./internal/sim/... ./internal/simd/... ./internal/prefilter/...
 
 all: build lint test
 
@@ -39,30 +39,34 @@ race-full:
 
 # Chaos-test the master/slave/jobs stack: 200 generated fault scenarios
 # replayed under virtual time from pinned seeds (see cmd/swsim and
-# DESIGN §9). Fails loudly with a shrunken reproducer on any invariant
+# DESIGN §10). Fails loudly with a shrunken reproducer on any invariant
 # violation.
 sim-smoke:
 	go run ./cmd/swsim -seed 1 -scenarios 200 -duration 60s
 
 # Short runs of the coverage-guided fuzzers over the two parsers that
 # consume untrusted or crash-corrupted bytes (the wire codec and the jobs
-# WAL replayer) plus the Farrar kernel differential fuzzer, which drives
-# random sequences and gap schemes through the full SWAR/emulated/scalar
-# ladder and fails on any score divergence. Each target fuzzes for a fixed
-# budget; regressions land in testdata/fuzz and replay as ordinary tests
-# forever after.
+# WAL replayer) plus the two differential fuzzers: the Farrar kernel one,
+# which drives random sequences and gap schemes through the full
+# SWAR/emulated/scalar ladder and fails on any score divergence, and the
+# Aho-Corasick one, which pits the prefilter automaton against a naive
+# multi-pattern scan. Each target fuzzes for a fixed budget; regressions
+# land in testdata/fuzz and replay as ordinary tests forever after.
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire
 	go test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/jobs
 	go test -run='^$$' -fuzz=FuzzFarrarVsScalar -fuzztime=10s ./internal/farrar
+	go test -run='^$$' -fuzz=FuzzACVsNaive -fuzztime=10s ./internal/prefilter
 
 # Fast kernel health check: the four Score8/Score16 microbenchmarks (SWAR
-# vs emulated, so a vanished speedup is visible at a glance) plus the
-# coverage floor over the kernel packages only. Cheap enough for every PR,
-# unlike the full `bench` archive run.
+# vs emulated, so a vanished speedup is visible at a glance), the
+# Aho-Corasick automaton-throughput microbenchmark (residues/s over a 1-MiB
+# stream), plus the coverage floor over the kernel and prefilter packages
+# only. Cheap enough for every PR, unlike the full `bench` archive run.
 bench-smoke:
 	go test -bench='BenchmarkScore(8|16)' -benchmem -run='^$$' ./internal/farrar
-	go test -coverprofile=kernel.cover.out ./internal/farrar ./internal/simd/...
+	go test -bench='BenchmarkACScan' -benchmem -run='^$$' ./internal/prefilter
+	go test -coverprofile=kernel.cover.out ./internal/farrar ./internal/simd/... ./internal/prefilter
 	go run ./cmd/covercheck -profile kernel.cover.out -min 75
 
 # Coverage with a ratcheted floor: cmd/covercheck fails the build when

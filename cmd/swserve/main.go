@@ -12,6 +12,8 @@
 //	GET    /metrics           Prometheus text exposition (scheduler, wire, slave, jobs, HTTP)
 //	GET    /varz              the same metrics as one JSON document
 //	POST   /search            {"queries_fasta": ">q\nACDE...", "top_k": 5, "align": true}
+//	                          add "mode": "filtered" (+ filter_k/filter_margin) for the
+//	                          two-stage Aho-Corasick prefilter + SW rescore pipeline
 //	POST   /align             {"a": "MKVL...", "b": "MKIL...", "global": false}
 //	POST   /jobs              same payload as /search; returns 202 + job id
 //	GET    /jobs              list jobs (optionally ?state=queued|running|done|failed|canceled)

@@ -39,6 +39,7 @@ import (
 	"repro/internal/master"
 	"repro/internal/metrics"
 	"repro/internal/platform"
+	"repro/internal/prefilter"
 	"repro/internal/sched"
 	"repro/internal/score"
 	"repro/internal/seq"
@@ -62,6 +63,15 @@ type Hit = wire.Hit
 
 // QueryResult is the merged search outcome for one query.
 type QueryResult = master.QueryResult
+
+// FilterSpec parameterizes the filtered pipeline's prefilter stage (k-mer
+// seed length, stride, window margin, pattern budget). The zero value uses
+// the prefilter defaults.
+type FilterSpec = prefilter.Spec
+
+// FilterStats is the filtered pipeline's accounting: per-stage completion
+// counts, residues scanned vs admitted, and rescored vs full-scan DP cells.
+type FilterStats = master.FilterStats
 
 // DefaultScheme returns the paper's scoring: BLOSUM62, gap open 10,
 // gap extend 2.
@@ -129,6 +139,20 @@ type Platform struct {
 	// AlignBest ships the traceback alignment of each query's best hit.
 	AlignBest bool
 
+	// Mode selects the pipeline: "" or "full" runs the exhaustive scan;
+	// "filtered" runs the two-stage pipeline (Aho-Corasick seed prefilter,
+	// then Smith-Waterman rescore restricted to the candidate windows).
+	// Filtered mode needs at least one CPU engine — the GPU engine is
+	// SW-only and sits out both filtered stages.
+	Mode string
+	// Filter parameterizes the prefilter stage in filtered mode; the zero
+	// value uses the prefilter defaults.
+	Filter FilterSpec
+	// StageProgress, when non-nil, observes filtered-stage completions with
+	// cumulative done/total query counts (stage is "prefilter" or
+	// "rescore"). Called under the master's lock: keep it fast.
+	StageProgress func(stage string, done, total int64)
+
 	// Registry, when non-nil, receives scheduler, wire and slave metrics
 	// from every Search run (see internal/metrics). Repeated Searches on
 	// the same registry accumulate into the same families.
@@ -143,7 +167,12 @@ type Platform struct {
 type Report struct {
 	PerQuery []QueryResult
 	Elapsed  time.Duration
-	Cells    int64 // total unique DP cells of the job
+	// Cells is the job's DP cell count: query×database for the full scan,
+	// the (smaller) rescored total in filtered mode.
+	Cells int64
+	// Filter carries the two-stage pipeline's accounting; nil for the full
+	// scan.
+	Filter *FilterStats
 }
 
 // GCUPS returns the achieved billions of cell updates per second.
@@ -265,18 +294,32 @@ func SearchContext(ctx context.Context, queries, db []*Sequence, p Platform) (*R
 	if err != nil {
 		return nil, err
 	}
+	var filtered bool
+	switch p.Mode {
+	case "", "full":
+	case "filtered":
+		filtered = true
+		if p.SSECores < 1 {
+			return nil, fmt.Errorf("hybridsw: filtered mode needs at least one CPU engine (the GPU engine is SW-only)")
+		}
+	default:
+		return nil, fmt.Errorf("hybridsw: unknown mode %q", p.Mode)
+	}
 	var residues int64
 	for _, d := range db {
 		residues += int64(d.Len())
 	}
 	m, err := master.New(master.Config{
-		Queries:    queries,
-		DBResidues: residues,
-		Policy:     pol,
-		Adjust:     p.Adjust,
-		Omega:      p.Omega,
-		Registry:   p.Registry,
-		Events:     p.Events,
+		Queries:       queries,
+		DBResidues:    residues,
+		Policy:        pol,
+		Adjust:        p.Adjust,
+		Omega:         p.Omega,
+		Registry:      p.Registry,
+		Events:        p.Events,
+		Filtered:      filtered,
+		Filter:        p.Filter,
+		StageProgress: p.StageProgress,
 	})
 	if err != nil {
 		return nil, err
@@ -326,6 +369,16 @@ func SearchContext(ctx context.Context, queries, db []*Sequence, p Platform) (*R
 			}
 		}
 	}
+	if p.Registry != nil && filtered {
+		pmet := prefilter.NewMetrics(p.Registry)
+		for _, eng := range engines {
+			if pe, ok := eng.(interface {
+				SetPrefilterMetrics(*prefilter.Metrics)
+			}); ok {
+				pe.SetPrefilterMetrics(pmet)
+			}
+		}
+	}
 
 	var wg sync.WaitGroup
 	errs := make([]error, len(engines))
@@ -358,8 +411,14 @@ func SearchContext(ctx context.Context, queries, db []*Sequence, p Platform) (*R
 	}
 
 	rep := &Report{PerQuery: m.Results(), Elapsed: m.Elapsed()}
-	for _, q := range queries {
-		rep.Cells += int64(q.Len()) * residues
+	if filtered {
+		fs := m.FilterStats()
+		rep.Filter = &fs
+		rep.Cells = fs.RescoredCells
+	} else {
+		for _, q := range queries {
+			rep.Cells += int64(q.Len()) * residues
+		}
 	}
 	return rep, nil
 }

@@ -222,3 +222,64 @@ func TestSearchAlignBest(t *testing.T) {
 		}
 	}
 }
+
+func TestSearchFilteredMode(t *testing.T) {
+	db, err := hybridsw.GenerateDatabase("Ensembl Dog Proteins", 0.0008, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queries drawn from database content: the prefilter's exact k-mer seeds
+	// hit their source sequences, so each query's true best score survives.
+	queries := hybridsw.GenerateQueries(db, 3, 40, 100, 8)
+	full, err := hybridsw.Search(queries, db, hybridsw.Platform{SSECores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filt, err := hybridsw.Search(queries, db, hybridsw.Platform{
+		SSECores: 2, Mode: "filtered", GPUs: 1, // the GPU sits out, harmlessly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filt.Filter == nil {
+		t.Fatal("filtered report has no Filter stats")
+	}
+	if full.Filter != nil {
+		t.Fatal("full-scan report has Filter stats")
+	}
+	if filt.Filter.RescoredCells >= filt.Filter.FullScanCells {
+		t.Fatalf("rescored %d >= full %d", filt.Filter.RescoredCells, filt.Filter.FullScanCells)
+	}
+	if filt.Cells != filt.Filter.RescoredCells {
+		t.Fatalf("Cells %d != RescoredCells %d", filt.Cells, filt.Filter.RescoredCells)
+	}
+	for i := range full.PerQuery {
+		fq, gq := full.PerQuery[i], filt.PerQuery[i]
+		if fq.Query != gq.Query {
+			t.Fatalf("query order: %s vs %s", fq.Query, gq.Query)
+		}
+		// The query's source sequence scores identically; every hit is
+		// bounded by the full scan's.
+		if gq.Hits[0].Score != fq.Hits[0].Score {
+			t.Errorf("query %s: filtered best %d, full best %d", fq.Query, gq.Hits[0].Score, fq.Hits[0].Score)
+		}
+		for j := range gq.Hits {
+			if gq.Hits[j].Score > fq.Hits[j].Score {
+				t.Errorf("query %s hit %d: filtered %d exceeds full %d", fq.Query, j, gq.Hits[j].Score, fq.Hits[j].Score)
+			}
+		}
+	}
+}
+
+func TestSearchFilteredValidation(t *testing.T) {
+	db, _ := hybridsw.GenerateDatabase("Ensembl Dog Proteins", 0.0005, 9)
+	queries := hybridsw.GenerateQueries(db, 1, 40, 40, 10)
+	if _, err := hybridsw.Search(queries, db, hybridsw.Platform{GPUs: 1, Mode: "filtered"}); err == nil {
+		t.Error("filtered mode with only GPUs accepted")
+	}
+	if _, err := hybridsw.Search(queries, db, hybridsw.Platform{SSECores: 1, Mode: "sideways"}); err == nil {
+		t.Error("unknown mode accepted")
+	} else if !strings.Contains(err.Error(), "unknown mode") {
+		t.Errorf("error %v", err)
+	}
+}

@@ -12,8 +12,8 @@ import (
 // carries a default case. An enum is a named type declared in this module
 // whose underlying type is an integer or string and which has at least
 // two package-level constants of exactly that type — sched.State,
-// wire.MsgKind, seq.Kind, sched.SlaveKind, wire.FaultAction and
-// metrics.Kind all qualify. Adding a constant to such a type then breaks
+// wire.MsgKind, seq.Kind, sched.SlaveKind, sched.TaskKind,
+// wire.FaultAction and metrics.Kind all qualify. Adding a constant to such a type then breaks
 // the build of `make lint` at every switch that silently ignores it,
 // instead of misbehaving at run time.
 //

@@ -79,3 +79,35 @@ func notAnEnum(l lone) {
 	case onlyLone:
 	}
 }
+
+// TaskKind mirrors sched.TaskKind: an iota enum that grew from one de
+// facto value (the zero value meant the only kind) to several. The
+// zero-valued member counts like any other, so a switch written before
+// the type grew now needs every kind or a default.
+type TaskKind int
+
+const (
+	TaskSW TaskKind = iota
+	TaskPrefilter
+	TaskRescore
+)
+
+func staleKindSwitch(k TaskKind) int64 {
+	switch k { // want "switch over TaskKind misses TaskPrefilter, TaskRescore and has no default case"
+	case TaskSW:
+		return 1
+	}
+	return 0
+}
+
+func grownKindSwitch(k TaskKind) string {
+	switch k {
+	case TaskSW:
+		return "sw"
+	case TaskPrefilter:
+		return "prefilter"
+	case TaskRescore:
+		return "rescore"
+	}
+	return "?"
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/fasta"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
+	"repro/internal/prefilter"
 	"repro/internal/sched"
 	"repro/internal/seq"
 	"repro/internal/slave"
@@ -108,11 +109,12 @@ func NewWithOptions(dbName string, db []*seq.Sequence, platform hybridsw.Platfor
 		reg = metrics.NewRegistry()
 		platform.Registry = reg
 	}
-	// Pre-register the scheduler, wire and slave families so a scrape
-	// before the first search already shows the full taxonomy.
+	// Pre-register the scheduler, wire, slave and prefilter families so a
+	// scrape before the first search already shows the full taxonomy.
 	sched.NewMetrics(reg)
 	wire.NewMetrics(reg)
 	slave.NewMetrics(reg)
+	prefilter.NewMetrics(reg)
 	s := &Server{
 		db: db, dbName: dbName, platform: platform, started: time.Now(),
 		reg: reg, met: newHTTPMetrics(reg), maxBody: DefaultMaxBody,
@@ -238,6 +240,15 @@ type SearchRequest struct {
 	TopK         int    `json:"top_k,omitempty"`
 	Policy       string `json:"policy,omitempty"`
 	Align        bool   `json:"align,omitempty"`
+	// Mode selects the pipeline: "" or "full" scans every database cell;
+	// "filtered" runs the Aho-Corasick seed prefilter and rescores only the
+	// candidate windows (exact scores inside windows, possible misses for
+	// hits sharing no seed k-mer with the query).
+	Mode string `json:"mode,omitempty"`
+	// FilterK and FilterMargin tune filtered mode: seed k-mer length and
+	// window margin in residues (0 = engine defaults).
+	FilterK      int `json:"filter_k,omitempty"`
+	FilterMargin int `json:"filter_margin,omitempty"`
 	// Priority orders the job queue: higher runs first, FIFO within a
 	// level. Only meaningful while the queue is backed up.
 	Priority int `json:"priority,omitempty"`
@@ -259,12 +270,25 @@ type SearchResult struct {
 	Hits  []SearchHit `json:"hits"`
 }
 
+// FilterReport is the filtered pipeline's accounting in a response.
+type FilterReport struct {
+	Selectivity       float64 `json:"selectivity"`
+	Windows           int     `json:"windows"`
+	ResiduesScanned   int64   `json:"residues_scanned"`
+	CandidateResidues int64   `json:"candidate_residues"`
+	RescoredCells     int64   `json:"rescored_cells"`
+	FullScanCells     int64   `json:"full_scan_cells"`
+	CellsSaved        int64   `json:"cells_saved"`
+}
+
 // SearchResponse is the POST /search reply.
 type SearchResponse struct {
 	Results  []SearchResult `json:"results"`
 	Elapsed  float64        `json:"elapsed_s"`
 	GCUPS    float64        `json:"gcups"`
 	Database string         `json:"database"`
+	// Filter reports the prefilter's work; present only for mode=filtered.
+	Filter *FilterReport `json:"filter,omitempty"`
 }
 
 // decodeSearch decodes and validates a search payload: JSON errors and
@@ -317,11 +341,27 @@ func (s *Server) decodeSearch(w http.ResponseWriter, r *http.Request) (jreq jobs
 			return jreq, false
 		}
 	}
+	switch req.Mode {
+	case "", "full":
+	case "filtered":
+		if s.platform.SSECores < 1 && s.platform.GPUs > 0 {
+			writeReject(w, http.StatusUnprocessableEntity, "filtered_unavailable",
+				"filtered mode needs a CPU engine; this server runs GPU-only")
+			return jreq, false
+		}
+	default:
+		writeReject(w, http.StatusUnprocessableEntity, "unknown_mode",
+			"mode %q is not one of \"\", \"full\", \"filtered\"", req.Mode)
+		return jreq, false
+	}
 	return jobs.Request{
 		QueriesFasta: req.QueriesFasta,
 		TopK:         req.TopK,
 		Policy:       req.Policy,
 		Align:        req.Align,
+		Mode:         req.Mode,
+		FilterK:      req.FilterK,
+		FilterMargin: req.FilterMargin,
 		Priority:     req.Priority,
 		Queries:      len(queries),
 		Residues:     residues,
@@ -344,6 +384,17 @@ func (s *Server) runJob(ctx context.Context, req jobs.Request) ([]byte, error) {
 		p.Policy = req.Policy
 	}
 	p.AlignBest = req.Align
+	if req.Mode != "" {
+		p.Mode = req.Mode
+	}
+	if p.Mode == "filtered" {
+		p.Filter = hybridsw.FilterSpec{K: req.FilterK, Margin: req.FilterMargin}
+		// Per-stage progress lands on the job record, so GET /jobs/{id}
+		// shows prefilter/rescore completion counts while the job runs.
+		p.StageProgress = func(stage string, done, total int64) {
+			s.jobs.SetStage(ctx, stage, done, total)
+		}
+	}
 	rep, err := hybridsw.SearchContext(ctx, queries, s.db, p)
 	if err != nil {
 		return nil, err
@@ -367,6 +418,17 @@ func (s *Server) buildSearchResponse(queries []*seq.Sequence, rep *hybridsw.Repo
 		Elapsed:  rep.Elapsed.Seconds(),
 		GCUPS:    rep.GCUPS(),
 		Database: s.dbName,
+	}
+	if fs := rep.Filter; fs != nil {
+		resp.Filter = &FilterReport{
+			Selectivity:       fs.Selectivity(),
+			Windows:           fs.Windows,
+			ResiduesScanned:   fs.ResiduesScanned,
+			CandidateResidues: fs.CandidateResidues,
+			RescoredCells:     fs.RescoredCells,
+			FullScanCells:     fs.FullScanCells,
+			CellsSaved:        fs.CellsSaved(),
+		}
 	}
 	for _, qr := range rep.PerQuery {
 		res := SearchResult{Query: qr.Query}

@@ -26,8 +26,11 @@ type JobView struct {
 	TopK        int    `json:"top_k,omitempty"`
 	Policy      string `json:"policy,omitempty"`
 	Align       bool   `json:"align,omitempty"`
+	Mode        string `json:"mode,omitempty"`
 	Priority    int    `json:"priority,omitempty"`
 	ResultBytes int64  `json:"result_bytes,omitempty"`
+	// Stages shows a running filtered job's prefilter/rescore progress.
+	Stages map[string]jobs.StageCount `json:"stages,omitempty"`
 }
 
 func viewOf(j jobs.Job) JobView {
@@ -45,8 +48,10 @@ func viewOf(j jobs.Job) JobView {
 		TopK:        j.Request.TopK,
 		Policy:      j.Request.Policy,
 		Align:       j.Request.Align,
+		Mode:        j.Request.Mode,
 		Priority:    j.Request.Priority,
 		ResultBytes: j.ResultBytes,
+		Stages:      j.Stages,
 	}
 	if !j.Started.IsZero() {
 		t := j.Started

@@ -65,9 +65,23 @@ type Request struct {
 	TopK         int    `json:"top_k,omitempty"`
 	Policy       string `json:"policy,omitempty"`
 	Align        bool   `json:"align,omitempty"`
+	// Mode selects the pipeline ("" or "full" = exhaustive scan, "filtered"
+	// = prefilter + rescore); FilterK and FilterMargin tune the filtered
+	// pipeline's seed length and window margin (0 = engine defaults). All
+	// three are part of the cache identity — a filtered result must never
+	// answer a full-scan request.
+	Mode         string `json:"mode,omitempty"`
+	FilterK      int    `json:"filter_k,omitempty"`
+	FilterMargin int    `json:"filter_margin,omitempty"`
 	Priority     int    `json:"priority,omitempty"`
 	Queries      int    `json:"queries,omitempty"`
 	Residues     int64  `json:"residues,omitempty"`
+}
+
+// StageCount is one pipeline stage's progress: queries completed vs total.
+type StageCount struct {
+	Done  int64 `json:"done"`
+	Total int64 `json:"total"`
 }
 
 // Job is the public snapshot of one job's state.
@@ -85,6 +99,9 @@ type Job struct {
 	// CacheHit marks a job answered from the result cache without running.
 	CacheHit    bool  `json:"cache_hit,omitempty"`
 	ResultBytes int64 `json:"result_bytes,omitempty"`
+	// Stages is the live per-stage progress of a filtered job ("prefilter",
+	// "rescore"), fed by SetStage while the job runs. Nil for full scans.
+	Stages map[string]StageCount `json:"stages,omitempty"`
 }
 
 // job is the Manager's live record: the public snapshot plus coordination
@@ -275,8 +292,9 @@ func (m *Manager) recoverLocked(recs []Job) {
 // the result (queries, scoring knobs) plus the Manager's serving salt.
 func (m *Manager) key(req Request) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%d\x00%s\x00%t\x00%s",
-		m.cfg.Salt, req.TopK, req.Policy, req.Align, req.QueriesFasta)
+	fmt.Fprintf(h, "%s\x00%d\x00%s\x00%t\x00%s\x00%d\x00%d\x00%s",
+		m.cfg.Salt, req.TopK, req.Policy, req.Align,
+		req.Mode, req.FilterK, req.FilterMargin, req.QueriesFasta)
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
@@ -498,6 +516,7 @@ func (m *Manager) executor() {
 		}
 		j := m.q.pop()
 		jctx, cancel := context.WithCancel(m.base)
+		jctx = context.WithValue(jctx, jobIDKey{}, j.ID)
 		j.cancel = cancel
 		j.Started = time.Now()
 		m.setStateLocked(j, StateRunning)
@@ -576,6 +595,41 @@ func (m *Manager) storeResultLocked(key string, body []byte) {
 			}
 		}
 	}
+}
+
+// jobIDKey carries the running job's ID in the context handed to Config.Run,
+// so the executor body can report progress back via SetStage.
+type jobIDKey struct{}
+
+// JobID extracts the running job's identifier from a Config.Run context
+// (empty outside an executor).
+func JobID(ctx context.Context) string {
+	id, _ := ctx.Value(jobIDKey{}).(string)
+	return id
+}
+
+// SetStage records a running job's per-stage progress (stage names are the
+// pipeline's, e.g. "prefilter"/"rescore"). The executor body calls it from
+// inside Config.Run with the Run context; calls with a foreign or stale
+// context are dropped. The job's Stages map is replaced, not mutated, so
+// snapshots already handed out stay race-free.
+func (m *Manager) SetStage(ctx context.Context, stage string, done, total int64) {
+	id := JobID(ctx)
+	if id == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil || j.State != StateRunning {
+		return
+	}
+	next := make(map[string]StageCount, len(j.Stages)+1)
+	for k, v := range j.Stages {
+		next[k] = v
+	}
+	next[stage] = StageCount{Done: done, Total: total}
+	j.Stages = next
 }
 
 // Get returns a job's snapshot.

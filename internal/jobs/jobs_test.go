@@ -564,3 +564,69 @@ func TestHammer(t *testing.T) {
 		t.Errorf("executors busy after close = %v", got)
 	}
 }
+
+func TestKeyIncludesModeAndFilter(t *testing.T) {
+	m, err := New(Config{Run: func(context.Context, Request) ([]byte, error) { return nil, nil }, Executors: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+	base := req(">q\nMKVL\n")
+	variants := []Request{
+		base,
+		{QueriesFasta: base.QueriesFasta, Mode: "filtered"},
+		{QueriesFasta: base.QueriesFasta, Mode: "filtered", FilterK: 3},
+		{QueriesFasta: base.QueriesFasta, Mode: "filtered", FilterMargin: 64},
+	}
+	seen := map[string]int{}
+	for i, v := range variants {
+		k := m.key(v)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variants %d and %d share key %s", prev, i, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestSetStageLifecycle(t *testing.T) {
+	started := make(chan context.Context)
+	release := make(chan struct{})
+	m, err := New(Config{Run: func(ctx context.Context, r Request) ([]byte, error) {
+		started <- ctx
+		<-release
+		return []byte("ok"), nil
+	}, Executors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+	j, err := m.Submit(req(">q\nACDE\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := <-started
+	if got := JobID(ctx); got != j.ID {
+		t.Fatalf("JobID(ctx) = %q, want %q", got, j.ID)
+	}
+	// Progress from the run context lands on the job; a foreign context is
+	// dropped silently.
+	m.SetStage(ctx, "prefilter", 1, 4)
+	m.SetStage(ctx, "prefilter", 2, 4)
+	m.SetStage(context.Background(), "rescore", 9, 9)
+	snap, _ := m.Get(j.ID)
+	if sc := snap.Stages["prefilter"]; sc.Done != 2 || sc.Total != 4 {
+		t.Fatalf("prefilter stage = %+v", sc)
+	}
+	if _, ok := snap.Stages["rescore"]; ok {
+		t.Fatal("foreign-context stage recorded")
+	}
+	close(release)
+	done := waitState(t, m, j.ID, StateDone)
+	// Stage history survives completion; post-terminal updates are dropped.
+	m.SetStage(ctx, "prefilter", 4, 4)
+	snap, _ = m.Get(j.ID)
+	if sc := snap.Stages["prefilter"]; sc.Done != 2 {
+		t.Fatalf("post-terminal update applied: %+v", sc)
+	}
+	_ = done
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/prefilter"
 	"repro/internal/sched"
 	"repro/internal/seq"
 	"repro/internal/wire"
@@ -48,6 +49,20 @@ type Config struct {
 	// discrete-event runner's platform.WriteTrace emits, so one toolchain
 	// reads wall-clock and simulated runs.
 	Events *metrics.EventLog
+
+	// Filtered selects the two-stage pipeline: an Aho-Corasick prefilter
+	// task per query, then Smith-Waterman rescore tasks over the candidate
+	// windows. Slaves must declare the matching capabilities (CPU engines
+	// do; the GPU engine is SW-only).
+	Filtered bool
+	// Filter parameterizes the prefilter stage; the zero value uses the
+	// prefilter defaults. Ignored unless Filtered.
+	Filter prefilter.Spec
+	// StageProgress, when non-nil, is invoked on every accepted stage
+	// completion of a filtered job with cumulative done/total counts
+	// (stage is "prefilter" or "rescore"). Called under the master's lock:
+	// keep it fast and never call back into the master.
+	StageProgress func(stage string, done, total int64)
 }
 
 // schedConfig derives the coordinator configuration, attaching scheduler
@@ -118,9 +133,19 @@ type Master struct {
 
 // New builds a master for the job.
 func New(cfg Config) (*Master, error) {
-	core, err := NewCore(cfg.Queries, cfg.DBResidues, cfg.schedConfig(), cfg.Events)
+	var core *Core
+	var err error
+	if cfg.Filtered {
+		core, err = NewFilteredCore(cfg.Queries, cfg.DBResidues, cfg.Filter, cfg.schedConfig(), cfg.Events)
+	} else {
+		core, err = NewCore(cfg.Queries, cfg.DBResidues, cfg.schedConfig(), cfg.Events)
+	}
 	if err != nil {
 		return nil, err
+	}
+	core.SetStageProgress(cfg.StageProgress)
+	if cfg.Registry != nil {
+		core.SetFilterMetrics(prefilter.NewMetrics(cfg.Registry))
 	}
 	m := &Master{
 		core:     core,
@@ -232,6 +257,14 @@ func (m *Master) Results() []QueryResult {
 	return m.core.Results()
 }
 
+// FilterStats returns the filtered pipeline's accounting so far (zero for
+// full-scan jobs).
+func (m *Master) FilterStats() FilterStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.core.FilterStats()
+}
+
 // Elapsed returns the job's wall-clock duration so far (or final, once
 // done).
 func (m *Master) Elapsed() time.Duration { return m.now() }
@@ -311,6 +344,8 @@ func LoadCheckpoint(r io.Reader, cfg Config) (*Master, error) {
 }
 
 func init() {
-	// Checkpoint payloads are the per-task hit lists.
+	// Checkpoint payloads are the per-task hit lists, plus candidate
+	// windows for filtered jobs' prefilter results.
 	gob.Register([]wire.Hit{})
+	gob.Register([]sched.Window{})
 }

@@ -37,6 +37,11 @@ type Event struct {
 	BusySec     float64 `json:"busy_s,omitempty"`
 	MakespanSec float64 `json:"makespan_s,omitempty"`
 	TotalGCUPS  float64 `json:"total_gcups,omitempty"`
+
+	// stage (one filtered-search stage completed for one query)
+	Stage       string  `json:"stage,omitempty"`
+	Windows     int     `json:"windows,omitempty"`
+	Selectivity float64 `json:"selectivity,omitempty"`
 }
 
 // Event kinds shared with platform.TraceEvent.
@@ -45,6 +50,7 @@ const (
 	EventSample  = "sample"
 	EventExec    = "exec"
 	EventSummary = "summary"
+	EventStage   = "stage"
 )
 
 // EventLog serialises events as JSON lines to a writer. It is safe for

@@ -36,6 +36,11 @@ type TraceEvent struct {
 	BusySec     float64 `json:"busy_s,omitempty"`
 	MakespanSec float64 `json:"makespan_s,omitempty"`
 	TotalGCUPS  float64 `json:"total_gcups,omitempty"`
+
+	// stage (one filtered-search stage completed for one query)
+	Stage       string  `json:"stage,omitempty"`
+	Windows     int     `json:"windows,omitempty"`
+	Selectivity float64 `json:"selectivity,omitempty"`
 }
 
 // WriteTrace streams the run as JSON lines: every assignment interaction,

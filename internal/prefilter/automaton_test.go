@@ -1,0 +1,229 @@
+package prefilter
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// naiveScan is the oracle: for every pattern, try every start position with
+// bytes.Equal. Quadratic, obviously correct.
+func naiveScan(data []byte, patterns [][]byte) []acMatch {
+	var out []acMatch
+	for pi, p := range patterns {
+		for i := 0; i+len(p) <= len(data); i++ {
+			if bytes.Equal(data[i:i+len(p)], p) {
+				out = append(out, acMatch{end: i + len(p), pat: pi})
+			}
+		}
+	}
+	sortMatches(out)
+	return out
+}
+
+type acMatch struct{ end, pat int }
+
+func sortMatches(ms []acMatch) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].end != ms[j].end {
+			return ms[i].end < ms[j].end
+		}
+		return ms[i].pat < ms[j].pat
+	})
+}
+
+func acScan(t testing.TB, data []byte, patterns [][]byte) []acMatch {
+	a, err := Compile(patterns)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	var out []acMatch
+	a.Scan(data, func(end, pat int) {
+		if pat < 0 || pat >= len(patterns) {
+			t.Fatalf("Scan emitted pattern index %d of %d", pat, len(patterns))
+		}
+		want := patterns[pat]
+		if end < len(want) || !bytes.Equal(data[end-len(want):end], want) {
+			t.Fatalf("Scan reported pattern %q ending at %d but data there is %q", want, end, data[maxInt(0, end-len(want)):end])
+		}
+		out = append(out, acMatch{end: end, pat: pat})
+	})
+	sortMatches(out)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestAutomatonVsNaiveHandPicked(t *testing.T) {
+	cases := []struct {
+		name     string
+		data     string
+		patterns []string
+	}{
+		{"classic", "ushers", []string{"he", "she", "his", "hers"}},
+		{"overlapping", "aaaaaa", []string{"aa", "aaa"}},
+		{"suffix-of-other", "abcabcabc", []string{"abcabc", "cab", "bc"}},
+		{"duplicate-patterns", "xyxyxy", []string{"xy", "xy", "yx"}},
+		{"no-match", "GATTACA", []string{"TTT", "CCC"}},
+		{"bytes-outside-alphabet", "AC-GT-ACGT", []string{"ACGT", "GT"}},
+		{"pattern-is-whole-data", "HELLO", []string{"HELLO"}},
+		{"single-byte-patterns", "mississippi", []string{"s", "i", "p"}},
+		{"unicode-bytes", "héllo héll", []string{"héll", "llo"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pats := make([][]byte, len(tc.patterns))
+			for i, p := range tc.patterns {
+				pats[i] = []byte(p)
+			}
+			got := acScan(t, []byte(tc.data), pats)
+			want := naiveScan([]byte(tc.data), pats)
+			if !matchesEqual(got, want) {
+				t.Fatalf("AC found %v, naive found %v", got, want)
+			}
+		})
+	}
+}
+
+func matchesEqual(a, b []acMatch) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAutomatonVsNaiveRandom runs the differential over random pattern sets
+// and texts on small alphabets (small alphabets maximize overlap and
+// fail-link pressure).
+func TestAutomatonVsNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabets := []string{"ab", "ACGT", "ACDEFGHIKLMNPQRSTVWY"}
+	for trial := 0; trial < 300; trial++ {
+		sigma := alphabets[trial%len(alphabets)]
+		npat := 1 + rng.Intn(8)
+		pats := make([][]byte, npat)
+		for i := range pats {
+			plen := 1 + rng.Intn(6)
+			p := make([]byte, plen)
+			for j := range p {
+				p[j] = sigma[rng.Intn(len(sigma))]
+			}
+			pats[i] = p
+		}
+		data := make([]byte, rng.Intn(200))
+		for j := range data {
+			data[j] = sigma[rng.Intn(len(sigma))]
+		}
+		got := acScan(t, data, pats)
+		want := naiveScan(data, pats)
+		if !matchesEqual(got, want) {
+			t.Fatalf("trial %d (alphabet %q, %d patterns, text %q): AC %v, naive %v", trial, sigma, npat, data, got, want)
+		}
+	}
+}
+
+func TestCompileRejectsEmptyInputs(t *testing.T) {
+	if _, err := Compile(nil); err == nil {
+		t.Fatal("Compile(nil) succeeded")
+	}
+	if _, err := Compile([][]byte{[]byte("ok"), nil}); err == nil {
+		t.Fatal("Compile with an empty pattern succeeded")
+	}
+}
+
+func TestAutomatonStateAccounting(t *testing.T) {
+	a, err := Compile([][]byte{[]byte("he"), []byte("she"), []byte("his"), []byte("hers")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classic example: root + 9 trie nodes.
+	if a.States() != 10 {
+		t.Fatalf("States() = %d, want 10", a.States())
+	}
+	if a.Patterns() != 4 {
+		t.Fatalf("Patterns() = %d, want 4", a.Patterns())
+	}
+	for i, want := range []int{2, 3, 3, 4} {
+		if a.PatternLen(i) != want {
+			t.Fatalf("PatternLen(%d) = %d, want %d", i, a.PatternLen(i), want)
+		}
+	}
+}
+
+// FuzzACVsNaive is the fuzz form of the differential: the fuzzer mutates a
+// raw text plus a pattern-bank selector, and any divergence from the naive
+// oracle (or an emit with wrong bytes, checked inside acScan) fails.
+func FuzzACVsNaive(f *testing.F) {
+	f.Add([]byte("ushers"), []byte("he\nshe\nhis\nhers"))
+	f.Add([]byte("aaaaaa"), []byte("aa\naaa"))
+	f.Add([]byte("GATTACAGATTACA"), []byte("GAT\nTACA\nA"))
+	f.Add([]byte(""), []byte("x"))
+	f.Fuzz(func(t *testing.T, data, patBlob []byte) {
+		var pats [][]byte
+		for _, p := range bytes.Split(patBlob, []byte("\n")) {
+			if len(p) == 0 || len(p) > 32 {
+				continue
+			}
+			pats = append(pats, p)
+			if len(pats) == 16 {
+				break
+			}
+		}
+		if len(pats) == 0 || len(data) > 1<<12 {
+			return
+		}
+		got := acScan(t, data, pats)
+		want := naiveScan(data, pats)
+		if !matchesEqual(got, want) {
+			t.Fatalf("AC %v != naive %v (data %q, patterns %q)", got, want, data, pats)
+		}
+	})
+}
+
+func BenchmarkACScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	const sigma = "ACDEFGHIKLMNPQRSTVWY"
+	query := make([]byte, 200)
+	for i := range query {
+		query[i] = sigma[rng.Intn(len(sigma))]
+	}
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = sigma[rng.Intn(len(sigma))]
+	}
+	pats, _ := compileSeeds(query, Spec{}.Normalize())
+	a, err := Compile(pats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		a.Scan(data, func(end, pat int) { sink++ })
+	}
+	_ = sink
+	b.ReportMetric(float64(b.N)*float64(len(data))/b.Elapsed().Seconds(), "residues/s")
+}
+
+func ExampleAutomaton_Scan() {
+	a, _ := Compile([][]byte{[]byte("he"), []byte("she")})
+	a.Scan([]byte("ushers"), func(end, pat int) {
+		fmt.Println(end, pat)
+	})
+	// Output:
+	// 4 1
+	// 4 0
+}

@@ -1,0 +1,62 @@
+package prefilter
+
+import (
+	"repro/internal/farrar"
+	"repro/internal/sched"
+	"repro/internal/score"
+	"repro/internal/seq"
+)
+
+// Rescorer runs the second stage of the filtered search: the dispatched
+// Farrar Smith-Waterman kernel restricted to candidate windows. Scores are
+// per database sequence — the maximum over that sequence's windows, or 0
+// (the local-alignment floor) for sequences the prefilter excluded — so a
+// rescored score slice has the same shape as a full scan's and ranks
+// identically whenever every hit's alignment lies inside an admitted
+// window.
+type Rescorer struct {
+	kernel *farrar.Kernel
+	qlen   int
+}
+
+// NewRescorer builds a rescorer for one query under the given scheme.
+func NewRescorer(query []byte, s score.Scheme) (*Rescorer, error) {
+	k, err := farrar.NewKernel(query, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Rescorer{kernel: k, qlen: len(query)}, nil
+}
+
+// Rescore aligns the candidate windows and returns one score per database
+// sequence plus the DP cells actually computed. Windows are validated
+// against the database first (they may have crossed the wire).
+func (r *Rescorer) Rescore(db []*seq.Sequence, windows []sched.Window) (scores []int, cells int64, err error) {
+	if err := ValidateWindows(windows, db); err != nil {
+		return nil, 0, err
+	}
+	scores = make([]int, len(db))
+	for _, w := range windows {
+		segment := db[w.Seq].Residues[w.Start:w.End]
+		sc := r.kernel.Score(segment)
+		cells += int64(r.qlen) * int64(len(segment))
+		if sc > scores[w.Seq] {
+			scores[w.Seq] = sc
+		}
+	}
+	return scores, cells, nil
+}
+
+// CellsFor returns the DP cost of rescoring the given windows — the
+// scheduling weight of a rescore task, in true SW cells.
+func CellsFor(qlen int, windows []sched.Window) int64 {
+	var cells int64
+	for _, w := range windows {
+		cells += int64(qlen) * int64(w.End-w.Start)
+	}
+	return cells
+}
+
+// Stats exposes the kernel's fallback-ladder telemetry accumulated across
+// Rescore calls, for the farrar metrics bundle.
+func (r *Rescorer) Stats() farrar.Stats { return r.kernel.Stats() }

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"testing"
+)
+
+func TestCanRun(t *testing.T) {
+	// Nil caps is the historical contract: full Smith-Waterman scans only.
+	if !CanRun(nil, TaskSW) {
+		t.Error("nil caps must run SW")
+	}
+	if CanRun(nil, TaskPrefilter) || CanRun(nil, TaskRescore) {
+		t.Error("nil caps must not run filtered stages")
+	}
+	caps := []TaskKind{TaskSW, TaskPrefilter}
+	if !CanRun(caps, TaskPrefilter) || !CanRun(caps, TaskSW) {
+		t.Error("declared kinds must run")
+	}
+	if CanRun(caps, TaskRescore) {
+		t.Error("undeclared kind must not run")
+	}
+}
+
+func TestTaskKindString(t *testing.T) {
+	for k, want := range map[TaskKind]string{
+		TaskSW: "sw", TaskPrefilter: "prefilter", TaskRescore: "rescore",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("TaskKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := TaskKind(99).String(); got != "TaskKind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestPoolAppendContinuesNumbering(t *testing.T) {
+	p := NewPool(mkTasks(3))
+	ids := p.Append([]Task{
+		{QueryID: "x", Cells: 10, Kind: TaskRescore},
+		{QueryID: "y", Cells: 20, Kind: TaskRescore},
+	})
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 4 {
+		t.Fatalf("appended IDs = %v, want [3 4]", ids)
+	}
+	if p.Len() != 5 || p.Ready() != 5 {
+		t.Fatalf("pool %d/%d after append", p.Ready(), p.Len())
+	}
+	if got := p.Task(3); got.QueryID != "x" || got.Kind != TaskRescore || got.ID != 3 {
+		t.Fatalf("appended task = %+v", got)
+	}
+}
+
+func TestTakeReadyFuncSkipsAndKeepsFIFO(t *testing.T) {
+	tasks := mkTasks(4)
+	tasks[1].Kind = TaskPrefilter
+	tasks[2].Kind = TaskPrefilter
+	p := NewPool(tasks)
+
+	swOnly := func(tk Task) bool { return tk.Kind == TaskSW }
+	if got := p.ReadyFunc(swOnly); got != 2 {
+		t.Fatalf("ReadyFunc(swOnly) = %d, want 2", got)
+	}
+	if got := p.ReadyFunc(nil); got != 4 {
+		t.Fatalf("ReadyFunc(nil) = %d, want 4", got)
+	}
+
+	// An SW-only taker receives tasks 0 and 3; the skipped prefilter tasks
+	// keep their FIFO position.
+	got := p.TakeReadyFunc(4, swOnly, 1, 0)
+	if len(got) != 2 || got[0].ID != 0 || got[1].ID != 3 {
+		t.Fatalf("swOnly take = %v", got)
+	}
+	rest := p.TakeReadyFunc(4, nil, 2, 0)
+	if len(rest) != 2 || rest[0].ID != 1 || rest[1].ID != 2 {
+		t.Fatalf("remaining FIFO = %v, want prefilter tasks 1,2 in order", rest)
+	}
+	if p.Ready() != 0 || p.ExecutingCount() != 4 {
+		t.Fatalf("pool counts %d ready %d executing", p.Ready(), p.ExecutingCount())
+	}
+}
+
+func TestRequestWorkHonorsCapabilities(t *testing.T) {
+	tasks := mkTasks(2)
+	tasks[0].Kind = TaskPrefilter
+	tasks[1].Kind = TaskPrefilter
+	c := NewCoordinator(tasks, Config{Policy: SS{}})
+	legacy := c.Register(SlaveInfo{Name: "legacy", Kind: KindGPU}, 0)
+	capable := c.Register(SlaveInfo{Name: "cpu", Kind: KindCPU,
+		Caps: []TaskKind{TaskSW, TaskPrefilter, TaskRescore}}, 0)
+
+	if got, _ := c.RequestWork(legacy, 0); len(got) != 0 {
+		t.Fatalf("nil-caps slave granted %v on a prefilter pool", got)
+	}
+	got, _ := c.RequestWork(capable, 0)
+	if len(got) != 1 || got[0].Kind != TaskPrefilter {
+		t.Fatalf("capable slave granted %v", got)
+	}
+	// The skipped tasks stayed ready for the capable slave.
+	if got, _ := c.RequestWork(capable, 0); len(got) != 1 {
+		t.Fatalf("second grant = %v", got)
+	}
+}
+
+func TestKindBlindFastPathForPureSWPools(t *testing.T) {
+	// An all-SW pool never consults capabilities, so nil-caps slaves drain
+	// it exactly as before the kinds existed.
+	c := NewCoordinator(mkTasks(2), Config{Policy: SS{}})
+	s := c.Register(SlaveInfo{Name: "legacy", Kind: KindCPU}, 0)
+	if got, _ := c.RequestWork(s, 0); len(got) != 1 {
+		t.Fatalf("grant = %v", got)
+	}
+}
+
+func TestReplicaSkipsIncapableSlave(t *testing.T) {
+	tasks := mkTasks(1)
+	tasks[0].Kind = TaskRescore
+	c := NewCoordinator(tasks, Config{Policy: SS{}, Adjust: true})
+	capable := c.Register(SlaveInfo{Name: "cpu", Kind: KindCPU,
+		Caps: []TaskKind{TaskSW, TaskPrefilter, TaskRescore}}, 0)
+	legacy := c.Register(SlaveInfo{Name: "gpu", Kind: KindGPU}, 0)
+	c.ProgressRate(capable, 1000, 0, 0)
+	c.ProgressRate(legacy, 100000, 0, 0)
+
+	if got, _ := c.RequestWork(capable, 0); len(got) != 1 {
+		t.Fatal("setup: capable slave should take the rescore task")
+	}
+	// The much faster legacy slave would normally win a replica of the
+	// executing task, but it cannot run a rescore.
+	if got, replica := c.RequestWork(legacy, sec(1)); len(got) != 0 || replica {
+		t.Fatalf("nil-caps slave granted replica %v of a rescore task", got)
+	}
+}
+
+func TestAddTasksLatchesMixedKinds(t *testing.T) {
+	// A pool seeded pure-SW switches to kind-aware grants the moment a
+	// non-SW task is appended mid-job.
+	c := NewCoordinator(mkTasks(1), Config{Policy: SS{}})
+	legacy := c.Register(SlaveInfo{Name: "legacy", Kind: KindCPU}, 0)
+	got, _ := c.RequestWork(legacy, 0)
+	if len(got) != 1 {
+		t.Fatal("setup: SW grant failed")
+	}
+	if ok, _ := c.Complete(legacy, got[0].ID, nil, 0); !ok {
+		t.Fatal("setup: completion rejected")
+	}
+	ids := c.AddTasks([]Task{{QueryID: "a", Cells: 10, Kind: TaskRescore}})
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("AddTasks ids = %v", ids)
+	}
+	if got, _ := c.RequestWork(legacy, 0); len(got) != 0 {
+		t.Fatalf("nil-caps slave granted appended rescore task: %v", got)
+	}
+	capable := c.Register(SlaveInfo{Name: "cpu", Kind: KindCPU,
+		Caps: []TaskKind{TaskRescore}}, 0)
+	if got, _ := c.RequestWork(capable, 0); len(got) != 1 || got[0].Kind != TaskRescore {
+		t.Fatalf("capable grant = %v", got)
+	}
+}

@@ -24,12 +24,77 @@ type TaskID int
 // SlaveID identifies a registered slave within one coordinator.
 type SlaveID int
 
-// Task is the paper's very coarse-grained work unit: the comparison of one
-// query sequence against the whole genomic database (§IV).
+// TaskKind classifies the work a task carries. The paper's environment has
+// exactly one shape of work — a full Smith-Waterman database scan per query
+// — but the two-stage filtered-search pipeline adds heterogeneous kinds:
+// a cheap multi-pattern prefilter pass over the database, followed by a
+// Smith-Waterman rescore restricted to the candidate windows the prefilter
+// emitted. The scheduler routes kinds by slave capability (SlaveInfo.Caps)
+// and otherwise treats them uniformly through the shared cell currency.
+type TaskKind int
+
+const (
+	// TaskSW is a full Smith-Waterman scan of the query against the whole
+	// database (the paper's only task shape).
+	TaskSW TaskKind = iota
+	// TaskPrefilter is an Aho-Corasick multi-pattern scan of the database
+	// with the query's k-mer seeds, emitting candidate windows.
+	TaskPrefilter
+	// TaskRescore is a Smith-Waterman pass restricted to the candidate
+	// windows of a preceding prefilter task.
+	TaskRescore
+)
+
+// String returns the kind name used in logs, traces and metric labels.
+func (k TaskKind) String() string {
+	switch k {
+	case TaskSW:
+		return "sw"
+	case TaskPrefilter:
+		return "prefilter"
+	case TaskRescore:
+		return "rescore"
+	default:
+		return fmt.Sprintf("TaskKind(%d)", int(k))
+	}
+}
+
+// PrefilterEquivCells is the cost model of prefilter tasks: scanning one
+// database residue through the Aho-Corasick automaton costs roughly this
+// many Smith-Waterman cell updates (a couple of table lookups versus the
+// DP cell's adds and maxes). Task.Cells is always denominated in SW-cell
+// equivalents, so one speed estimator, one backlog model and one GCUPS
+// currency serve every kind: a prefilter task over R database residues is
+// created with Cells = R * PrefilterEquivCells, while TaskSW and
+// TaskRescore tasks carry true DP cell counts (factor 1). That is what
+// makes prefilter tasks "cheap per query": R*8 equivalent cells versus
+// |query|*R for the full scan.
+const PrefilterEquivCells = 8
+
+// Window is one candidate region of a database sequence: produced by a
+// prefilter task, consumed by the rescore task that follows it. The
+// scheduler treats windows as opaque payload; internal/prefilter defines
+// their semantics (diagonal projection of seed hits, margin expansion,
+// overlap merging).
+type Window struct {
+	Seq        int // database sequence index
+	Start, End int // half-open residue range within the sequence
+}
+
+// Task is one schedulable work unit. In the paper's workload it is the
+// very coarse-grained comparison of one query sequence against the whole
+// genomic database (§IV); the filtered-search pipeline adds prefilter and
+// rescore kinds over the same distribution machinery.
 type Task struct {
 	ID      TaskID
 	QueryID string // identifier of the query sequence
-	Cells   int64  // DP cells the comparison updates: |query| x database residues
+	Cells   int64  // scheduling cost in SW-cell equivalents (see PrefilterEquivCells)
+	// Kind selects the execution path on the slave; the zero value TaskSW
+	// keeps every pre-existing call site on the paper's single-kind shape.
+	Kind TaskKind
+	// Windows restricts a TaskRescore task to candidate regions; nil for
+	// other kinds.
+	Windows []Window
 }
 
 // State is the lifecycle of a task in the pool (§IV-A.3).
@@ -115,23 +180,66 @@ func (p *Pool) StateOf(id TaskID) State { return p.entries[id].state }
 // TakeReady moves up to n ready tasks to the executing state on slave s,
 // returning them in FIFO order.
 func (p *Pool) TakeReady(n int, s SlaveID, now time.Duration) []Task {
-	if n > len(p.readyFIFO) {
-		n = len(p.readyFIFO)
-	}
+	return p.TakeReadyFunc(n, nil, s, now)
+}
+
+// TakeReadyFunc is TakeReady restricted to tasks allow admits (nil admits
+// every task): the kind-aware grant path, where a slave only receives task
+// kinds it declared capability for. Skipped tasks keep their FIFO position
+// for the next capable requester.
+func (p *Pool) TakeReadyFunc(n int, allow func(Task) bool, s SlaveID, now time.Duration) []Task {
 	if n <= 0 {
 		return nil
 	}
-	out := make([]Task, 0, n)
-	for _, id := range p.readyFIFO[:n] {
+	var out []Task
+	rest := p.readyFIFO[:0]
+	for _, id := range p.readyFIFO {
 		e := &p.entries[id]
-		e.state = Executing
-		e.executors[s] = now
-		out = append(out, e.task)
+		if len(out) < n && (allow == nil || allow(e.task)) {
+			e.state = Executing
+			e.executors[s] = now
+			out = append(out, e.task)
+			continue
+		}
+		rest = append(rest, id)
 	}
-	p.readyFIFO = p.readyFIFO[n:]
-	p.nReady -= n
-	p.nExec += n
+	p.readyFIFO = rest
+	p.nReady -= len(out)
+	p.nExec += len(out)
 	return out
+}
+
+// ReadyFunc counts the ready tasks allow admits (nil admits every task) —
+// the pool depth as seen by a slave of limited capability.
+func (p *Pool) ReadyFunc(allow func(Task) bool) int {
+	if allow == nil {
+		return len(p.readyFIFO)
+	}
+	n := 0
+	for _, id := range p.readyFIFO {
+		if allow(p.entries[id].task) {
+			n++
+		}
+	}
+	return n
+}
+
+// Append adds follow-on tasks to the pool mid-job, all Ready at the back
+// of the FIFO, and returns their assigned IDs. This is how heterogeneous
+// pipelines grow: a filtered search starts with one prefilter task per
+// query and appends each rescore task the moment its candidate windows are
+// known. IDs continue the existing numbering (Task.ID is renumbered like
+// NewPool does).
+func (p *Pool) Append(tasks []Task) []TaskID {
+	ids := make([]TaskID, len(tasks))
+	for i, t := range tasks {
+		t.ID = TaskID(len(p.entries))
+		p.entries = append(p.entries, poolEntry{task: t, state: Ready, executors: map[SlaveID]time.Duration{}, finishedBy: -1})
+		p.readyFIFO = append(p.readyFIFO, t.ID)
+		ids[i] = t.ID
+	}
+	p.nReady += len(tasks)
+	return ids
 }
 
 // AddExecutor records that slave s (additionally) executes task id — the

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cudasw"
 	"repro/internal/farrar"
+	"repro/internal/prefilter"
 	"repro/internal/sched"
 	"repro/internal/score"
 	"repro/internal/seq"
@@ -49,6 +50,7 @@ type FarrarEngine struct {
 	residues int64
 	declared float64
 	kmet     *farrar.Metrics
+	pmet     *prefilter.Metrics
 }
 
 // SetKernelMetrics attaches the farrar fallback-telemetry bundle; each

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/farrar"
 	"repro/internal/parallel"
+	"repro/internal/prefilter"
 	"repro/internal/sched"
 	"repro/internal/score"
 	"repro/internal/seq"
@@ -27,6 +28,7 @@ type MulticoreEngine struct {
 	cores    int
 	declared float64
 	kmet     *farrar.Metrics
+	pmet     *prefilter.Metrics
 }
 
 // SetKernelMetrics attaches the farrar fallback-telemetry bundle; the
@@ -104,6 +106,7 @@ type SwipeEngine struct {
 	db       []*seq.Sequence
 	residues int64
 	declared float64
+	pmet     *prefilter.Metrics
 }
 
 // NewSwipeEngine builds a SWIPE-style CPU engine over a resident database.

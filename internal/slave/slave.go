@@ -135,6 +135,7 @@ func runSession(caller wire.Caller, eng Engine, opts Options) (completed int, pr
 		Name:          eng.Name(),
 		Kind:          eng.Kind(),
 		DeclaredSpeed: eng.DeclaredSpeed(),
+		Caps:          EngineCaps(eng),
 	}})
 	if err != nil {
 		return 0, false, err
@@ -218,7 +219,7 @@ func runTask(caller wire.Caller, eng Engine, id sched.SlaveID, spec wire.TaskSpe
 		lastNotify, lastCells = now, cells
 	}
 
-	hits, err := eng.Search(query, progress, canceled.channelFor(spec.ID))
+	hits, windows, scanned, candidates, err := runStage(eng, spec, query, progress, canceled.channelFor(spec.ID))
 	if callErr != nil {
 		return false, false, callErr
 	}
@@ -252,6 +253,7 @@ func runTask(caller wire.Caller, eng Engine, id sched.SlaveID, spec wire.TaskSpe
 	}
 	resp, err := caller.Call(wire.Envelope{Complete: &wire.CompleteMsg{
 		Slave: id, Task: spec.ID, Hits: top, Cells: finalCells, Rate: finalRate,
+		Windows: windows, Scanned: scanned, Candidates: candidates,
 	}})
 	if err != nil {
 		return false, false, err

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/prefilter"
 	"repro/internal/sched"
 )
 
@@ -49,6 +50,15 @@ type TaskSpec struct {
 	QueryID  string
 	Residues []byte
 	Cells    int64
+
+	// TaskKind selects the slave's execution path. The gob zero value is
+	// sched.TaskSW, so masters and slaves from before the filtered-search
+	// pipeline interoperate unchanged.
+	TaskKind sched.TaskKind
+	// Filter carries the prefilter parameters of a TaskPrefilter task.
+	Filter *prefilter.Spec
+	// Windows restricts a TaskRescore task to its candidate regions.
+	Windows []sched.Window
 }
 
 // RegisterMsg announces a slave.
@@ -56,6 +66,9 @@ type RegisterMsg struct {
 	Name          string
 	Kind          sched.SlaveKind
 	DeclaredSpeed float64
+	// Caps lists the task kinds the slave can execute; nil means the
+	// historical SW-only contract (see sched.CanRun).
+	Caps []sched.TaskKind
 }
 
 // RegisterAckMsg returns the slave's ID.
@@ -103,6 +116,14 @@ type CompleteMsg struct {
 	Hits  []Hit
 	Rate  float64 // measured cells/second over the final delta; 0 = unknown
 	Cells int64   // cells processed since the previous notification
+
+	// Windows is the payload of a finished TaskPrefilter task: the merged
+	// candidate regions. Nil for other kinds.
+	Windows []sched.Window
+	// Scanned/Candidates carry the prefilter pass's selectivity accounting
+	// (database residues scanned and residues admitted for rescoring).
+	Scanned    int64
+	Candidates int64
 }
 
 // CompleteAckMsg reports whether the result was accepted (first completion)
