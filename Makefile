@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint test race race-full sim-smoke fuzz-smoke bench-smoke cover bench tables svg csv examples clean
+.PHONY: all build vet lint lint-cover test race race-full sim-smoke fuzz-smoke bench-smoke cover bench tables svg csv examples clean
 
 # The concurrency-heavy packages (distributed path + scheduler) always run
 # under the race detector as part of `make test`; `race-full` covers the
@@ -22,12 +22,27 @@ vet:
 
 # Run the repo's own static-analysis suite (see cmd/swcheck and DESIGN §7):
 # scheduler purity, enum-switch exhaustiveness, mutex discipline, nil-guarded
-# metric handles, dropped errors and metric naming. cmd/metriclint survives
-# as a thin alias for the metricname analyzer alone.
+# metric handles, dropped errors, metric naming, and the flow-sensitive
+# quartet (ctxflow, unlockpath, leakcheck, deadline) built on the CFG/
+# dataflow engine. The second pass audits every //swcheck:ignore directive
+# and fails on stale ones. cmd/metriclint survives as a deprecated alias
+# for the metricname analyzer alone. CI runs this as its own job (with a
+# JSON findings artifact); locally it still rides along in `make all`.
 lint:
 	go run ./cmd/swcheck ./...
+	go run ./cmd/swcheck -ignores ./...
 
-test: vet lint
+# Coverage floor for the analyzer engine itself: the CFG/dataflow core
+# gates the whole tree, so its own tests must not rot.
+lint-cover:
+	go test -coverprofile=analysis.cover.out ./internal/analysis
+	go run ./cmd/covercheck -profile analysis.cover.out -min 80
+
+# test runs vet plus the test suite; lint is deliberately NOT a
+# prerequisite any more — CI runs it as a separate job so analyzer
+# findings and test failures show up independently. `make all` still
+# chains build + lint + test for the local one-shot.
+test: vet
 	go test ./...
 	go test -race $(RACE_PKGS)
 
@@ -66,6 +81,7 @@ fuzz-smoke:
 bench-smoke:
 	go test -bench='BenchmarkScore(8|16)' -benchmem -run='^$$' ./internal/farrar
 	go test -bench='BenchmarkACScan' -benchmem -run='^$$' ./internal/prefilter
+	go test -bench='BenchmarkSwcheckRepo' -benchtime=1x -run='^$$' ./internal/analysis
 	go test -coverprofile=kernel.cover.out ./internal/farrar ./internal/simd/... ./internal/prefilter
 	go run ./cmd/covercheck -profile kernel.cover.out -min 75
 

@@ -2,11 +2,13 @@
 // (subsystem_name_unit; counters end in _total, gauges must not,
 // histogram names carry a unit suffix — see metrics.CheckName).
 //
-// It is kept as a thin alias for `swcheck -only metricname`: the check
-// itself now lives in internal/analysis (MetricNameAnalyzer), where it
-// runs type-checked alongside the rest of the suite. Directory arguments
-// are accepted for backwards compatibility with the original linter and
-// are walked recursively; the default is the whole module.
+// It is DEPRECATED: the check lives in internal/analysis
+// (MetricNameAnalyzer), where it runs type-checked alongside the rest of
+// the suite, and `swcheck -only metricname` is the supported way to run
+// it alone. metriclint survives as a thin alias that prints a pointer to
+// its replacement on every run. Directory arguments are accepted for
+// backwards compatibility with the original linter and are walked
+// recursively; the default is the whole module.
 //
 // Usage:
 //
@@ -15,36 +17,46 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/analysis"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, so the deprecation behaviour is
+// testable. It returns the intended exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fmt.Fprintln(stderr, "metriclint: deprecated — use `go run ./cmd/swcheck -only metricname` instead")
+
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "metriclint: %v\n", err)
+		return 2
 	}
 	root, err := analysis.FindModuleRoot(cwd)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "metriclint: %v\n", err)
+		return 2
 	}
 	patterns := []string{"./..."}
-	if args := os.Args[1:]; len(args) > 0 {
+	if len(args) > 0 {
 		patterns = nil
 		for _, dir := range args {
 			patterns = append(patterns, dir+"/...")
 		}
 	}
-	n, err := analysis.Run(root, patterns, []*analysis.Analyzer{analysis.MetricNameAnalyzer}, os.Stdout)
+	n, err := analysis.Run(root, patterns, []*analysis.Analyzer{analysis.MetricNameAnalyzer}, stdout)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "metriclint: %v\n", err)
+		return 1
 	}
 	if n > 0 {
-		fmt.Fprintf(os.Stderr, "metriclint: %d bad metric name(s)\n", n)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "metriclint: %d bad metric name(s)\n", n)
+		return 1
 	}
+	return 0
 }

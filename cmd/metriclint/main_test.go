@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunPointsAtSwcheck pins the deprecation behaviour: every metriclint
+// run tells the user where the check really lives now, and a clean tree
+// still exits 0 so existing scripts keep working while they migrate.
+func TestRunPointsAtSwcheck(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(nil, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run on a clean tree = %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "swcheck -only metricname") {
+		t.Errorf("deprecation pointer to `swcheck -only metricname` missing from stderr:\n%s", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean tree produced findings:\n%s", stdout.String())
+	}
+}

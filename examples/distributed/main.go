@@ -62,7 +62,7 @@ func main() {
 		wg.Add(1)
 		go func(eng slave.Engine) {
 			defer wg.Done()
-			client, err := wire.Dial(l.Addr().String())
+			client, err := wire.DialTimeout(l.Addr().String(), 5*time.Second)
 			if err != nil {
 				log.Fatal(err)
 			}

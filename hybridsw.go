@@ -187,6 +187,7 @@ func (r *Report) GCUPS() float64 {
 // platform: the master/slave environment runs with real engines on real
 // data, wall-clock time, and the selected allocation policy.
 func Search(queries, db []*Sequence, p Platform) (*Report, error) {
+	//swcheck:ignore ctxflow Search is the deliberate no-ctx compatibility API; SearchContext is the threaded variant
 	return SearchContext(context.Background(), queries, db, p)
 }
 
@@ -395,6 +396,7 @@ func SearchContext(ctx context.Context, queries, db []*Sequence, p Platform) (*R
 			})
 		}(i, eng)
 	}
+	//swcheck:ignore ctxflow the joined slaves are ctx-gated via newCtxCaller, so cancellation already unblocks this join; returning before it would leak engine goroutines
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -40,11 +40,18 @@ type Analyzer struct {
 	Run func(pass *Pass)
 }
 
-// Diagnostic is one finding at one position.
+// Diagnostic is one finding at one position. Findings covered by an
+// ignore directive are still recorded, flagged Ignored and carrying the
+// directive's reason — that is what lets `swcheck -json` export the full
+// picture and `swcheck -ignores` prove each directive still earns its
+// keep. Text output and exit codes count only non-ignored findings.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+
+	Ignored      bool
+	IgnoreReason string
 }
 
 func (d Diagnostic) String() string {
@@ -60,17 +67,21 @@ type Pass struct {
 	diags *[]Diagnostic
 }
 
-// Reportf records a finding at pos unless an ignore directive covers it.
+// Reportf records a finding at pos. If an ignore directive covers it the
+// finding is kept but flagged Ignored, and the directive is marked live.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
-	if p.Pkg.ignored(p.Analyzer.Name, position) {
-		return
-	}
-	*p.diags = append(*p.diags, Diagnostic{
+	d := Diagnostic{
 		Pos:      position,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	if i := p.Pkg.coveringIgnore(p.Analyzer.Name, position); i >= 0 {
+		p.Pkg.usedIgnores[i] = true
+		d.Ignored = true
+		d.IgnoreReason = p.Pkg.ignores[i].reason
+	}
+	*p.diags = append(*p.diags, d)
 }
 
 // ignoreDirective is one parsed //swcheck:ignore comment. It suppresses

@@ -7,12 +7,16 @@ import "fmt"
 // runs.
 func All() []*Analyzer {
 	return []*Analyzer{
+		CtxflowAnalyzer,
+		DeadlineAnalyzer,
 		ErrcheckAnalyzer,
 		ExhaustiveAnalyzer,
+		LeakcheckAnalyzer,
 		LockguardAnalyzer,
 		MetricNameAnalyzer,
 		NilMetricAnalyzer,
 		PurityAnalyzer,
+		UnlockpathAnalyzer,
 	}
 }
 

@@ -1,0 +1,435 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds intraprocedural control-flow graphs from go/ast
+// function bodies — the substrate the flow-sensitive analyzers
+// (unlockpath, ctxflow, leakcheck, deadline) run their dataflow over.
+//
+// The graph is deliberately simple: straight-line statements accumulate
+// into basic blocks, and every construct that branches — if/for/range,
+// switch/type-switch, select, goto, labeled break/continue, fallthrough
+// — ends the current block and wires explicit successor edges. A
+// synthetic Exit block collects every return and the fall-off end of the
+// body; panic calls terminate their block without reaching Exit (a
+// panicking path never executes the code below it, and deferred cleanup
+// is modeled separately). Deferred calls are recorded on the CFG rather
+// than threaded through edges: defers run on every exit path, so
+// analyzers apply them as exit-edge effects (see CFG.Defers).
+//
+// Function literals are NOT inlined: a FuncLit appearing in a statement
+// is just an expression of that statement's block. Analyzers that care
+// about closure bodies build a separate CFG for them.
+
+// Block is one basic block: a maximal straight-line run of statements
+// and control expressions, executed in order, ending in zero or more
+// successor edges.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (construction order:
+	// entry first).
+	Index int
+	// Nodes holds the block's statements and control expressions in
+	// execution order. Condition expressions of if/for and the tag of a
+	// switch appear in the block that evaluates them; a select statement
+	// appears in the block that enters it (its comm operations live in
+	// the per-clause successor blocks).
+	Nodes []ast.Node
+	// Succs are the possible next blocks.
+	Succs []*Block
+	// Preds is the reverse of Succs, filled once construction finishes.
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	// Entry is the block execution starts in.
+	Entry *Block
+	// Exit is a synthetic empty block every return statement and the
+	// fall-off end of the body flow into. Code that cannot reach Exit
+	// cannot terminate the function (other than by panicking).
+	Exit *Block
+	// Defers lists the function's deferred calls in source order. Defers
+	// are approximated flow-insensitively: a recorded defer is assumed to
+	// run on every exit path, which matches the dominant `defer
+	// mu.Unlock()` idiom this repo uses.
+	Defers []*ast.CallExpr
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = &Block{} // appended last, below
+	b.cur = b.cfg.Entry
+	b.stmt(body)
+	b.edge(b.cur, b.cfg.Exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+	b.cfg.Exit.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, b.cfg.Exit)
+	for _, blk := range b.cfg.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return b.cfg
+}
+
+// ReachableFromEntry returns the set of blocks reachable from Entry.
+func (g *CFG) ReachableFromEntry() map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// CanReachExit returns the set of blocks from which Exit is reachable
+// (computed over predecessor edges from Exit).
+func (g *CFG) CanReachExit() map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, p := range b.Preds {
+			walk(p)
+		}
+	}
+	walk(g.Exit)
+	return seen
+}
+
+// FirstPos returns the position of the block's first positioned node, or
+// token.NoPos for an empty block.
+func (b *Block) FirstPos() token.Pos {
+	for _, n := range b.Nodes {
+		if p := n.Pos(); p.IsValid() {
+			return p
+		}
+	}
+	return token.NoPos
+}
+
+// ctrlFrame is one enclosing breakable construct (loop, switch, select)
+// or labeled statement, recording where break/continue jump to.
+type ctrlFrame struct {
+	label      string // enclosing label, "" if none
+	breakTo    *Block
+	continueTo *Block // nil for switch/select/labeled blocks
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	frames []ctrlFrame
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// pendingLabel is the label of a LabeledStmt whose inner statement is
+	// about to be visited; loops and switches claim it for their frame.
+	pendingLabel string
+	// fallthroughTo is the body block of the next case clause while
+	// visiting a switch case, so `fallthrough` can be wired.
+	fallthroughTo *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startDead begins a fresh block with no incoming edge — the code after
+// a return/break/goto/panic. It stays unreachable unless a label or goto
+// later targets it.
+func (b *cfgBuilder) startDead() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// takeLabel consumes the pending label for the construct being entered.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) push(f ctrlFrame) { b.frames = append(b.frames, f) }
+func (b *cfgBuilder) pop()             { b.frames = b.frames[:len(b.frames)-1] }
+
+// branchTarget resolves a break or continue (possibly labeled) against
+// the frame stack.
+func (b *cfgBuilder) branchTarget(tok token.Token, label string) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label != "" && f.label != label {
+			continue
+		}
+		if tok == token.BREAK {
+			return f.breakTo
+		}
+		if f.continueTo != nil {
+			return f.continueTo
+		}
+		if label != "" {
+			return nil // labeled continue on a non-loop: ill-formed
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.LabeledStmt:
+		if b.labels == nil {
+			b.labels = map[string]*Block{}
+		}
+		target := b.newBlock()
+		b.edge(b.cur, target)
+		b.cur = target
+		b.labels[s.Label.Name] = target
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = s.Label.Name
+			b.stmt(s.Stmt)
+			b.pendingLabel = ""
+		default:
+			// Labeled plain statement or block: `break L` jumps past it.
+			after := b.newBlock()
+			b.push(ctrlFrame{label: s.Label.Name, breakTo: after})
+			b.stmt(s.Stmt)
+			b.pop()
+			b.edge(b.cur, after)
+			b.cur = after
+		}
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.add(s.Cond)
+		condBlock := b.cur
+		thenBlock := b.newBlock()
+		b.edge(condBlock, thenBlock)
+		b.cur = thenBlock
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		join := b.newBlock()
+		if s.Else != nil {
+			elseBlock := b.newBlock()
+			b.edge(condBlock, elseBlock)
+			b.cur = elseBlock
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(condBlock, join)
+		}
+		b.edge(thenEnd, join)
+		b.cur = join
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		header := b.newBlock()
+		b.edge(b.cur, header)
+		if s.Cond != nil {
+			header.Nodes = append(header.Nodes, s.Cond)
+		}
+		body := b.newBlock()
+		b.edge(header, body)
+		exit := b.newBlock()
+		if s.Cond != nil {
+			b.edge(header, exit)
+		}
+		continueTo := header
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			continueTo = post
+		}
+		b.push(ctrlFrame{label: label, breakTo: exit, continueTo: continueTo})
+		b.cur = body
+		b.stmt(s.Body)
+		if post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.stmt(s.Post)
+		}
+		b.edge(b.cur, header)
+		b.pop()
+		b.cur = exit
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		header := b.newBlock()
+		b.edge(b.cur, header)
+		header.Nodes = append(header.Nodes, s)
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(header, body)
+		b.edge(header, exit)
+		b.push(ctrlFrame{label: label, breakTo: exit, continueTo: header})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, header)
+		b.pop()
+		b.cur = exit
+	case *ast.SwitchStmt:
+		b.switchLike(s, s.Init, s.Tag, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchLike(s, s.Init, nil, s.Body)
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.add(s) // the select itself is the (potentially blocking) event
+		header := b.cur
+		exit := b.newBlock()
+		b.push(ctrlFrame{label: label, breakTo: exit})
+		for _, c := range s.Body.List {
+			clause := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(header, blk)
+			b.cur = blk
+			if clause.Comm != nil {
+				b.add(clause.Comm)
+			}
+			for _, st := range clause.Body {
+				b.stmt(st)
+			}
+			b.edge(b.cur, exit)
+		}
+		b.pop()
+		// select{} with no clauses blocks forever: header keeps no
+		// successors and exit stays unreachable.
+		b.cur = exit
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.startDead()
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK, token.CONTINUE:
+			b.add(s)
+			if t := b.branchTarget(s.Tok, label); t != nil {
+				b.edge(b.cur, t)
+			}
+			b.startDead()
+		case token.GOTO:
+			b.add(s)
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+			b.startDead()
+		case token.FALLTHROUGH:
+			if b.fallthroughTo != nil {
+				b.edge(b.cur, b.fallthroughTo)
+			}
+			b.startDead()
+		}
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s.Call)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			// Panic leaves the block with no successors: the path dies
+			// here rather than flowing to Exit.
+			b.startDead()
+		}
+	default:
+		// Assignments, declarations, go statements, sends, inc/dec,
+		// empty statements: straight-line nodes of the current block.
+		b.add(s)
+	}
+}
+
+// switchLike wires a switch or type-switch: the header evaluates the
+// tag, every case body is a successor, fallthrough chains to the next
+// clause, and a missing default adds a header→exit edge.
+func (b *cfgBuilder) switchLike(sw ast.Stmt, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	b.stmt(init)
+	if tag != nil {
+		b.add(tag)
+	} else if ts, ok := sw.(*ast.TypeSwitchStmt); ok {
+		b.add(ts.Assign)
+	}
+	header := b.cur
+	exit := b.newBlock()
+	b.push(ctrlFrame{label: label, breakTo: exit})
+
+	clauses := body.List
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	savedFall := b.fallthroughTo
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.edge(header, blocks[i])
+		b.cur = blocks[i]
+		b.fallthroughTo = nil
+		if i+1 < len(blocks) {
+			b.fallthroughTo = blocks[i+1]
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.edge(b.cur, exit)
+	}
+	b.fallthroughTo = savedFall
+	if !hasDefault {
+		b.edge(header, exit)
+	}
+	b.pop()
+	b.cur = exit
+}
+
+// isPanicCall reports whether e is a call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses src (one or more declarations, no package clause)
+// and builds the CFG of the first function declaration. Parse-only: CFG
+// construction is purely syntactic, so unresolved identifiers are fine.
+func buildTestCFG(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatal("no function declaration in source")
+	return nil
+}
+
+// blockCalling returns the first block whose nodes contain a call to the
+// named function.
+func blockCalling(t *testing.T, g *CFG, name string) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block calls %s", name)
+	return nil
+}
+
+// blockIncrementing returns the block holding the `name++` statement.
+func blockIncrementing(t *testing.T, g *CFG, name string) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if inc, ok := n.(*ast.IncDecStmt); ok {
+				if id, ok := inc.X.(*ast.Ident); ok && id.Name == name {
+					return b
+				}
+			}
+		}
+	}
+	t.Fatalf("no block increments %s", name)
+	return nil
+}
+
+// blockBranching returns the block holding the break/continue/goto with
+// the given token and label ("" for unlabeled).
+func blockBranching(t *testing.T, g *CFG, tok token.Token, label string) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			br, ok := n.(*ast.BranchStmt)
+			if !ok || br.Tok != tok {
+				continue
+			}
+			l := ""
+			if br.Label != nil {
+				l = br.Label.Name
+			}
+			if l == label {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block holds %s %s", tok, label)
+	return nil
+}
+
+func hasSucc(b, s *Block) bool {
+	for _, x := range b.Succs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCFGLabeledContinue: `continue outer` must jump to the OUTER loop's
+// post statement, skipping the inner loop's post entirely.
+func TestCFGLabeledContinue(t *testing.T) {
+	g := buildTestCFG(t, `
+func f() {
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if j == 1 {
+				continue outer
+			}
+			inner()
+		}
+	}
+}
+`)
+	cont := blockBranching(t, g, token.CONTINUE, "outer")
+	outerPost := blockIncrementing(t, g, "i")
+	innerPost := blockIncrementing(t, g, "j")
+	if !hasSucc(cont, outerPost) {
+		t.Errorf("continue outer does not flow to the outer post (i++)")
+	}
+	if hasSucc(cont, innerPost) {
+		t.Errorf("continue outer must not flow to the inner post (j++)")
+	}
+	if len(cont.Succs) != 1 {
+		t.Errorf("continue block has %d successors, want exactly 1", len(cont.Succs))
+	}
+	if body := blockCalling(t, g, "inner"); !g.ReachableFromEntry()[body] {
+		t.Errorf("inner loop body unreachable from entry")
+	}
+}
+
+// TestCFGSelectDefault: a default clause makes the select non-blocking —
+// the header gets one successor per clause and every reachable block can
+// still terminate; without a default the header's only ways forward are
+// the comm clauses.
+func TestCFGSelectDefault(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+	}
+	return 0
+}
+`)
+	var header *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.SelectStmt); ok {
+				header = b
+			}
+		}
+	}
+	if header == nil {
+		t.Fatal("no block holds the select statement")
+	}
+	if len(header.Succs) != 2 {
+		t.Errorf("select header has %d successors, want 2 (comm clause + default)", len(header.Succs))
+	}
+	canExit := g.CanReachExit()
+	for b := range g.ReachableFromEntry() {
+		if !canExit[b] {
+			t.Errorf("block %d reachable from entry but cannot reach Exit", b.Index)
+		}
+	}
+
+	g2 := buildTestCFG(t, `
+func f(ch chan int) {
+	select {
+	case <-ch:
+	case <-ch:
+	}
+	after()
+}
+`)
+	var header2 *Block
+	for _, b := range g2.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.SelectStmt); ok {
+				header2 = b
+			}
+		}
+	}
+	if header2 == nil {
+		t.Fatal("no block holds the second select statement")
+	}
+	if len(header2.Succs) != 2 {
+		t.Errorf("no-default select header has %d successors, want 2 (one per comm clause)", len(header2.Succs))
+	}
+	if after := blockCalling(t, g2, "after"); hasSucc(header2, after) {
+		t.Errorf("no-default select must not skip straight past its clauses")
+	}
+}
+
+// TestCFGDeferredUnlockInClosure: `defer func(){ mu.Unlock() }()` must be
+// recorded on CFG.Defers (defers are modeled as exit-path effects, not
+// edges), with the closure body intact so unlockpath can look inside it.
+func TestCFGDeferredUnlockInClosure(t *testing.T) {
+	g := buildTestCFG(t, `
+func f() {
+	mu.Lock()
+	defer func() {
+		mu.Unlock()
+	}()
+	work()
+}
+`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("CFG records %d defers, want 1", len(g.Defers))
+	}
+	lit, ok := g.Defers[0].Fun.(*ast.FuncLit)
+	if !ok {
+		t.Fatalf("deferred call is %T, want a *ast.FuncLit closure", g.Defers[0].Fun)
+	}
+	unlocked := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Unlock" {
+			unlocked = true
+		}
+		return true
+	})
+	if !unlocked {
+		t.Errorf("closure body lost its Unlock call")
+	}
+	// Straight-line function: everything lives in the entry block.
+	if work := blockCalling(t, g, "work"); work != g.Entry {
+		t.Errorf("straight-line body split across blocks: work() in block %d, entry is %d", work.Index, g.Entry.Index)
+	}
+}
+
+// TestCFGGoto: a goto is wired to its label's block, and the code after
+// an unconditional goto is dead.
+func TestCFGGoto(t *testing.T) {
+	g := buildTestCFG(t, `
+func f() {
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+	done()
+}
+`)
+	gt := blockBranching(t, g, token.GOTO, "loop")
+	target := blockIncrementing(t, g, "i")
+	if !hasSucc(gt, target) {
+		t.Errorf("goto loop does not flow back to the labeled block")
+	}
+	reach := g.ReachableFromEntry()
+	if !reach[blockCalling(t, g, "done")] {
+		t.Errorf("fall-through after the if must stay reachable")
+	}
+}
+
+// TestCFGInfiniteLoop: `for {}` has no exit edge, so its body is
+// reachable from entry but can never reach Exit — exactly the signal
+// leakcheck uses to flag unterminated goroutines.
+func TestCFGInfiniteLoop(t *testing.T) {
+	g := buildTestCFG(t, `
+func f() {
+	for {
+		spin()
+	}
+}
+`)
+	body := blockCalling(t, g, "spin")
+	if !g.ReachableFromEntry()[body] {
+		t.Fatalf("loop body unreachable from entry")
+	}
+	canExit := g.CanReachExit()
+	if canExit[body] {
+		t.Errorf("for{} body must not reach Exit")
+	}
+	if canExit[g.Entry] {
+		t.Errorf("entry of a function ending in for{} must not reach Exit")
+	}
+}

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxflowAnalyzer enforces context discipline: cancellation must be able
+// to reach every place a function can block. Concretely:
+//
+//   - context.Background()/context.TODO() is forbidden where a ctx is
+//     already lexically in scope (that discards the caller's
+//     cancellation), and outside package main even without one — library
+//     code must accept a ctx instead of minting a root;
+//   - in a function with a ctx in scope, a channel send inside a loop
+//     must sit in a select that also receives a shutdown signal
+//     (ctx.Done() or a done-channel), otherwise a stuck receiver blocks
+//     the loop past cancellation;
+//   - likewise a bare blocking wait — a statement-level channel receive,
+//     a sync.WaitGroup.Wait, or a select with neither default nor
+//     shutdown case — is reported: the function was given a ctx
+//     precisely so it can stop waiting.
+//
+// Scope is lexical: a closure inside a ctx-taking function inherits the
+// obligation (it captured the ctx). Test files are never loaded, so
+// tests are exempt by construction; intentional roots (process-lifetime
+// managers, compatibility wrappers) carry reasoned //swcheck:ignore
+// directives.
+var CtxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "no context.Background outside main; ctx-taking code must honour ctx at every blocking point",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	info := pass.Pkg.Info
+	isMain := pass.Pkg.Types.Name() == "main"
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			declHasCtx := len(ctxParamObjs(info, fd.Type)) > 0
+
+			inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+				ctxInScope := declHasCtx || funcLitHasCtx(info, stack, n)
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					fn := calleeFunc(info, n)
+					if isPkgFunc(fn, "context", "Background", "TODO") {
+						switch {
+						case ctxInScope:
+							pass.Reportf(n.Pos(), "context.%s() discards the ctx already in scope; pass ctx (or a derivation of it)", fn.Name())
+						case !isMain:
+							pass.Reportf(n.Pos(), "context.%s() outside func main: accept a ctx parameter and thread it through", fn.Name())
+						}
+					}
+					if ctxInScope && isWaitGroupWait(info, n) && !gatedStmt(stack) && !inGoClosure(stack) {
+						pass.Reportf(n.Pos(), "sync.WaitGroup.Wait ignores the in-scope ctx: wait in a goroutine and select on ctx.Done()")
+					}
+				case *ast.SendStmt:
+					if ctxInScope && insideLoop(stack) && !sendIsGated(stack) {
+						pass.Reportf(n.Pos(), "channel send in a loop without selecting on ctx.Done(): a stuck receiver blocks this loop past cancellation")
+					}
+				case *ast.ExprStmt:
+					if ctxInScope && recvChanExpr(n) != nil && !isSelectComm(stack, n) && !gatedStmt(stack) && !inGoClosure(stack) {
+						pass.Reportf(n.Pos(), "bare channel receive ignores the in-scope ctx: select on ctx.Done() as well")
+					}
+				case *ast.SelectStmt:
+					if ctxInScope && !selectHasDefault(n) && !selectHasDoneCase(n) {
+						pass.Reportf(n.Pos(), "select blocks without a ctx.Done() (or done-channel) case despite a ctx in scope")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// funcLitHasCtx reports whether n or any enclosing FuncLit on the stack
+// declares its own context.Context parameter.
+func funcLitHasCtx(info *types.Info, stack []ast.Node, n ast.Node) bool {
+	if lit, ok := n.(*ast.FuncLit); ok && len(ctxParamObjs(info, lit.Type)) > 0 {
+		return true
+	}
+	for _, a := range stack {
+		if lit, ok := a.(*ast.FuncLit); ok && len(ctxParamObjs(info, lit.Type)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// insideLoop reports whether the innermost function on the stack
+// contains a for/range ancestor of the node — i.e. the node repeats in a
+// loop of the same goroutine (a FuncLit boundary resets the search: a
+// closure body runs wherever the closure is called).
+func insideLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// isSelectComm reports whether stmt is the comm statement of the select
+// clause directly enclosing it.
+func isSelectComm(stack []ast.Node, stmt ast.Stmt) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	cc, ok := stack[len(stack)-1].(*ast.CommClause)
+	return ok && cc.Comm == stmt
+}
+
+// sendIsGated reports whether a send statement is a select comm whose
+// select also offers an escape: a default clause or a shutdown receive.
+func sendIsGated(stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	cc, ok := stack[len(stack)-1].(*ast.CommClause)
+	if !ok {
+		return false
+	}
+	for i := len(stack) - 2; i >= 0; i-- {
+		if sel, ok := stack[i].(*ast.SelectStmt); ok {
+			for _, c := range sel.Body.List {
+				if c == cc {
+					return selectHasDefault(sel) || selectHasDoneCase(sel)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// gatedStmt reports whether the node sits inside a select clause body —
+// the select's other cases already provide the escape, so a wait inside
+// a clause is the handled branch, not a bare one.
+func gatedStmt(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.CommClause:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// inGoClosure reports whether the node sits directly inside a FuncLit
+// spawned by a `go` statement. The join-helper idiom — `go func() {
+// wg.Wait(); close(idle) }()` with the spawner selecting on idle and
+// ctx.Done() — puts the blocking wait in a helper goroutine precisely
+// so the ctx-taking function never blocks on it; the wait there is the
+// mechanism, not a violation.
+func inGoClosure(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.FuncLit); !ok {
+			continue
+		}
+		if i < 2 {
+			return false
+		}
+		if _, ok := stack[i-1].(*ast.CallExpr); !ok {
+			return false
+		}
+		_, ok := stack[i-2].(*ast.GoStmt)
+		return ok
+	}
+	return false
+}
+
+// selectHasDoneCase reports whether any clause of the select receives
+// from a shutdown signal (ctx.Done(), x.Done(), or a done-named
+// channel).
+func selectHasDoneCase(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		if isDoneRecv(cc.Comm) {
+			return true
+		}
+	}
+	return false
+}
+
+// isWaitGroupWait recognizes wg.Wait() on a sync.WaitGroup.
+func isWaitGroupWait(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && namedFrom(tv.Type, "sync", "WaitGroup")
+}

@@ -1,0 +1,60 @@
+package analysis
+
+// This file is the generic forward-dataflow engine the flow-sensitive
+// analyzers share. A FlowProblem supplies the lattice operations — an
+// entry fact, join, equality, and a per-block transfer — and Solve runs
+// the classic worklist iteration to a fixpoint, returning the fact that
+// holds on entry to every reachable block. Analyzers typically key their
+// facts by go/types objects (a mutex path, a context variable) so that
+// the same variable is tracked across blocks regardless of spelling.
+//
+// Facts must be treated as immutable: Transfer must return a fresh value
+// rather than mutating its input, because the input fact is shared with
+// the block's in-state map.
+
+// FlowProblem describes one forward dataflow analysis over a CFG.
+type FlowProblem[T any] struct {
+	// Entry is the fact holding on entry to the function.
+	Entry T
+	// Join merges the facts of two predecessors at a control-flow merge.
+	Join func(a, b T) T
+	// Equal reports whether two facts are the same; the fixpoint
+	// iteration stops re-queuing a block once its in-fact is stable.
+	Equal func(a, b T) bool
+	// Transfer computes the fact after executing block b given the fact
+	// before it.
+	Transfer func(b *Block, in T) T
+}
+
+// Solve runs the worklist algorithm to a fixpoint and returns the
+// in-fact of every block reachable from Entry. Unreachable blocks (dead
+// code after return/panic) have no entry in the result.
+func Solve[T any](g *CFG, p FlowProblem[T]) map[*Block]T {
+	in := map[*Block]T{g.Entry: p.Entry}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := p.Transfer(b, in[b])
+		for _, s := range b.Succs {
+			prev, seen := in[s]
+			var next T
+			if seen {
+				next = p.Join(prev, out)
+				if p.Equal(prev, next) {
+					continue
+				}
+			} else {
+				next = out
+			}
+			in[s] = next
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeadlineAnalyzer guards against unbounded RPC waits: every call site
+// of a wire client method (any Call(wire.Envelope) method — wire.Client,
+// the wire.Caller interface, or a middleware wrapper) must be governed
+// by some deadline mechanism. Accepted evidence, anywhere in the
+// enclosing top-level function (closures inherit it):
+//
+//   - deriving a context with context.WithTimeout/WithDeadline;
+//   - driving the call from a wire.Backoff retry loop (referencing the
+//     Backoff type or calling its Delay method);
+//   - setting a wire.Client's Timeout field, or dialing with
+//     wire.DialTimeout (which sets it).
+//
+// A helper whose own body shows no evidence is cleared when every
+// same-package caller (transitively) is governed — the slave's
+// runSession/runTask helpers run under Run's backoff loop, and that
+// suffices. The wire package itself is exempt (it implements the
+// mechanisms), as are Call(wire.Envelope) methods themselves — a
+// middleware's Call forwards whatever governance its caller chose.
+//
+// A second rule flags wire.Dial calls in functions that never set the
+// resulting client's Timeout: DialTimeout exists precisely so no
+// connection starts with an unbounded per-call wait.
+var DeadlineAnalyzer = &Analyzer{
+	Name: "deadline",
+	Doc:  "wire RPC call sites must be governed by a deadline (WithTimeout, Backoff retry, or Client.Timeout)",
+	Run:  runDeadline,
+}
+
+func runDeadline(pass *Pass) {
+	if pathHasPackage(pass.Pkg.Path, "internal/wire") {
+		return // the transport implements the deadline mechanisms
+	}
+	info := pass.Pkg.Info
+
+	decls := packageFuncDecls(pass.Pkg)
+
+	// callers[f] lists the same-package functions that call (or
+	// reference) f; references count as calls, which only makes the
+	// governance requirement stricter.
+	callers := map[*ast.FuncDecl][]*ast.FuncDecl{}
+	evidence := map[*ast.FuncDecl]bool{}
+	for _, fd := range decls {
+		evidence[fd] = hasDeadlineEvidence(info, fd)
+	}
+	for _, fd := range decls {
+		ast.Inspect(fd, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj, ok := info.Uses[id].(*types.Func); ok {
+				if callee, ok := decls[obj]; ok && callee != fd {
+					callers[callee] = append(callers[callee], fd)
+				}
+			}
+			return true
+		})
+	}
+
+	governed := map[*ast.FuncDecl]int{} // 0 unknown, 1 in progress, 2 yes, 3 no
+	var isGoverned func(fd *ast.FuncDecl) bool
+	isGoverned = func(fd *ast.FuncDecl) bool {
+		switch governed[fd] {
+		case 1:
+			return true // cycle: optimistic, some entry into it is checked
+		case 2:
+			return true
+		case 3:
+			return false
+		}
+		if evidence[fd] {
+			governed[fd] = 2
+			return true
+		}
+		cs := callers[fd]
+		if len(cs) == 0 {
+			governed[fd] = 3
+			return false
+		}
+		governed[fd] = 1
+		ok := true
+		for _, c := range cs {
+			if !isGoverned(c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			governed[fd] = 2
+		} else {
+			governed[fd] = 3
+		}
+		return ok
+	}
+
+	for _, fd := range decls {
+		if isCallForwarder(info, fd) {
+			continue
+		}
+		fdGoverned := isGoverned(fd)
+		ast.Inspect(fd, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isWireEnvelopeCall(info, call) && !fdGoverned {
+				pass.Reportf(call.Pos(), "wire RPC without a governing deadline: derive a context.WithTimeout, drive the call from a wire.Backoff loop, or set Client.Timeout")
+			}
+			if fn := calleeFunc(info, call); isPkgFunc(fn, "internal/wire", "Dial") && !setsClientTimeout(info, fd) {
+				pass.Reportf(call.Pos(), "wire.Dial leaves Client.Timeout zero (RPCs can wait forever): use wire.DialTimeout or set Timeout")
+			}
+			return true
+		})
+	}
+}
+
+// hasDeadlineEvidence scans one declaration (closures included) for any
+// accepted deadline mechanism.
+func hasDeadlineEvidence(info *types.Info, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if isPkgFunc(fn, "context", "WithTimeout", "WithDeadline") ||
+				isPkgFunc(fn, "internal/wire", "DialTimeout") {
+				found = true
+			}
+		case *ast.Ident:
+			// Any use of a wire.Backoff value (opts.Backoff.Delay(...),
+			// a Backoff field, a Backoff literal).
+			if obj := info.Uses[n]; obj != nil && namedFrom(obj.Type(), "internal/wire", "Backoff") {
+				found = true
+			}
+		}
+		if setsClientTimeoutNode(info, n) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// setsClientTimeout reports whether the declaration assigns a
+// wire.Client's Timeout field anywhere.
+func setsClientTimeout(info *types.Info, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if setsClientTimeoutNode(info, n) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// setsClientTimeoutNode matches `c.Timeout = ...` (or a composite
+// literal field) for a wire.Client.
+func setsClientTimeoutNode(info *types.Info, n ast.Node) bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Timeout" {
+			continue
+		}
+		if tv, ok := info.Types[sel.X]; ok && namedFrom(tv.Type, "internal/wire", "Client") {
+			return true
+		}
+	}
+	return false
+}
+
+// isCallForwarder reports whether fd is itself a Call(wire.Envelope)
+// method — transport middleware forwarding under the caller's
+// governance.
+func isCallForwarder(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Name.Name != "Call" {
+		return false
+	}
+	for _, p := range fd.Type.Params.List {
+		if namedFrom(info.Types[p.Type].Type, "internal/wire", "Envelope") {
+			return true
+		}
+	}
+	return false
+}

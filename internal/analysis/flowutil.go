@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shared type- and AST-queries of the flow-sensitive analyzers
+// (unlockpath, ctxflow, leakcheck, deadline).
+
+// inspectStack is ast.Inspect with an ancestor stack: fn receives each
+// node with its ancestors (outermost first, excluding n). Returning
+// false skips the node's children.
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// namedFrom reports whether t (after pointer dereference) is the named
+// type pkgPath.name, where pkgPath is matched on a path-segment boundary
+// ("sync" matches only the real sync package; "internal/wire" matches
+// the module's wire package wherever the module path puts it).
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return obj.Name() == name && pathHasPackage(obj.Pkg().Path(), pkgPath)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+// ctxParamObjs returns the types.Objects of every context.Context
+// parameter of a function type.
+func ctxParamObjs(info *types.Info, ft *ast.FuncType) []types.Object {
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	var objs []types.Object
+	for _, field := range ft.Params.List {
+		if !isContextType(info.Types[field.Type].Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs
+}
+
+// isPkgFunc reports whether fn is the function pkgPath.name (pkgPath
+// matched on a segment boundary, so it works for both stdlib packages
+// and module-internal ones).
+func isPkgFunc(fn *types.Func, pkgPath string, names ...string) bool {
+	if fn == nil || fn.Pkg() == nil || !pathHasPackage(fn.Pkg().Path(), pkgPath) {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isWireEnvelopeCall reports whether the call is a wire RPC: a method
+// named Call whose signature takes the wire package's Envelope. This
+// matches wire.Client.Call, the wire.Caller interface, and every
+// middleware wrapper that implements it.
+func isWireEnvelopeCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Call" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if namedFrom(sig.Params().At(i).Type(), "internal/wire", "Envelope") {
+			return true
+		}
+	}
+	return false
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (making it a non-blocking attempt).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// recvChanExpr returns the channel expression of a receive statement:
+// an expression statement `<-ch`, or an assignment whose single RHS is a
+// receive (`v := <-ch`, `v, ok := <-ch`).
+func recvChanExpr(s ast.Stmt) ast.Expr {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return u.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return u.X
+			}
+		}
+	}
+	return nil
+}
+
+// isDoneRecv reports whether the comm statement of a select clause
+// receives from a Done()-style channel: `<-ctx.Done()`, `<-x.Done()`,
+// or a channel variable whose name suggests shutdown (done, stop, quit,
+// closed) — the repo's conventional escape signals.
+func isDoneRecv(s ast.Stmt) bool {
+	ch := recvChanExpr(s)
+	if ch == nil {
+		return false
+	}
+	switch ch := ast.Unparen(ch).(type) {
+	case *ast.CallExpr:
+		if sel, ok := ch.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Done"
+		}
+	case *ast.Ident:
+		return doneish(ch.Name)
+	case *ast.SelectorExpr:
+		return doneish(ch.Sel.Name)
+	}
+	return false
+}
+
+// doneish reports whether a channel identifier names a shutdown signal.
+func doneish(name string) bool {
+	switch name {
+	case "done", "stop", "quit", "closed", "stopped", "idle", "exit":
+		return true
+	}
+	return false
+}

@@ -53,3 +53,19 @@ func TestErrcheckGolden(t *testing.T) {
 func TestMetricNameGolden(t *testing.T) {
 	runGolden(t, "testdata/metricname", MetricNameAnalyzer)
 }
+
+func TestUnlockpathGolden(t *testing.T) {
+	runGolden(t, "testdata/unlockpath", UnlockpathAnalyzer)
+}
+
+func TestCtxflowGolden(t *testing.T) {
+	runGolden(t, "testdata/ctxflow", CtxflowAnalyzer)
+}
+
+func TestLeakcheckGolden(t *testing.T) {
+	runGolden(t, "testdata/leakcheck/internal/jobs", LeakcheckAnalyzer)
+}
+
+func TestDeadlineGolden(t *testing.T) {
+	runGolden(t, "testdata/deadline", DeadlineAnalyzer)
+}

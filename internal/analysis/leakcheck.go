@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// LeakcheckAnalyzer is the static complement of the sim harness's
+// starvation probes: every `go` statement in the long-lived packages —
+// master, slave, sched, jobs, httpapi, wire — must spawn a goroutine
+// that can terminate. The check builds the goroutine body's CFG and
+// verifies that from every block reachable from entry the synthetic Exit
+// block is still reachable: a `for {}` with no break/return, or a loop
+// whose only exits are panics, is a goroutine the process can never
+// join, and it is reported at the `go` statement.
+//
+// Bodies it cannot see — a goroutine running a function declared in
+// another package — are reported too: termination must be auditable
+// where the goroutine is spawned. A second rule catches the classic
+// abandoned-sender leak: a goroutine sending on an unbuffered channel
+// created in the spawning function, where every receive sits behind a
+// multi-way select, blocks forever once the receiver takes another
+// case; the send must be buffered or wrapped in its own select.
+var LeakcheckAnalyzer = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "goroutines in long-lived packages need a reachable termination path",
+	Run:  runLeakcheck,
+}
+
+// leakScopes are the package path segments leakcheck applies to.
+var leakScopes = []string{
+	"internal/master", "internal/slave", "internal/sched",
+	"internal/jobs", "internal/httpapi", "internal/wire",
+}
+
+func runLeakcheck(pass *Pass) {
+	inScope := false
+	for _, s := range leakScopes {
+		if pathHasPackage(pass.Pkg.Path, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+
+	decls := packageFuncDecls(pass.Pkg)
+
+	pass.Pkg.WalkStack(func(n ast.Node, stack []ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		body := goBody(pass.Pkg.Info, decls, gs.Call)
+		if body == nil {
+			pass.Reportf(gs.Pos(), "goroutine body is declared outside this package: termination cannot be audited here — wrap it in a local function with an explicit exit path")
+			return true
+		}
+		checkTermination(pass, gs, body)
+		if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+			checkAbandonedSender(pass, stack, lit)
+		}
+		return true
+	})
+}
+
+// packageFuncDecls maps every function/method object of the package to
+// its declaration.
+func packageFuncDecls(pkg *Package) map[types.Object]*ast.FuncDecl {
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// goBody resolves the body a `go` statement runs: a function literal, or
+// a function/method declared in the same package. nil means the body is
+// not visible here.
+func goBody(info *types.Info, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	default:
+		if fn := calleeFunc(info, call); fn != nil {
+			if fd, ok := decls[fn]; ok {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// checkTermination reports the go statement when some reachable part of
+// the goroutine body cannot reach the function's exit.
+func checkTermination(pass *Pass, gs *ast.GoStmt, body *ast.BlockStmt) {
+	g := BuildCFG(body)
+	canExit := g.CanReachExit()
+	for b := range g.ReachableFromEntry() {
+		if canExit[b] {
+			continue
+		}
+		where := ""
+		if pos := b.FirstPos(); pos.IsValid() {
+			where = " (loop around line " + strconv.Itoa(pass.Pkg.Fset.Position(pos).Line) + ")"
+		}
+		pass.Reportf(gs.Pos(), "goroutine has no termination path%s: add a ctx/done-channel case or a bounded loop", where)
+		return // one report per goroutine is enough
+	}
+}
+
+// checkAbandonedSender flags a goroutine closure that sends on an
+// unbuffered channel of the spawning function whose receives are all
+// behind multi-way selects.
+func checkAbandonedSender(pass *Pass, stack []ast.Node, lit *ast.FuncLit) {
+	info := pass.Pkg.Info
+	encl := enclosingFuncBody(stack)
+	if encl == nil {
+		return
+	}
+	inspectStack(lit.Body, func(n ast.Node, sendStack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		if isGatedSend(sendStack) {
+			return true
+		}
+		ch, ok := ast.Unparen(send.Chan).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[ch]
+		if obj == nil || !madeUnbuffered(info, encl, obj) {
+			return true
+		}
+		if hasUnconditionalReceive(info, encl, lit, obj) {
+			return true
+		}
+		pass.Reportf(send.Pos(), "send on unbuffered %s blocks forever once the receiver stops selecting: buffer the channel or select on a done signal", ch.Name)
+		return true
+	})
+}
+
+// isGatedSend reports whether the send (whose ancestor stack is given,
+// innermost last) is a select comm with an alternative: a default or
+// any second clause.
+func isGatedSend(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	if _, ok := stack[len(stack)-1].(*ast.CommClause); !ok {
+		return false
+	}
+	for i := len(stack) - 2; i >= 0; i-- {
+		if sel, ok := stack[i].(*ast.SelectStmt); ok {
+			return len(sel.Body.List) > 1 || selectHasDefault(sel)
+		}
+	}
+	return false
+}
+
+// enclosingFuncBody returns the body of the innermost enclosing function
+// on the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return f.Body
+		case *ast.FuncDecl:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// madeUnbuffered reports whether obj is assigned from an unbuffered
+// make(chan T) in the enclosing body.
+func madeUnbuffered(info *types.Info, encl *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if info.Defs[id] != obj && info.Uses[id] != obj {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "make" {
+			return true
+		}
+		if len(call.Args) < 2 {
+			found = true // make(chan T): unbuffered
+		}
+		return true
+	})
+	return found
+}
+
+// hasUnconditionalReceive reports whether the enclosing body (outside
+// the goroutine literal) receives from obj's channel outside any
+// multi-way select — a receive that is guaranteed to be attempted.
+func hasUnconditionalReceive(info *types.Info, encl *ast.BlockStmt, lit *ast.FuncLit, obj types.Object) bool {
+	found := false
+	inspectStack(encl, func(n ast.Node, stack []ast.Node) bool {
+		if n == lit {
+			return false
+		}
+		u, ok := n.(*ast.UnaryExpr)
+		if !ok || recvOf(info, u, obj) == nil {
+			return true
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch stack[i].(type) {
+			case *ast.CommClause:
+				// A single-clause select with no default is as
+				// unconditional as a bare receive.
+				if sel := enclosingSelect(stack[:i]); sel != nil &&
+					len(sel.Body.List) == 1 && !selectHasDefault(sel) {
+					found = true
+				}
+				return true
+			case *ast.FuncLit:
+				return true // receive in another closure: not guaranteed
+			}
+		}
+		found = true
+		return true
+	})
+	return found
+}
+
+// recvOf returns u if it is a receive `<-obj`.
+func recvOf(info *types.Info, u *ast.UnaryExpr, obj types.Object) *ast.UnaryExpr {
+	if u.Op != token.ARROW {
+		return nil
+	}
+	if id, ok := ast.Unparen(u.X).(*ast.Ident); ok && info.Uses[id] == obj {
+		return u
+	}
+	return nil
+}
+
+// enclosingSelect finds the nearest SelectStmt on the stack.
+func enclosingSelect(stack []ast.Node) *ast.SelectStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if sel, ok := stack[i].(*ast.SelectStmt); ok {
+			return sel
+		}
+	}
+	return nil
+}

@@ -37,11 +37,15 @@ type Package struct {
 	// fileOf maps each directive back to its file name so directives only
 	// suppress diagnostics in their own file.
 	ignoreFiles []string
+	// usedIgnores marks, per directive, whether it suppressed at least one
+	// finding this run — the liveness signal behind `swcheck -ignores`.
+	usedIgnores []bool
 }
 
-// ignored reports whether a diagnostic by analyzer at position is covered
-// by an ignore directive (same file, directive line or the line below).
-func (p *Package) ignored(analyzer string, pos token.Position) bool {
+// coveringIgnore returns the index of the first ignore directive covering
+// a diagnostic by analyzer at position (same file, directive line or the
+// line below), or -1 when none does.
+func (p *Package) coveringIgnore(analyzer string, pos token.Position) int {
 	for i, d := range p.ignores {
 		if d.analyzer != analyzer && d.analyzer != "all" {
 			continue
@@ -50,10 +54,10 @@ func (p *Package) ignored(analyzer string, pos token.Position) bool {
 			continue
 		}
 		if pos.Line == d.line || pos.Line == d.line+1 {
-			return true
+			return i
 		}
 	}
-	return false
+	return -1
 }
 
 // Loader loads packages of one module by directory, type-checking them
@@ -197,6 +201,7 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 			pkg.ignoreFiles = append(pkg.ignoreFiles, filepath.Join(abs, name))
 		}
 	}
+	pkg.usedIgnores = make([]bool, len(pkg.ignores))
 
 	conf := types.Config{Importer: l}
 	tpkg, err := conf.Check(path, l.fset, pkg.Files, pkg.Info)

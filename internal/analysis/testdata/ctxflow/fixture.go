@@ -1,0 +1,110 @@
+// Package ctxflow is the golden fixture for the context-discipline
+// analyzer: no context.Background()/TODO() outside main (and never where
+// a ctx is already in scope), loop sends must be gated on ctx.Done(),
+// and ctx-taking functions must not block in ways cancellation cannot
+// reach.
+package ctxflow
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func doWork(ctx context.Context) error { return ctx.Err() }
+
+// mintRoot mints a root context in a library package.
+func mintRoot() context.Context {
+	return context.Background() // want "outside func main"
+}
+
+// todoRoot: TODO is the same violation.
+func todoRoot() context.Context {
+	return context.TODO() // want "outside func main"
+}
+
+// discard drops the caller's cancellation on the floor.
+func discard(ctx context.Context) error {
+	return doWork(context.Background()) // want "discards the ctx already in scope"
+}
+
+// threads is the clean idiom: derive and pass on.
+func threads(ctx context.Context) error {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return doWork(tctx)
+}
+
+// discardInClosure: closures inherit the obligation — they captured ctx.
+func discardInClosure(ctx context.Context) func() error {
+	return func() error {
+		return doWork(context.Background()) // want "discards the ctx already in scope"
+	}
+}
+
+// pump sends in a loop with nothing listening for cancellation.
+func pump(ctx context.Context, out chan<- int) {
+	for i := 0; i < 10; i++ {
+		out <- i // want "channel send in a loop without selecting on ctx.Done"
+	}
+}
+
+// pumpGated is the clean idiom: every send can lose to ctx.Done.
+func pumpGated(ctx context.Context, out chan<- int) {
+	for i := 0; i < 10; i++ {
+		select {
+		case out <- i:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// waitBare blocks on a receive the ctx cannot interrupt.
+func waitBare(ctx context.Context, ch chan int) {
+	<-ch // want "bare channel receive ignores the in-scope ctx"
+}
+
+// waitSelect blocks on a select with no escape clause.
+func waitSelect(ctx context.Context, a, b chan int) {
+	select { // want "select blocks without a ctx.Done"
+	case <-a:
+	case <-b:
+	}
+}
+
+// waitDone is clean: cancellation is one of the cases.
+func waitDone(ctx context.Context, a chan int) {
+	select {
+	case <-a:
+	case <-ctx.Done():
+	}
+}
+
+// joinBare waits on a WaitGroup the ctx cannot interrupt.
+func joinBare(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() // want "WaitGroup.Wait ignores the in-scope ctx"
+}
+
+// joinHelper is the clean join idiom: the blocking wait moves into a
+// helper goroutine and the function selects on the result and ctx.
+func joinHelper(ctx context.Context, wg *sync.WaitGroup) error {
+	idle := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// plainPump has no ctx in scope: channel use is unconstrained here.
+func plainPump(out chan<- int) {
+	for i := 0; i < 3; i++ {
+		out <- i
+	}
+}

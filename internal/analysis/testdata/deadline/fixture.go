@@ -1,0 +1,107 @@
+// Package deadline is the golden fixture for the deadline analyzer:
+// every wire RPC needs a governing deadline — a context.WithTimeout/
+// WithDeadline in scope, a wire.Backoff-driven retry loop, or a
+// Client.Timeout — either in the calling function or in every one of
+// its same-package callers. Bare wire.Dial is flagged too unless the
+// function sets Client.Timeout afterwards.
+package deadline
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// pingUngoverned fires an RPC with nothing bounding how long it can take.
+func pingUngoverned(c wire.Caller) error {
+	_, err := c.Call(wire.Envelope{}) // want "wire RPC without a governing deadline"
+	return err
+}
+
+// pingWithTimeout is clean: the call is raced against a derived deadline.
+func pingWithTimeout(ctx context.Context, c wire.Caller) error {
+	tctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(wire.Envelope{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-tctx.Done():
+		return tctx.Err()
+	}
+}
+
+// pingWithBackoff is clean: the wire.Backoff retry loop bounds the call.
+func pingWithBackoff(c wire.Caller, b wire.Backoff) error {
+	rng := rand.New(rand.NewSource(1))
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if _, err = c.Call(wire.Envelope{}); err == nil {
+			return nil
+		}
+		time.Sleep(b.Delay(attempt, rng))
+	}
+	return err
+}
+
+// pingWithClientTimeout is clean: the client itself enforces a deadline.
+func pingWithClientTimeout(addr string) error {
+	c, err := wire.DialTimeout(addr, time.Second)
+	if err != nil {
+		return err
+	}
+	c.Timeout = 2 * time.Second
+	defer c.Close()
+	_, err = c.Call(wire.Envelope{})
+	return err
+}
+
+// dialBare leaves Client.Timeout at zero: every later RPC can hang.
+func dialBare(addr string) (*wire.Client, error) {
+	return wire.Dial(addr) // want "wire.Dial leaves Client.Timeout zero"
+}
+
+// dialGoverned is clean: DialTimeout installs the deadline at dial time.
+func dialGoverned(addr string) (*wire.Client, error) {
+	return wire.DialTimeout(addr, 3*time.Second)
+}
+
+// session has no evidence of its own, but its only caller drives it from
+// a wire.Backoff loop, so the obligation bubbles up and is met there.
+func session(c wire.Caller) error {
+	_, err := c.Call(wire.Envelope{})
+	return err
+}
+
+// driveSession governs session's RPC for it.
+func driveSession(c wire.Caller, b wire.Backoff) error {
+	rng := rand.New(rand.NewSource(7))
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		if err = session(c); err == nil {
+			return nil
+		}
+		time.Sleep(b.Delay(attempt, rng))
+	}
+	return err
+}
+
+// loggedCaller is middleware: its Call forwards to the wrapped caller and
+// is exempt — the deadline obligation belongs to whoever drives it.
+type loggedCaller struct {
+	inner wire.Caller
+	n     int
+}
+
+func (l *loggedCaller) Call(env wire.Envelope) (wire.Envelope, error) {
+	l.n++
+	return l.inner.Call(env)
+}
+
+func (l *loggedCaller) Close() error { return l.inner.Close() }

@@ -1,0 +1,107 @@
+// Package jobs is the golden fixture for the goroutine-leak analyzer:
+// every goroutine spawned in the scoped packages needs a termination
+// path reachable from its entry, its body must be auditable in this
+// package, and sends on locally-made unbuffered channels must not be
+// abandonable by a receiver that stops selecting.
+package jobs
+
+import "fmt"
+
+type pool struct {
+	done chan struct{}
+	work chan int
+}
+
+func process(int) {}
+
+func slow(n int) int { return n * n }
+
+// spawnForever loops with no exit: the goroutine outlives the pool.
+func (p *pool) spawnForever() {
+	go func() { // want "no termination path"
+		for {
+			process(<-p.work)
+		}
+	}()
+}
+
+// spawnGoverned is the clean worker idiom: the done channel ends it.
+func (p *pool) spawnGoverned() {
+	go func() {
+		for {
+			select {
+			case <-p.done:
+				return
+			case w := <-p.work:
+				process(w)
+			}
+		}
+	}()
+}
+
+// spawnBounded is clean: the loop terminates on its own.
+func (p *pool) spawnBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			process(i)
+		}
+	}()
+}
+
+// spawnNamed spawns a same-package method whose body never exits; the
+// analyzer follows the call to the declaration.
+func (p *pool) spawnNamed() {
+	go p.loopForever() // want "no termination path"
+}
+
+func (p *pool) loopForever() {
+	for {
+		process(<-p.work)
+	}
+}
+
+// spawnExternal hands the goroutine body to another package, where this
+// analyzer cannot audit its exit path.
+func (p *pool) spawnExternal() {
+	go fmt.Println("bye") // want "declared outside this package"
+}
+
+// compute abandons its sender: once the caller's ctx-like done fires,
+// nothing ever receives and the goroutine blocks on the send forever.
+func (p *pool) compute(in int) int {
+	res := make(chan int)
+	go func() {
+		res <- slow(in) // want "send on unbuffered res blocks forever"
+	}()
+	select {
+	case v := <-res:
+		return v
+	case <-p.done:
+		return 0
+	}
+}
+
+// computeBuffered is clean: the buffer lets the sender finish and exit
+// even if the receiver already gave up.
+func (p *pool) computeBuffered(in int) int {
+	res := make(chan int, 1)
+	go func() {
+		res <- slow(in)
+	}()
+	select {
+	case v := <-res:
+		return v
+	case <-p.done:
+		return 0
+	}
+}
+
+// computeJoined is clean: the enclosing function always receives, so the
+// send cannot be abandoned.
+func (p *pool) computeJoined(in int) int {
+	res := make(chan int)
+	go func() {
+		res <- slow(in)
+	}()
+	return <-res
+}

@@ -1,0 +1,169 @@
+// Package unlockpath is the golden fixture for the flow-sensitive lock
+// analyzer: every Lock must reach an Unlock on all paths (defer-aware,
+// including deferred closures), a definite re-Lock is a self-deadlock,
+// and no lock may be held across an unbounded blocking operation.
+package unlockpath
+
+import (
+	"sync"
+
+	"repro/internal/wire"
+)
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// cleanDefer is the canonical idiom: Lock with deferred Unlock.
+func (s *store) cleanDefer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// cleanBranches releases explicitly on every path.
+func (s *store) cleanBranches(flag bool) int {
+	s.mu.Lock()
+	if flag {
+		s.mu.Unlock()
+		return 0
+	}
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// cleanDeferClosure: the unlock hides inside a deferred closure.
+func (s *store) cleanDeferClosure() {
+	s.mu.Lock()
+	defer func() {
+		s.n++
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+
+// missingOnPath leaks the lock on the early return.
+func (s *store) missingOnPath(flag bool) int {
+	s.mu.Lock() // want "released on some paths but not others"
+	if flag {
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// neverReleased holds the lock at every return.
+func (s *store) neverReleased() {
+	s.mu.Lock() // want "still held at every return"
+	s.n++
+}
+
+// doubleLock re-locks a mutex that is definitely held.
+func (s *store) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want "locked twice without an intervening Unlock"
+	s.n++
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// readClean: RLock balanced by a deferred RUnlock.
+func (s *store) readClean() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+// leakyRead leaks the read lock on the early return.
+func (s *store) leakyRead(flag bool) int {
+	s.rw.RLock() // want "released on some paths but not others"
+	if flag {
+		return 0
+	}
+	s.rw.RUnlock()
+	return s.n
+}
+
+// panicPath is clean: the panicking path never reaches a return, so only
+// the normal path needs the release.
+func (s *store) panicPath(flag bool) {
+	s.mu.Lock()
+	if flag {
+		s.mu.Unlock()
+		panic("boom")
+	}
+	s.mu.Unlock()
+}
+
+// heldAcrossSend blocks on a channel while holding the lock.
+func (s *store) heldAcrossSend(ch chan int) {
+	s.mu.Lock()
+	ch <- s.n // want "held across a channel send"
+	s.mu.Unlock()
+}
+
+// heldAcrossRecv blocks on a receive while holding the lock.
+func (s *store) heldAcrossRecv(ch chan int) {
+	s.mu.Lock()
+	s.n = <-ch // want "held across a channel receive"
+	s.mu.Unlock()
+}
+
+// heldAcrossSelect: a select without default can block arbitrarily.
+func (s *store) heldAcrossSelect(ch chan int) {
+	s.mu.Lock()
+	select { // want "held across a select without default"
+	case v := <-ch:
+		s.n = v
+	}
+	s.mu.Unlock()
+}
+
+// nonblockingPoll is clean: default makes the select a non-blocking
+// attempt.
+func (s *store) nonblockingPoll(ch chan int) {
+	s.mu.Lock()
+	select {
+	case v := <-ch:
+		s.n = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// heldAcrossWait joins a WaitGroup while holding the lock.
+func (s *store) heldAcrossWait(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want "held across sync.WaitGroup.Wait"
+	s.mu.Unlock()
+}
+
+// condWait is clean: sync.Cond.Wait releases the mutex while waiting by
+// contract.
+func (s *store) condWait(c *sync.Cond) {
+	s.mu.Lock()
+	for s.n == 0 {
+		c.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// heldAcrossRPC holds the lock across a wire round trip.
+func (s *store) heldAcrossRPC(c wire.Caller) {
+	s.mu.Lock()
+	_, _ = c.Call(wire.Envelope{}) // want "held across a wire RPC"
+	s.mu.Unlock()
+}
+
+// unlockFirst is clean: releasing before blocking is exactly the fix the
+// analyzer asks for.
+func (s *store) unlockFirst(c wire.Caller) {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	_, _ = c.Call(wire.Envelope{Error: ""})
+	_ = n
+}

@@ -1,0 +1,412 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnlockpathAnalyzer is the flow-sensitive half of the repo's lock
+// discipline (lockguard checks the naming convention; this checks the
+// paths). Per function it builds a CFG (cfg.go) and runs a forward
+// dataflow (dataflow.go) tracking the lock state of every mutex named by
+// a stable selector path (mu, m.mu, c.inner.mu, ...):
+//
+//   - a mutex locked on some path must be unlocked on every path to a
+//     return — a `defer mu.Unlock()` (including inside a deferred
+//     closure) satisfies all paths at once;
+//   - locking a mutex that is definitely already held is reported as a
+//     guaranteed self-deadlock (read locks are exempt: RLock is
+//     shareable);
+//   - holding a mutex across an unbounded blocking operation — a channel
+//     send or receive, a select without default, sync.WaitGroup.Wait, or
+//     a wire RPC (any Call(wire.Envelope) method) — is reported, because
+//     it turns one slow peer into a process-wide stall. sync.Cond.Wait
+//     is exempt: it releases the mutex while waiting by contract.
+//
+// Function literals are analyzed as separate functions; a mutex reached
+// through an index or call result is not tracked.
+var UnlockpathAnalyzer = &Analyzer{
+	Name: "unlockpath",
+	Doc:  "every Lock must reach an Unlock on all paths; no double-lock; no blocking while locked",
+	Run:  runUnlockpath,
+}
+
+// lockState is the per-mutex dataflow fact. Absence from the map means
+// the mutex is not held (or never touched).
+type lockState uint8
+
+const (
+	lockHeld  lockState = iota // held on every path reaching here
+	lockMaybe                  // held on some path, released on another
+)
+
+type lockFact map[string]lockState
+
+func joinLocks(a, b lockFact) lockFact {
+	out := lockFact{}
+	for k, va := range a {
+		if vb, ok := b[k]; ok && vb == va {
+			out[k] = va
+		} else {
+			out[k] = lockMaybe
+		}
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = lockMaybe
+		}
+	}
+	return out
+}
+
+func equalLocks(a, b lockFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+func runUnlockpath(pass *Pass) {
+	forEachFuncBody(pass.Pkg, func(body *ast.BlockStmt) {
+		checkUnlockPaths(pass, body)
+	})
+}
+
+// forEachFuncBody calls fn once per function body of the package: every
+// FuncDecl body and every FuncLit body, each treated as its own
+// function.
+func forEachFuncBody(pkg *Package, fn func(body *ast.BlockStmt)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n.Body)
+				}
+			case *ast.FuncLit:
+				fn(n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// lockEvent is one mutex operation or blocking point of a block node, in
+// execution order.
+type lockEvent struct {
+	pos token.Pos
+	op  string // "lock", "unlock" or "block"
+	key string // mutex path for lock/unlock
+	// read marks RLock/RUnlock: balance-checked but re-entrant.
+	read bool
+	desc string // human description for "block" events
+}
+
+func checkUnlockPaths(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	g := BuildCFG(body)
+
+	// Comm statements of select clauses: their channel operations are
+	// accounted for at the select header, not as standalone blocking ops.
+	comms := map[ast.Node]bool{}
+	inspectStack(body, func(n ast.Node, _ []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if s, ok := n.(*ast.SelectStmt); ok {
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					comms[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+
+	transfer := func(b *Block, in lockFact, report func(lockEvent, lockFact)) lockFact {
+		state := in
+		cloned := false
+		mutate := func() {
+			if !cloned {
+				c := make(lockFact, len(state))
+				for k, v := range state {
+					c[k] = v
+				}
+				state, cloned = c, true
+			}
+		}
+		for _, n := range b.Nodes {
+			for _, ev := range lockEvents(info, n, comms) {
+				if report != nil {
+					report(ev, state)
+				}
+				switch ev.op {
+				case "lock":
+					mutate()
+					state[ev.key] = lockHeld
+				case "unlock":
+					mutate()
+					delete(state, ev.key)
+				}
+			}
+		}
+		return state
+	}
+
+	in := Solve(g, FlowProblem[lockFact]{
+		Entry: lockFact{},
+		Join:  joinLocks,
+		Equal: equalLocks,
+		Transfer: func(b *Block, in lockFact) lockFact {
+			return transfer(b, in, nil)
+		},
+	})
+
+	// Reporting pass: re-run each reachable block once from its final
+	// in-state.
+	lockPos := map[string]token.Pos{} // first Lock site per mutex path
+	for _, b := range g.Blocks {
+		st, reachable := in[b]
+		if !reachable {
+			continue
+		}
+		transfer(b, st, func(ev lockEvent, state lockFact) {
+			switch ev.op {
+			case "lock":
+				if _, ok := lockPos[ev.key]; !ok {
+					lockPos[ev.key] = ev.pos
+				}
+				if s, held := state[ev.key]; held && s == lockHeld && !ev.read {
+					pass.Reportf(ev.pos, "%s is locked twice without an intervening Unlock: guaranteed self-deadlock", ev.key)
+				}
+			case "block":
+				for key, s := range state {
+					if s == lockHeld {
+						pass.Reportf(ev.pos, "%s is held across %s; release the lock before blocking", key, ev.desc)
+					}
+				}
+			}
+		})
+	}
+
+	// Exit check: whatever is still held when the function returns must
+	// be covered by a deferred unlock.
+	exitState, ok := in[g.Exit]
+	if !ok {
+		return // no path reaches a return (an intentional run-forever loop)
+	}
+	deferred := deferredUnlockKeys(info, g.Defers)
+	for key, st := range exitState {
+		if deferred[key] {
+			continue
+		}
+		pos := lockPos[key]
+		if !pos.IsValid() {
+			continue // locked only in dead code or through an untracked path
+		}
+		switch st {
+		case lockHeld:
+			pass.Reportf(pos, "%s is still held at every return: add an Unlock or defer %s.Unlock()", key, key)
+		case lockMaybe:
+			pass.Reportf(pos, "%s is released on some paths but not others: an early return would leak the lock", key)
+		}
+	}
+}
+
+// lockEvents extracts the mutex operations and blocking points of one
+// block node, in source order. Nested function literals are skipped
+// (they execute elsewhere); loop headers and select statements added to
+// blocks by the CFG builder are handled structurally so clause/body
+// statements belonging to other blocks are not re-visited.
+func lockEvents(info *types.Info, n ast.Node, comms map[ast.Node]bool) []lockEvent {
+	var evs []lockEvent
+
+	var scan func(n ast.Node, commExempt bool)
+	scan = func(n ast.Node, commExempt bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return
+		case *ast.SelectStmt:
+			// Header node: the blocking event is the select itself; its
+			// clauses live in successor blocks.
+			if !selectHasDefault(n) {
+				evs = append(evs, lockEvent{pos: n.Pos(), op: "block", desc: "a select without default"})
+			}
+			return
+		case *ast.RangeStmt:
+			// Header node: only the range expression evaluates here.
+			scan(n.X, false)
+			return
+		case *ast.DeferStmt:
+			return // runs at exit; modeled via CFG.Defers
+		case *ast.GoStmt:
+			// The spawned call runs elsewhere; only its arguments are
+			// evaluated here.
+			for _, a := range n.Call.Args {
+				scan(a, false)
+			}
+			return
+		case *ast.SendStmt:
+			scan(n.Chan, false)
+			scan(n.Value, false)
+			if !commExempt {
+				evs = append(evs, lockEvent{pos: n.Pos(), op: "block", desc: "a channel send"})
+			}
+			return
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				scan(n.X, false)
+				if !commExempt {
+					evs = append(evs, lockEvent{pos: n.Pos(), op: "block", desc: "a channel receive"})
+				}
+				return
+			}
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				scan(a, false)
+			}
+			if ev, ok := mutexOp(info, n); ok {
+				evs = append(evs, ev)
+				return
+			}
+			scan(n.Fun, false)
+			if desc, ok := blockingCall(info, n); ok {
+				evs = append(evs, lockEvent{pos: n.Pos(), op: "block", desc: desc})
+			}
+			return
+		}
+		exempt := commExempt || comms[n]
+		for _, c := range childNodes(n) {
+			scan(c, exempt)
+		}
+	}
+	scan(n, comms[n])
+	return evs
+}
+
+// childNodes lists the direct children of n.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	depth := 0
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			depth--
+			return true
+		}
+		depth++
+		if depth == 1 {
+			return true // n itself
+		}
+		out = append(out, c)
+		return false // children only, not grandchildren
+	})
+	return out
+}
+
+// mutexOp recognizes X.Lock/RLock/Unlock/RUnlock on a sync.Mutex or
+// sync.RWMutex reachable through a stable selector path. Read locks are
+// tracked under a separate "path (rlock)" key so RLock/RUnlock balance
+// is checked independently of the write side.
+func mutexOp(info *types.Info, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var op string
+	read := false
+	switch sel.Sel.Name {
+	case "Lock":
+		op = "lock"
+	case "RLock":
+		op, read = "lock", true
+	case "Unlock":
+		op = "unlock"
+	case "RUnlock":
+		op, read = "unlock", true
+	default:
+		return lockEvent{}, false
+	}
+	tv, okT := info.Types[sel.X]
+	if !okT || !isMutexType(derefType(tv.Type)) {
+		return lockEvent{}, false
+	}
+	path, okP := stablePath(sel.X)
+	if !okP {
+		return lockEvent{}, false
+	}
+	if read {
+		path += " (rlock)"
+	}
+	return lockEvent{pos: call.Pos(), op: op, key: path, read: read}, true
+}
+
+// blockingCall recognizes calls that can block unboundedly while a lock
+// is held. sync.Cond.Wait is deliberately absent: it releases the
+// associated mutex while waiting.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+		if tv, ok := info.Types[sel.X]; ok && namedFrom(tv.Type, "sync", "WaitGroup") {
+			return "sync.WaitGroup.Wait", true
+		}
+	}
+	if isWireEnvelopeCall(info, call) {
+		return "a wire RPC (Call)", true
+	}
+	return "", false
+}
+
+// deferredUnlockKeys collects the mutex paths released by deferred
+// calls, looking through one level of deferred closure (`defer func() {
+// ...; mu.Unlock() }()`).
+func deferredUnlockKeys(info *types.Info, defers []*ast.CallExpr) map[string]bool {
+	keys := map[string]bool{}
+	addIfUnlock := func(call *ast.CallExpr) {
+		if ev, ok := mutexOp(info, call); ok && ev.op == "unlock" {
+			keys[ev.key] = true
+		}
+	}
+	for _, d := range defers {
+		addIfUnlock(d)
+		if lit, ok := d.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					addIfUnlock(call)
+				}
+				return true
+			})
+		}
+	}
+	return keys
+}
+
+// derefType unwraps one level of pointer.
+func derefType(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// stablePath renders an ident/selector chain ("m.inner.mu") as a key, or
+// fails for expressions involving calls or indexing.
+func stablePath(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := stablePath(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}

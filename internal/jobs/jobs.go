@@ -222,6 +222,7 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.RetryAfter == 0 {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
+	//swcheck:ignore ctxflow the Manager's base ctx outlives any submitter: queued jobs survive caller disconnects and re-run after recovery, so it must root at Background
 	base, abort := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:   cfg,

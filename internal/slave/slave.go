@@ -208,6 +208,11 @@ func runTask(caller wire.Caller, eng Engine, id sched.SlaveID, spec wire.TaskSpe
 		resp, err := caller.Call(wire.Envelope{Progress: &wire.ProgressMsg{Slave: id, Rate: rate, Cells: delta}})
 		if err != nil {
 			callErr = err
+			// A dead master can no longer cancel this task, so cancel it
+			// ourselves: closing the task's cancel channel aborts the
+			// in-flight engine scan instead of grinding out the rest of
+			// the database for a peer that will never hear the result.
+			canceled.add([]sched.TaskID{spec.ID})
 			return
 		}
 		if resp.ProgressAck != nil {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/sched"
 	"repro/internal/score"
+	"repro/internal/seq"
 	"repro/internal/wire"
 )
 
@@ -229,5 +230,50 @@ func TestRunDoneViaCompleteAck(t *testing.T) {
 	}
 	if requests != 1 {
 		t.Errorf("%d Request round trips, want 1 (Done piggybacked on CompleteAck)", requests)
+	}
+}
+
+// blockingEngine reports progress once and then waits on its cancel
+// channel: a stand-in for a long scan that can only end by cancellation.
+type blockingEngine struct{}
+
+func (blockingEngine) Name() string            { return "stub" }
+func (blockingEngine) Kind() sched.SlaveKind   { return sched.KindCPU }
+func (blockingEngine) DeclaredSpeed() float64  { return 0 }
+func (blockingEngine) DatabaseResidues() int64 { return 1000 }
+
+func (blockingEngine) Search(q *seq.Sequence, progress func(int64), cancel <-chan struct{}) ([]wire.Hit, error) {
+	progress(1)
+	select {
+	case <-cancel:
+		return nil, ErrCanceled
+	case <-time.After(5 * time.Second):
+		return nil, fmt.Errorf("scan kept running after the master died")
+	}
+}
+
+// TestRunTaskAbortsScanWhenMasterDies: when a progress notification
+// fails, the master can never cancel the task (or hear its result), so
+// runTask must cancel it itself and abort the in-flight scan instead of
+// grinding out the rest of the database.
+func TestRunTaskAbortsScanWhenMasterDies(t *testing.T) {
+	canceled := newCancelSet()
+	dead := fmt.Errorf("connection reset")
+	caller := callerFunc(func(req wire.Envelope) (wire.Envelope, error) {
+		switch {
+		case req.Progress != nil:
+			return wire.Envelope{}, dead
+		case req.Complete != nil:
+			t.Error("completion sent to a master whose progress call already failed")
+		}
+		return wire.Envelope{}, nil
+	})
+	spec := wire.TaskSpec{ID: 42, QueryID: "q", Residues: []byte("MKVLATLLLLGA"), Cells: 12 * 1000}
+	_, _, err := runTask(caller, blockingEngine{}, 0, spec, canceled, Options{TopK: 2})
+	if err != dead {
+		t.Fatalf("runTask error = %v, want the dead master's %v", err, dead)
+	}
+	if !canceled.has(42) {
+		t.Error("failed progress call did not self-cancel task 42; the scan would grind on for a dead master")
 	}
 }
