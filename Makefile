@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint lint-cover test race race-full sim-smoke fuzz-smoke bench-smoke cover bench tables svg csv examples clean
+.PHONY: all build vet lint lint-cover test race race-full sim-smoke fuzz-smoke bench-smoke cover cluster-cover bench tables svg csv examples clean
 
 # The concurrency-heavy packages (distributed path + scheduler) always run
 # under the race detector as part of `make test`; `race-full` covers the
@@ -10,7 +10,7 @@
 # internal/simd rides along too: the SWAR lane-law property tests there are
 # pure math, but running them under -race keeps the exhaustive truth tables
 # honest if anyone parallelizes them later.
-RACE_PKGS := ./internal/sched/... ./internal/master/... ./internal/slave/... ./internal/wire/... ./internal/httpapi/... ./internal/metrics/... ./internal/jobs/... ./internal/sim/... ./internal/simd/... ./internal/prefilter/...
+RACE_PKGS := ./internal/sched/... ./internal/master/... ./internal/slave/... ./internal/wire/... ./internal/httpapi/... ./internal/metrics/... ./internal/jobs/... ./internal/sim/... ./internal/simd/... ./internal/prefilter/... ./internal/cluster/...
 
 all: build lint test
 
@@ -54,10 +54,18 @@ race-full:
 
 # Chaos-test the master/slave/jobs stack: 200 generated fault scenarios
 # replayed under virtual time from pinned seeds (see cmd/swsim and
-# DESIGN §10). Fails loudly with a shrunken reproducer on any invariant
-# violation.
+# DESIGN §10), plus the curated shard-failover scenario guarding the
+# cluster backend's replica-crash story across a seed sweep. Fails loudly
+# with a shrunken reproducer on any invariant violation.
 sim-smoke:
 	go run ./cmd/swsim -seed 1 -scenarios 200 -duration 60s
+	go run ./cmd/swsim -named shard-failover -seed 1 -scenarios 25
+
+# Coverage floor for the cluster backend: the scatter-gather merge and
+# failover paths gate serving correctness, so their tests must not rot.
+cluster-cover:
+	go test -coverprofile=cluster.cover.out ./internal/cluster
+	go run ./cmd/covercheck -profile cluster.cover.out -min 75
 
 # Short runs of the coverage-guided fuzzers over the two parsers that
 # consume untrusted or crash-corrupted bytes (the wire codec and the jobs

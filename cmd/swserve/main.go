@@ -8,6 +8,8 @@
 // Endpoints:
 //
 //	GET    /healthz           liveness and uptime
+//	GET    /readyz            readiness: backend kind and per-shard health; 503
+//	                          while draining or when a shard has no live replica
 //	GET    /database          database name/size
 //	GET    /metrics           Prometheus text exposition (scheduler, wire, slave, jobs, HTTP)
 //	GET    /varz              the same metrics as one JSON document
@@ -25,6 +27,12 @@
 // control (-queue, -executors), a content-addressed result cache
 // (-cache-bytes) with singleflight coalescing, and — with -jobs-dir — a
 // durable store so queued jobs survive a restart.
+//
+// With -backend=cluster the database is partitioned into -shards contiguous
+// shards, each scanned by -replicas replicated engines under its own
+// master-protocol job, and per-query top-k hits are merged with
+// deterministic tie-breaking — results are byte-identical to -backend=local
+// and a single replica crash mid-job is absorbed by the shard's survivor.
 //
 // SIGINT/SIGTERM starts a graceful shutdown: the listener closes, requests
 // and running jobs in flight get -drain to finish (past the deadline a
@@ -46,9 +54,11 @@ import (
 	"time"
 
 	hybridsw "repro"
+	"repro/internal/cluster"
 	"repro/internal/fasta"
 	"repro/internal/httpapi"
 	"repro/internal/jobs"
+	"repro/internal/metrics"
 	"repro/internal/seq"
 	"repro/internal/seqio"
 )
@@ -63,6 +73,11 @@ func main() {
 		adjust = flag.Bool("adjust", true, "enable the workload adjustment mechanism")
 		drain  = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
 		quiet  = flag.Bool("quiet", false, "suppress the per-request access log")
+
+		backend  = flag.String("backend", "local", `job execution backend: "local" (in-process engines) or "cluster" (sharded scatter-gather fleet)`)
+		shards   = flag.Int("shards", 4, "cluster backend: contiguous database shards")
+		replicas = flag.Int("replicas", 2, "cluster backend: replica engines per shard")
+		kernel   = flag.String("kernel", "", `cluster backend: replica CPU kernel ("farrar" default, "swipe", "multicore")`)
 
 		jobsDir     = flag.String("jobs-dir", "", "directory for the durable job store (empty: in-memory only)")
 		executors   = flag.Int("executors", 0, "job executor-pool size (0: default, negative: none)")
@@ -87,12 +102,34 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	srv, err := httpapi.NewWithOptions(*dbPath, db, hybridsw.Platform{
+	platform := hybridsw.Platform{
 		GPUs:     *gpus,
 		SSECores: *sse,
 		Policy:   *policy,
 		Adjust:   *adjust,
-	}, httpapi.Options{
+	}
+	var fleet *cluster.Fleet
+	switch jobs.Backend(*backend) {
+	case jobs.BackendLocal:
+	case jobs.BackendCluster:
+		// Share one registry between the fleet's cluster_* families and the
+		// server's HTTP/jobs families, so /metrics shows the whole stack.
+		platform.Registry = metrics.NewRegistry()
+		fleet, err = cluster.New(cluster.Config{
+			DB:        db,
+			Shards:    *shards,
+			Replicas:  *replicas,
+			CPUKernel: *kernel,
+			Registry:  platform.Registry,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+	default:
+		fail("unknown -backend %q (want local or cluster)", *backend)
+	}
+	srv, err := httpapi.NewWithOptions(*dbPath, db, platform, httpapi.Options{
+		Fleet: fleet,
 		Limits: httpapi.Limits{
 			MaxQueries:  *maxQueries,
 			MaxResidues: *maxResidues,
@@ -125,6 +162,9 @@ func main() {
 	case <-ctx.Done():
 		stop() // a second signal kills immediately
 		fmt.Fprintf(os.Stderr, "swserve: signal received, draining for up to %s\n", *drain)
+		// Flip /readyz to 503 first, so load balancers stop routing here
+		// while in-flight requests finish.
+		srv.SetDraining(true)
 		sdCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := hs.Shutdown(sdCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -9,12 +9,15 @@
 // Usage:
 //
 //	swsim [-seed N] [-scenarios N] [-duration D] [-json] [-v]
+//	swsim -named shard-failover [-seed N] [-scenarios N]
 //	swsim -scenario-json file.json
 //
 // -seed is the first seed of the sweep; -scenarios how many consecutive
 // seeds to run; -duration, when positive, stops the sweep early after
-// that much wall time (CI smoke mode). -scenario-json replays one
-// explicit scenario — the shape the property tests print after shrinking.
+// that much wall time (CI smoke mode). -named runs a curated scenario
+// (e.g. "shard-failover", the cluster backend's replica-crash story)
+// instead of the seeded generator. -scenario-json replays one explicit
+// scenario — the shape the property tests print after shrinking.
 // Exit status is 1 when any scenario violates an invariant; the failing
 // scenario is shrunk to a minimal reproducer and printed as JSON.
 package main
@@ -36,6 +39,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON report per line instead of text")
 	verbose := flag.Bool("v", false, "print every report, not just failures")
 	scenarioJSON := flag.String("scenario-json", "", "replay one explicit scenario from a JSON file")
+	named := flag.String("named", "", `run a curated scenario by name (e.g. "shard-failover") instead of the generator`)
 	flag.Parse()
 
 	if *scenarioJSON != "" {
@@ -51,7 +55,16 @@ func main() {
 			break
 		}
 		s := *seed + int64(i)
-		sc := sim.Generate(s)
+		var sc sim.Scenario
+		if *named != "" {
+			var err error
+			if sc, err = sim.Named(*named, s); err != nil {
+				fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+				os.Exit(2)
+			}
+		} else {
+			sc = sim.Generate(s)
+		}
 		rep, err := sim.Run(sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "swsim: seed %d: %v\n", s, err)

@@ -33,6 +33,7 @@ var LeakcheckAnalyzer = &Analyzer{
 var leakScopes = []string{
 	"internal/master", "internal/slave", "internal/sched",
 	"internal/jobs", "internal/httpapi", "internal/wire",
+	"internal/cluster",
 }
 
 func runLeakcheck(pass *Pass) {

@@ -111,3 +111,49 @@ func grownKindSwitch(k TaskKind) string {
 	}
 	return "?"
 }
+
+// ShardState mirrors cluster.ShardState: the shard-scan lifecycle enum the
+// cluster backend switches over when rendering progress.
+type ShardState int
+
+const (
+	ShardPending ShardState = iota
+	ShardScanning
+	ShardDone
+	ShardFailed
+)
+
+func staleShardSwitch(s ShardState) bool {
+	switch s { // want "switch over ShardState misses ShardDone, ShardFailed and has no default case"
+	case ShardPending, ShardScanning:
+		return false
+	}
+	return true
+}
+
+// Backend mirrors jobs.Backend: the string enum naming a job's execution
+// path. Routing switches must handle every backend or default.
+type Backend string
+
+const (
+	BackendLocal   Backend = "local"
+	BackendCluster Backend = "cluster"
+)
+
+func staleBackendSwitch(b Backend) string {
+	switch b { // want "switch over Backend misses BackendCluster and has no default case"
+	case BackendLocal:
+		return "in-process"
+	}
+	return "?"
+}
+
+func routedBackendSwitch(b Backend) string {
+	switch b {
+	case BackendLocal:
+		return "in-process"
+	case BackendCluster:
+		return "scatter-gather"
+	}
+	return "?"
+}

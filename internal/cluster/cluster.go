@@ -1,0 +1,322 @@
+// Package cluster is the sharded scatter-gather backend of the serving
+// stack: it partitions the indexed database into contiguous shards, builds
+// a replicated engine fleet over them, and executes each search as one
+// master-protocol job per shard whose per-query top-k hits are merged
+// under the module-wide ranking contract (wire.HitLess). The merge is
+// deterministic — score descending, global database index ascending — so a
+// sharded run ranks byte-identically to a single-node run over the same
+// database, in both full and filtered modes.
+//
+// Fault tolerance rides the existing master machinery: every shard's
+// replicas register with the shard master as independent slaves, so when a
+// replica dies mid-scan its connection-drop (SlaveGone) or lease expiry
+// requeues its tasks and a surviving replica re-scans them. A job only
+// fails when a shard has no live replica left to finish it.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/score"
+	"repro/internal/seq"
+	"repro/internal/slave"
+	"repro/internal/wire"
+)
+
+// ShardState is the lifecycle of one shard's scan within a job. It is a
+// closed enum: the exhaustive analyzer audits switches over it.
+type ShardState int
+
+const (
+	// ShardPending shards have not reported any progress yet.
+	ShardPending ShardState = iota
+	// ShardScanning shards have live replicas working through tasks.
+	ShardScanning
+	// ShardDone shards have every task's result collected.
+	ShardDone
+	// ShardFailed shards ran out of live replicas before finishing.
+	ShardFailed
+)
+
+// String returns the state name used in progress views and metric labels.
+func (s ShardState) String() string {
+	switch s {
+	case ShardPending:
+		return "pending"
+	case ShardScanning:
+		return "scanning"
+	case ShardDone:
+		return "done"
+	case ShardFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("ShardState(%d)", int(s))
+	}
+}
+
+// Config describes a fleet.
+type Config struct {
+	// DB is the database to shard. Sequences keep their global index:
+	// shard boundaries never reorder the database, which is what keeps
+	// the merged ranking identical to a single-node scan.
+	DB []*seq.Sequence
+	// Shards is the number of contiguous database partitions; 0 means 1.
+	// Must not exceed len(DB) — every shard holds at least one sequence.
+	Shards int
+	// Replicas is the number of independent engines per shard; 0 means
+	// DefaultReplicas. Each replica can complete the shard's scan alone.
+	Replicas int
+	// Scheme is the scoring scheme; the zero value uses the paper's
+	// BLOSUM62/10/2 default.
+	Scheme score.Scheme
+	// CPUKernel selects the replica engines' algorithm ("farrar" default,
+	// "swipe", "multicore"); CoresPerHost sizes "multicore" engines.
+	CPUKernel    string
+	CoresPerHost int
+	// Lease, when positive, arms each shard master's lease-based failure
+	// detector, the backstop for replicas that hang without dropping
+	// (crashes are caught promptly through SlaveGone).
+	Lease time.Duration
+	// Registry, when non-nil, instruments the fleet (cluster_* families)
+	// and every shard job's master/scheduler/slave metrics.
+	Registry *metrics.Registry
+}
+
+// DefaultReplicas is the per-shard replica count when Config.Replicas is 0.
+const DefaultReplicas = 2
+
+// replica is one engine copy of a shard. Engines are stateless between
+// searches (each Search builds fresh kernels over the shared read-only
+// database slice), so the same replica serves any number of concurrent
+// jobs.
+type replica struct {
+	name string
+	eng  slave.Engine
+
+	// dead and down are guarded by the owning shard's mu; down is closed
+	// exactly when dead flips true, so in-flight callers observe the kill
+	// without taking the lock.
+	dead bool
+	down chan struct{}
+}
+
+// shard is one contiguous database partition and its replica set. The
+// fields above mu are set once when the fleet is built.
+type shard struct {
+	index    int
+	db       []*seq.Sequence // f.cfg.DB[offset : offset+len(db)]
+	offset   int             // global index of db[0]
+	residues int64
+
+	mu       sync.Mutex
+	replicas []*replica
+}
+
+// liveReplicas returns the replicas currently alive, a snapshot under mu.
+func (s *shard) liveReplicas() []*replica {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*replica
+	for _, r := range s.replicas {
+		if !r.dead {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Fleet is a sharded, replicated engine set serving searches. Build one
+// per resident database and share it across jobs: SearchContext is safe
+// for concurrent use.
+type Fleet struct {
+	cfg      Config
+	shards   []*shard
+	met      *Metrics
+	wireMet  *wire.Metrics
+	slaveMet *slave.Metrics
+}
+
+// New partitions the database and builds the replica engines.
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.DB) == 0 {
+		return nil, fmt.Errorf("cluster: empty database")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > len(cfg.DB) {
+		return nil, fmt.Errorf("cluster: %d shards over %d sequences (every shard needs at least one)", cfg.Shards, len(cfg.DB))
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	if cfg.Scheme.Matrix == nil {
+		cfg.Scheme = score.DefaultProtein()
+	}
+	f := &Fleet{cfg: cfg}
+	if cfg.Registry != nil {
+		f.met = NewMetrics(cfg.Registry)
+		f.wireMet = wire.NewMetrics(cfg.Registry)
+		f.slaveMet = slave.NewMetrics(cfg.Registry)
+	}
+	for _, bounds := range partition(cfg.DB, cfg.Shards) {
+		s := &shard{index: len(f.shards), db: cfg.DB[bounds[0]:bounds[1]], offset: bounds[0]}
+		for _, d := range s.db {
+			s.residues += int64(d.Len())
+		}
+		for r := 0; r < cfg.Replicas; r++ {
+			name := fmt.Sprintf("shard%d/replica%d", s.index, r)
+			eng, err := newEngine(name, cfg, s.db)
+			if err != nil {
+				return nil, err
+			}
+			s.replicas = append(s.replicas, &replica{name: name, eng: eng, down: make(chan struct{})})
+		}
+		f.shards = append(f.shards, s)
+	}
+	if f.met != nil {
+		f.met.LiveReplicas.Set(float64(cfg.Shards * cfg.Replicas))
+	}
+	return f, nil
+}
+
+// newEngine builds one replica engine over a shard's database slice,
+// mirroring the kernel selection of the local backend.
+func newEngine(name string, cfg Config, db []*seq.Sequence) (slave.Engine, error) {
+	switch cfg.CPUKernel {
+	case "", "farrar":
+		return slave.NewFarrarEngine(name, cfg.Scheme, db, 0)
+	case "swipe":
+		return slave.NewSwipeEngine(name, cfg.Scheme, db, 0)
+	case "multicore":
+		return slave.NewMulticoreEngine(name, cfg.Scheme, db, cfg.CoresPerHost, 0)
+	default:
+		return nil, fmt.Errorf("cluster: unknown CPU kernel %q", cfg.CPUKernel)
+	}
+}
+
+// partition splits the database into n contiguous, residue-balanced
+// half-open [start, end) index ranges. Boundaries are chosen greedily
+// against the ideal cumulative split points, but never leave a later shard
+// without sequences.
+func partition(db []*seq.Sequence, n int) [][2]int {
+	var total int64
+	for _, d := range db {
+		total += int64(d.Len())
+	}
+	bounds := make([][2]int, 0, n)
+	start := 0
+	var cum int64
+	for i := 0; i < n; i++ {
+		// Ideal cumulative residue count at the end of shard i.
+		target := total * int64(i+1) / int64(n)
+		end := start
+		for end < len(db) && (end-start == 0 || cum < target) {
+			// Leave at least one sequence per remaining shard.
+			if len(db)-end <= n-1-i {
+				break
+			}
+			cum += int64(db[end].Len())
+			end++
+		}
+		if i == n-1 {
+			end = len(db)
+		}
+		bounds = append(bounds, [2]int{start, end})
+		start = end
+	}
+	return bounds
+}
+
+// Shards returns the shard count.
+func (f *Fleet) Shards() int { return len(f.shards) }
+
+// ShardHealth is one shard's liveness snapshot, the /readyz payload.
+type ShardHealth struct {
+	Shard     int   `json:"shard"`
+	Sequences int   `json:"sequences"`
+	Residues  int64 `json:"residues"`
+	Replicas  int   `json:"replicas"`
+	Live      int   `json:"live"`
+}
+
+// Health snapshots every shard's replica liveness, in shard order.
+func (f *Fleet) Health() []ShardHealth {
+	out := make([]ShardHealth, len(f.shards))
+	for i, s := range f.shards {
+		out[i] = ShardHealth{
+			Shard: i, Sequences: len(s.db), Residues: s.residues,
+			Replicas: len(s.replicas), Live: len(s.liveReplicas()),
+		}
+	}
+	return out
+}
+
+// Ready reports whether every shard has at least one live replica.
+func (f *Fleet) Ready() bool {
+	for _, h := range f.Health() {
+		if h.Live == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// KillReplica marks one replica dead, the fault-injection seam chaos tests
+// and the e2e crash scenario use: in-flight protocol calls of the replica
+// start failing immediately (aborting its scans), its tasks requeue on the
+// shard master, and a surviving replica re-scans them.
+func (f *Fleet) KillReplica(shardIdx, replicaIdx int) error {
+	r, err := f.replicaAt(shardIdx, replicaIdx)
+	if err != nil {
+		return err
+	}
+	s := f.shards[shardIdx]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.dead {
+		return nil
+	}
+	r.dead = true
+	close(r.down)
+	if f.met != nil {
+		f.met.ReplicasKilled.Inc()
+		f.met.LiveReplicas.Add(-1)
+	}
+	return nil
+}
+
+// ReviveReplica returns a killed replica to service for jobs submitted
+// after the call (jobs already running keep treating it as dead).
+func (f *Fleet) ReviveReplica(shardIdx, replicaIdx int) error {
+	r, err := f.replicaAt(shardIdx, replicaIdx)
+	if err != nil {
+		return err
+	}
+	s := f.shards[shardIdx]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !r.dead {
+		return nil
+	}
+	r.dead = false
+	r.down = make(chan struct{})
+	if f.met != nil {
+		f.met.LiveReplicas.Add(1)
+	}
+	return nil
+}
+
+func (f *Fleet) replicaAt(shardIdx, replicaIdx int) (*replica, error) {
+	if shardIdx < 0 || shardIdx >= len(f.shards) {
+		return nil, fmt.Errorf("cluster: no shard %d", shardIdx)
+	}
+	s := f.shards[shardIdx]
+	if replicaIdx < 0 || replicaIdx >= len(s.replicas) {
+		return nil, fmt.Errorf("cluster: shard %d has no replica %d", shardIdx, replicaIdx)
+	}
+	return s.replicas[replicaIdx], nil
+}

@@ -1,0 +1,274 @@
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/score"
+	"repro/internal/seq"
+	"repro/internal/wire"
+)
+
+func testDB(t *testing.T, name string, scale float64, seed int64) []*seq.Sequence {
+	t.Helper()
+	db, err := hybridsw.GenerateDatabase(name, scale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// rankingJSON projects results onto exactly the fields the ranking-identity
+// contract covers (query identity plus the full hit lists, alignment
+// payloads included) and serializes them, so "byte-identical" is literal.
+func rankingJSON(t *testing.T, perQuery []hybridsw.QueryResult) string {
+	t.Helper()
+	type row struct {
+		Query string
+		Hits  []wire.Hit
+	}
+	rows := make([]row, len(perQuery))
+	for i, q := range perQuery {
+		rows[i] = row{Query: q.Query, Hits: q.Hits}
+	}
+	b, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestClusterMatchesLocalRanking is the ranking-identity property test:
+// across a seeded scheme x database x mode x top-k matrix, the cluster
+// scatter-gather merge must be byte-identical to the local backend.
+func TestClusterMatchesLocalRanking(t *testing.T) {
+	altScheme := hybridsw.DefaultScheme()
+	altScheme.Gap = score.AffineGap(5, 1)
+	schemes := []struct {
+		name string
+		s    hybridsw.Scheme
+	}{
+		{"blosum62-10-2", hybridsw.DefaultScheme()},
+		{"blosum62-5-1", altScheme},
+	}
+	dbs := []struct {
+		name  string
+		scale float64
+		seed  int64
+	}{
+		{"Ensembl Dog Proteins", 0.0006, 13},
+		{"UniProtKB/SwissProt", 0.0015, 2},
+	}
+	for _, dbc := range dbs {
+		db := testDB(t, dbc.name, dbc.scale, dbc.seed)
+		queries := hybridsw.GenerateQueries(db, 3, 40, 100, dbc.seed+1)
+		for _, sc := range schemes {
+			for _, mode := range []string{"full", "filtered"} {
+				for _, topK := range []int{0, 3} {
+					// Exercise the alignment-stripping path on one cell of
+					// the matrix; tracebacks are expensive to run everywhere.
+					align := mode == "full" && topK == 3
+					name := fmt.Sprintf("%s/%s/%s/topk=%d", dbc.name, sc.name, mode, topK)
+					t.Run(name, func(t *testing.T) {
+						local, err := hybridsw.Search(queries, db, hybridsw.Platform{
+							SSECores: 1, Policy: "PSS", TopK: topK,
+							Scheme: sc.s, Mode: mode, AlignBest: align,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						fleet, err := cluster.New(cluster.Config{
+							DB: db, Shards: 3, Replicas: 2, Scheme: sc.s,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						rep, err := fleet.Search(queries, cluster.Params{
+							Policy: "PSS", TopK: topK, Mode: mode, AlignBest: align,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, want := rankingJSON(t, rep.PerQuery), rankingJSON(t, local.PerQuery)
+						if got != want {
+							t.Errorf("cluster ranking diverges from local:\n got %s\nwant %s", got, want)
+						}
+						if mode == "filtered" {
+							if rep.Filter == nil || local.Filter == nil {
+								t.Fatal("filtered report missing Filter stats")
+							}
+							// Residue accounting must sum back to the local
+							// backend's totals; rescored cells may exceed them
+							// by at most one padding cell per (shard, query)
+							// pair (a windowless shard prefilter still appends
+							// a 1-cell rescore task).
+							if rep.Filter.ResiduesScanned != local.Filter.ResiduesScanned ||
+								rep.Filter.FullScanCells != local.Filter.FullScanCells {
+								t.Errorf("filter accounting diverges: cluster %+v local %+v", rep.Filter, local.Filter)
+							}
+							slack := int64(3 * len(queries))
+							if rep.Filter.RescoredCells < local.Filter.RescoredCells ||
+								rep.Filter.RescoredCells > local.Filter.RescoredCells+slack {
+								t.Errorf("rescored cells %d outside [%d, %d+%d]",
+									rep.Filter.RescoredCells, local.Filter.RescoredCells, local.Filter.RescoredCells, slack)
+							}
+						} else if rep.Cells != local.Cells {
+							t.Errorf("cell totals diverge: cluster %d local %d", rep.Cells, local.Cells)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestClusterFailover kills a shard's replica mid-scan and asserts the
+// surviving replica finishes the job with results still identical to the
+// local backend — the e2e counterpart of the sim scenario.
+func TestClusterFailover(t *testing.T) {
+	db := testDB(t, "Ensembl Dog Proteins", 0.002, 7)
+	queries := hybridsw.GenerateQueries(db, 5, 80, 160, 8)
+	local, err := hybridsw.Search(queries, db, hybridsw.Platform{SSECores: 1, TopK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	fleet, err := cluster.New(cluster.Config{DB: db, Shards: 2, Replicas: 2, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill shard 0's first replica the moment the shard reports real
+	// progress, so the crash lands mid-scan rather than before or after.
+	var kill sync.Once
+	rep, err := fleet.SearchContext(context.Background(), queries, cluster.Params{
+		TopK: 4,
+		OnShards: func(shards []cluster.ShardStatus) {
+			if shards[0].Cells > 0 {
+				kill.Do(func() {
+					if err := fleet.KillReplica(0, 0); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rankingJSON(t, rep.PerQuery), rankingJSON(t, local.PerQuery); got != want {
+		t.Errorf("post-failover ranking diverges from local:\n got %s\nwant %s", got, want)
+	}
+	if rep.Shards[0].Failovers < 1 {
+		t.Errorf("shard 0 absorbed no failover (report %+v)", rep.Shards[0])
+	}
+	if !fleet.Ready() {
+		t.Error("fleet not ready: surviving replicas should keep every shard live")
+	}
+	if err := fleet.ReviveReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	health := fleet.Health()
+	if health[0].Live != 2 {
+		t.Errorf("revived shard 0 reports %d live replicas, want 2", health[0].Live)
+	}
+}
+
+// TestReportAggregatesGCUPS is the regression test for cross-shard
+// throughput accounting: Report.Cells must sum every shard's work (not
+// just the last completing engine's), with a per-shard breakdown.
+func TestReportAggregatesGCUPS(t *testing.T) {
+	db := testDB(t, "Ensembl Dog Proteins", 0.001, 21)
+	queries := hybridsw.GenerateQueries(db, 3, 60, 120, 22)
+	fleet, err := cluster.New(cluster.Config{DB: db, Shards: 3, Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fleet.Search(queries, cluster.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Shards) != 3 {
+		t.Fatalf("%d shard reports, want 3", len(rep.Shards))
+	}
+	var sum int64
+	for _, s := range rep.Shards {
+		if s.Cells <= 0 {
+			t.Errorf("shard %d reports %d cells", s.Shard, s.Cells)
+		}
+		if s.Elapsed <= 0 || s.GCUPS <= 0 {
+			t.Errorf("shard %d breakdown incomplete: %+v", s.Shard, s)
+		}
+		sum += s.Cells
+	}
+	if rep.Cells != sum {
+		t.Errorf("Report.Cells = %d, want the cross-shard sum %d", rep.Cells, sum)
+	}
+	var queryRes, dbRes int64
+	for _, q := range queries {
+		queryRes += int64(q.Len())
+	}
+	for _, d := range db {
+		dbRes += int64(d.Len())
+	}
+	if want := queryRes * dbRes; rep.Cells != want {
+		t.Errorf("Report.Cells = %d, want |queries| x |db| = %d", rep.Cells, want)
+	}
+	if g := rep.GCUPS(); g <= 0 {
+		t.Errorf("aggregate GCUPS = %v", g)
+	}
+}
+
+// TestFleetValidation covers the constructor's error paths and the
+// replica-addressing seam.
+func TestFleetValidation(t *testing.T) {
+	db := testDB(t, "Ensembl Dog Proteins", 0.0004, 5)
+	if _, err := cluster.New(cluster.Config{}); err == nil {
+		t.Error("empty database accepted")
+	}
+	if _, err := cluster.New(cluster.Config{DB: db, Shards: len(db) + 1}); err == nil {
+		t.Error("more shards than sequences accepted")
+	}
+	if _, err := cluster.New(cluster.Config{DB: db, CPUKernel: "bogus"}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	fleet, err := cluster.New(cluster.Config{DB: db, Shards: 2, Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.KillReplica(9, 0); err == nil {
+		t.Error("kill of unknown shard accepted")
+	}
+	if err := fleet.KillReplica(0, 9); err == nil {
+		t.Error("kill of unknown replica accepted")
+	}
+	if err := fleet.ReviveReplica(9, 0); err == nil {
+		t.Error("revive of unknown shard accepted")
+	}
+	queries := hybridsw.GenerateQueries(db, 1, 50, 50, 6)
+	if _, err := fleet.Search(nil, cluster.Params{}); err == nil {
+		t.Error("empty query set accepted")
+	}
+	if _, err := fleet.Search(queries, cluster.Params{Policy: "bogus"}); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if _, err := fleet.Search(queries, cluster.Params{Mode: "bogus"}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	// A shard with every replica dead fails the job instead of hanging.
+	if err := fleet.KillReplica(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Ready() {
+		t.Error("fleet with a dead shard reports ready")
+	}
+	if _, err := fleet.Search(queries, cluster.Params{}); err == nil {
+		t.Error("search with a replica-less shard succeeded")
+	}
+}

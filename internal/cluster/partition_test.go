@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/seq"
+)
+
+func TestPartitionCoversDatabaseContiguously(t *testing.T) {
+	p, err := dataset.ProfileByName("Ensembl Dog Proteins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := dataset.Generate(p.Scale(0.001), 11)
+	for n := 1; n <= len(db); n++ {
+		bounds := partition(db, n)
+		if len(bounds) != n {
+			t.Fatalf("n=%d: %d shards", n, len(bounds))
+		}
+		prev := 0
+		for i, b := range bounds {
+			if b[0] != prev {
+				t.Fatalf("n=%d shard %d: starts at %d, want %d (contiguous, no gaps)", n, i, b[0], prev)
+			}
+			if b[1] <= b[0] {
+				t.Fatalf("n=%d shard %d: empty range %v", n, i, b)
+			}
+			prev = b[1]
+		}
+		if prev != len(db) {
+			t.Fatalf("n=%d: covers %d of %d sequences", n, prev, len(db))
+		}
+	}
+}
+
+func TestPartitionBalancesResidues(t *testing.T) {
+	p, err := dataset.ProfileByName("UniProtKB/SwissProt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := dataset.Generate(p.Scale(0.002), 3)
+	var total int64
+	for _, d := range db {
+		total += int64(d.Len())
+	}
+	const n = 4
+	ideal := total / n
+	for i, b := range partition(db, n) {
+		var res int64
+		for _, d := range db[b[0]:b[1]] {
+			res += int64(d.Len())
+		}
+		// Greedy splitting can overshoot by at most one sequence; the
+		// profile's longest sequences are far under half the ideal share,
+		// so every shard should land within 2x of it.
+		if res > 2*ideal {
+			t.Errorf("shard %d holds %d residues, ideal %d: partition badly unbalanced", i, res, ideal)
+		}
+	}
+}
+
+func TestShardStateStrings(t *testing.T) {
+	want := map[ShardState]string{
+		ShardPending:   "pending",
+		ShardScanning:  "scanning",
+		ShardDone:      "done",
+		ShardFailed:    "failed",
+		ShardState(99): "ShardState(99)",
+	}
+	for s, w := range want {
+		if got := s.String(); got != w {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, w)
+		}
+	}
+}
+
+func TestBoardAggregatesStagesAcrossShards(t *testing.T) {
+	db := []*seq.Sequence{seq.New("a", "", []byte("ACDEFGHIKL")), seq.New("b", "", []byte("MNPQRSTVWY"))}
+	shards := []*shard{
+		{index: 0, db: db[:1], residues: 10},
+		{index: 1, db: db[1:], offset: 1, residues: 10},
+	}
+	queries := db[:1]
+	var gotStage string
+	var gotDone, gotTotal int64
+	var snaps [][]ShardStatus
+	b := newBoard(shards, queries, true, 10, Params{
+		StageProgress: func(stage string, done, total int64) {
+			gotStage, gotDone, gotTotal = stage, done, total
+		},
+		OnShards: func(s []ShardStatus) { snaps = append(snaps, s) },
+	})
+	b.setStage(0, "prefilter", 1, 1)
+	b.setStage(1, "prefilter", 0, 1)
+	if gotStage != "prefilter" || gotDone != 1 || gotTotal != 2 {
+		t.Errorf("stage sum = %s %d/%d, want prefilter 1/2", gotStage, gotDone, gotTotal)
+	}
+	b.setProgress(0, 80, 1e6)
+	b.setState(0, ShardScanning)
+	b.finish(0)
+	b.setState(1, ShardFailed)
+	last := snaps[len(snaps)-1]
+	if last[0].State != ShardDone || last[0].Cells != 80 || last[1].State != ShardFailed {
+		t.Errorf("final snapshot %+v", last)
+	}
+	if last[0].TotalCells == 0 || last[1].TotalCells == 0 {
+		t.Errorf("filtered totals not seeded: %+v", last)
+	}
+}

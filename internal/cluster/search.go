@@ -1,0 +1,363 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/master"
+	"repro/internal/prefilter"
+	"repro/internal/sched"
+	"repro/internal/seq"
+	"repro/internal/slave"
+	"repro/internal/wire"
+)
+
+// Params configures one scatter-gather search. The knobs mirror the local
+// backend's hybridsw.Platform so the two paths stay request-compatible.
+type Params struct {
+	Policy    string // "SS", "PSS" (default), "Fixed", "WFixed"
+	Adjust    bool   // workload adjustment within each shard
+	Omega     int    // PSS history window; 0 = default
+	TopK      int    // hits returned per query; 0 = all
+	AlignBest bool   // traceback rows for each query's best hit
+
+	// Mode selects the pipeline ("" or "full" = exhaustive scan,
+	// "filtered" = prefilter + rescore) and Filter parameterizes the
+	// filtered pipeline, exactly as on the local backend. The filter
+	// automaton is query-derived and candidate windows never span
+	// sequences, so filtering commutes with sharding.
+	Mode   string
+	Filter prefilter.Spec
+
+	// StageProgress, when non-nil, observes filtered-stage completions
+	// summed across shards. Totals count per-shard tasks: a filtered job
+	// over S shards runs S prefilter passes per query.
+	StageProgress func(stage string, done, total int64)
+	// OnShards, when non-nil, observes every per-shard progress change
+	// with a fresh snapshot of all shard statuses (safe to retain).
+	OnShards func([]ShardStatus)
+}
+
+// ShardStatus is one shard's live progress within a running search.
+type ShardStatus struct {
+	Shard int
+	State ShardState
+	// Cells is the shard master's authoritative finished-cell tally;
+	// TotalCells is the shard's full workload (in filtered mode the seed
+	// prefilter equivalents — a lower bound, since rescore tasks append
+	// as candidates emerge). Rate is the latest reporting replica's
+	// instantaneous speed.
+	Cells      int64
+	TotalCells int64
+	Rate       float64
+}
+
+// ShardReport is one shard's contribution to a finished search.
+type ShardReport struct {
+	Shard     int
+	Sequences int
+	Residues  int64
+	// Cells is the DP work this shard computed; Elapsed its scan wall
+	// time; GCUPS the two combined. Failovers counts replica deaths the
+	// shard absorbed without failing the job.
+	Cells     int64
+	Elapsed   time.Duration
+	GCUPS     float64
+	Failovers int
+}
+
+// Report is the outcome of a scatter-gather search.
+type Report struct {
+	PerQuery []master.QueryResult
+	Elapsed  time.Duration
+	// Cells sums the DP work across every shard — the job's true total,
+	// not any single engine's contribution — so GCUPS aggregates the
+	// whole fleet's throughput. Shards carries the per-shard breakdown.
+	Cells  int64
+	Shards []ShardReport
+	// Filter aggregates the filtered pipeline's accounting across shards
+	// (nil for full scans). Residue and cell fields sum to the local
+	// backend's figures; the per-stage done counts are per-shard tasks,
+	// so they total queries x shards.
+	Filter *master.FilterStats
+}
+
+// GCUPS returns the fleet's aggregate throughput in billions of cell
+// updates per second: the cross-shard cell sum over the job's wall time.
+func (r *Report) GCUPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Cells) / r.Elapsed.Seconds() / 1e9
+}
+
+// Search is SearchContext without cancellation.
+func (f *Fleet) Search(queries []*seq.Sequence, p Params) (*Report, error) {
+	//swcheck:ignore ctxflow Search is the deliberate no-ctx compatibility API; SearchContext is the threaded variant
+	return f.SearchContext(context.Background(), queries, p)
+}
+
+// SearchContext compares every query against the sharded database: one
+// master-protocol job per shard, every live replica registered as a slave,
+// per-query hits merged across shards under wire.HitLess. The merged
+// ranking is byte-identical to a single-node scan of the same database. It
+// is safe for concurrent use; each call builds its own shard masters.
+func (f *Fleet) SearchContext(ctx context.Context, queries []*seq.Sequence, p Params) (*Report, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("cluster: no queries")
+	}
+	if p.Policy == "" {
+		p.Policy = "PSS"
+	}
+	// Validate once; each shard master gets its own policy instance
+	// below (policies carry per-job speed-estimation state).
+	if _, err := sched.NewPolicy(p.Policy); err != nil {
+		return nil, err
+	}
+	var filtered bool
+	switch p.Mode {
+	case "", "full":
+	case "filtered":
+		filtered = true
+	default:
+		return nil, fmt.Errorf("cluster: unknown mode %q", p.Mode)
+	}
+
+	var queryResidues int64
+	for _, q := range queries {
+		queryResidues += int64(q.Len())
+	}
+	board := newBoard(f.shards, queries, filtered, queryResidues, p)
+
+	start := time.Now()
+	outcomes := make([]shardOutcome, len(f.shards))
+	var wg sync.WaitGroup
+	for i, s := range f.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			o := &outcomes[i]
+			o.results, o.filter, o.report, o.err = f.searchShard(ctx, s, queries, filtered, p, board)
+		}(i, s)
+	}
+	//swcheck:ignore ctxflow every replica caller is ctx-gated (replicaCaller), so cancellation already unblocks this join; returning before it would leak replica goroutines
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, o.err
+		}
+	}
+
+	rep := &Report{Elapsed: time.Since(start), Shards: make([]ShardReport, len(f.shards))}
+	if filtered {
+		rep.Filter = &master.FilterStats{Queries: len(queries)}
+	}
+	for i, o := range outcomes {
+		rep.Shards[i] = o.report
+		rep.Cells += o.report.Cells
+		if filtered {
+			rep.Filter.PrefilterDone += o.filter.PrefilterDone
+			rep.Filter.RescoreDone += o.filter.RescoreDone
+			rep.Filter.ResiduesScanned += o.filter.ResiduesScanned
+			rep.Filter.CandidateResidues += o.filter.CandidateResidues
+			rep.Filter.Windows += o.filter.Windows
+			rep.Filter.RescoredCells += o.filter.RescoredCells
+			rep.Filter.FullScanCells += o.filter.FullScanCells
+		}
+	}
+	rep.PerQuery = f.merge(queries, outcomes, p.TopK)
+	if f.met != nil {
+		mode := p.Mode
+		if mode == "" {
+			mode = "full"
+		}
+		f.met.Searches.With(mode).Inc()
+	}
+	return rep, nil
+}
+
+// shardOutcome is one shard's scan result within a job.
+type shardOutcome struct {
+	results []master.QueryResult
+	filter  *master.FilterStats
+	report  ShardReport
+	err     error
+}
+
+// merge gathers each query's per-shard hit lists into the global ranking.
+// Shard hit indices were already remapped to global database positions, so
+// concatenating and sorting under wire.HitLess yields exactly the order a
+// single-node scan produces; the top-k cut commutes with the merge because
+// every shard already kept its own k best.
+func (f *Fleet) merge(queries []*seq.Sequence, outcomes []shardOutcome, topK int) []master.QueryResult {
+	merged := make([]master.QueryResult, len(queries))
+	for qi := range queries {
+		qr := master.QueryResult{Query: queries[qi].ID}
+		var hits []wire.Hit
+		for _, o := range outcomes {
+			sq := o.results[qi]
+			hits = append(hits, sq.Hits...)
+			if sq.Elapsed > qr.Elapsed {
+				qr.Elapsed = sq.Elapsed
+			}
+			qr.Replicas += sq.Replicas
+		}
+		wire.SortHits(hits)
+		if topK > 0 && len(hits) > topK {
+			hits = hits[:topK]
+		}
+		// Each shard aligned its own best hit; only the global best keeps
+		// its traceback so the payload matches a single-node run, where
+		// exactly one hit per query carries rows.
+		for i := 1; i < len(hits); i++ {
+			hits[i].QueryRow, hits[i].TargetRow = nil, nil
+			hits[i].QueryStart, hits[i].QueryEnd = 0, 0
+			hits[i].TargetStart, hits[i].TargetEnd = 0, 0
+		}
+		qr.Hits = hits
+		if len(hits) > 0 {
+			if si := f.shardOf(hits[0].Index); si >= 0 {
+				qr.Slave = outcomes[si].results[qi].Slave
+			}
+		}
+		merged[qi] = qr
+	}
+	return merged
+}
+
+// shardOf maps a global database index to its shard.
+func (f *Fleet) shardOf(index int) int {
+	for i, s := range f.shards {
+		if index >= s.offset && index < s.offset+len(s.db) {
+			return i
+		}
+	}
+	return -1
+}
+
+// searchShard runs one shard's scan as a full master-protocol job: a
+// dedicated master over the shard's residues, every live replica running
+// the standard slave loop against it. Replica death surfaces as a failed
+// protocol call, which cancels the replica's in-flight scan and requeues
+// its tasks for the survivors — the same path a dropped TCP connection
+// takes — with the shard master's lease as the backstop for silent hangs.
+func (f *Fleet) searchShard(ctx context.Context, s *shard, queries []*seq.Sequence, filtered bool, p Params, board *progressBoard) ([]master.QueryResult, *master.FilterStats, ShardReport, error) {
+	report := ShardReport{Shard: s.index, Sequences: len(s.db), Residues: s.residues}
+	fail := func(err error) ([]master.QueryResult, *master.FilterStats, ShardReport, error) {
+		board.setState(s.index, ShardFailed)
+		if f.met != nil {
+			f.met.ShardScans.With("failed").Inc()
+		}
+		return nil, nil, report, err
+	}
+
+	pol, err := sched.NewPolicy(p.Policy)
+	if err != nil {
+		return fail(err)
+	}
+	m, err := master.New(master.Config{
+		Queries:    queries,
+		DBResidues: s.residues,
+		Policy:     pol,
+		Adjust:     p.Adjust,
+		Omega:      p.Omega,
+		Lease:      f.cfg.Lease,
+		Registry:   f.cfg.Registry,
+		Filtered:   filtered,
+		Filter:     p.Filter,
+		StageProgress: func(stage string, done, total int64) {
+			board.setStage(s.index, stage, done, total)
+		},
+		Progress: func(doneCells int64, rate float64) {
+			board.setProgress(s.index, doneCells, rate)
+		},
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer m.Close()
+
+	replicas := s.liveReplicas()
+	if len(replicas) == 0 {
+		return fail(fmt.Errorf("cluster: shard %d has no live replica", s.index))
+	}
+	onFailover := func() {
+		report.Failovers++
+		board.setState(s.index, ShardScanning)
+		if f.met != nil {
+			f.met.Failovers.Inc()
+		}
+	}
+	callers := make([]*replicaCaller, len(replicas))
+	errs := make([]error, len(replicas))
+	var wg sync.WaitGroup
+	for i, r := range replicas {
+		wg.Add(1)
+		go func(i int, r *replica) {
+			defer wg.Done()
+			callers[i] = newReplicaCaller(ctx, r, wire.Meter(wire.Local{H: m}, f.wireMet), m, onFailover)
+			_, errs[i] = slave.Run(callers[i], r.eng, slave.Options{
+				NotifyEvery: 20 * time.Millisecond,
+				Poll:        5 * time.Millisecond,
+				TopK:        p.TopK,
+				AlignBest:   p.AlignBest,
+				Metrics:     f.slaveMet,
+			})
+		}(i, r)
+	}
+	//swcheck:ignore ctxflow the joined replica loops are ctx-gated via replicaCaller, so cancellation already unblocks this join
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, report, err
+	}
+	for i, rerr := range errs {
+		// A killed replica's loop ends with a "replica down" call failure;
+		// that is the fault we absorb. Any other error is a real engine or
+		// protocol failure and fails the shard.
+		if rerr != nil && !callers[i].Down() {
+			return fail(fmt.Errorf("cluster: shard %d replica %s: %w", s.index, replicas[i].name, rerr))
+		}
+	}
+	select {
+	case <-m.Done():
+	default:
+		return fail(fmt.Errorf("cluster: shard %d lost all %d replicas mid-scan (%d failovers)", s.index, len(replicas), report.Failovers))
+	}
+
+	results := m.Results()
+	for qi := range results {
+		for hi := range results[qi].Hits {
+			// Shard engines index their own database slice; lift hits to
+			// global database positions so the cross-shard merge (and the
+			// tie-break identity with single-node runs) works on one axis.
+			results[qi].Hits[hi].Index += s.offset
+		}
+	}
+	var fs *master.FilterStats
+	if filtered {
+		stats := m.FilterStats()
+		fs = &stats
+	}
+	report.Elapsed = m.Elapsed()
+	if filtered {
+		report.Cells = fs.RescoredCells
+	} else {
+		for _, q := range queries {
+			report.Cells += int64(q.Len()) * s.residues
+		}
+	}
+	if report.Elapsed > 0 {
+		report.GCUPS = float64(report.Cells) / report.Elapsed.Seconds() / 1e9
+	}
+	board.finish(s.index)
+	if f.met != nil {
+		f.met.ShardScans.With("done").Inc()
+		f.met.ShardScanSeconds.Observe(report.Elapsed.Seconds())
+	}
+	return results, fs, report, nil
+}

@@ -27,9 +27,11 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	hybridsw "repro"
+	"repro/internal/cluster"
 	"repro/internal/fasta"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
@@ -69,6 +71,10 @@ type Options struct {
 	// cache budget, durable dir). Run, Salt, Metrics, MaxQueries and
 	// MaxResidues are supplied by the server and need not be set.
 	Jobs jobs.Config
+	// Fleet, when non-nil, routes every job onto the sharded scatter-gather
+	// backend (internal/cluster) instead of the in-process engine set. The
+	// fleet must be built over the same database the server was.
+	Fleet *cluster.Fleet
 }
 
 // Server serves search requests against one resident database.
@@ -83,6 +89,11 @@ type Server struct {
 	maxBody  int64
 	limits   Limits
 	jobs     *jobs.Manager
+	fleet    *cluster.Fleet // nil on the local backend
+
+	// draining flips once shutdown starts; /readyz answers 503 from then
+	// on so load balancers drain traffic before Close aborts running jobs.
+	draining atomic.Bool
 
 	// Log, when non-nil, receives one access-log line per request
 	// (method, path, status, latency, request ID). Set it before Handler
@@ -124,7 +135,14 @@ func NewWithOptions(dbName string, db []*seq.Sequence, platform hybridsw.Platfor
 		s.residues += int64(d.Len())
 	}
 	jc := opts.Jobs
-	jc.Run = s.runJob
+	if opts.Fleet != nil {
+		s.fleet = opts.Fleet
+		jc.Executor = &clusterExecutor{s: s, fleet: opts.Fleet}
+	} else {
+		jc.Executor = &localExecutor{s: s}
+	}
+	// The ranking-identity contract makes local and cluster results
+	// byte-compatible, so the cache salt deliberately ignores the backend.
 	jc.Salt = s.cacheSalt()
 	jc.Metrics = jobs.NewMetrics(reg)
 	jc.MaxQueries = s.limits.MaxQueries
@@ -176,10 +194,18 @@ func (s *Server) cacheSalt() string {
 // Jobs exposes the job subsystem (tests and embedders).
 func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
+// SetDraining flips the /readyz signal: a draining server answers 503 so
+// load balancers stop routing to it ahead of Close. Job submission is
+// governed separately by the job subsystem's own drain state.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
 // Close drains the job subsystem: running searches get until ctx ends to
 // finish, then are aborted and re-queued for the next boot; the durable
-// store (if any) is compacted and closed.
-func (s *Server) Close(ctx context.Context) error { return s.jobs.Close(ctx) }
+// store (if any) is compacted and closed. /readyz flips to 503 first.
+func (s *Server) Close(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.jobs.Close(ctx)
+}
 
 // Registry returns the server's metrics registry (the one /metrics
 // serves).
@@ -189,6 +215,7 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReady))
 	mux.HandleFunc("GET /database", s.instrument("database", s.handleDatabase))
 	mux.HandleFunc("POST /search", s.instrument("search", s.handleSearch))
 	mux.HandleFunc("POST /align", s.instrument("align", s.handleAlign))
@@ -344,7 +371,9 @@ func (s *Server) decodeSearch(w http.ResponseWriter, r *http.Request) (jreq jobs
 	switch req.Mode {
 	case "", "full":
 	case "filtered":
-		if s.platform.SSECores < 1 && s.platform.GPUs > 0 {
+		// Cluster replicas are always CPU engines, so only the local
+		// backend can find itself GPU-only and without a prefilter host.
+		if s.fleet == nil && s.platform.SSECores < 1 && s.platform.GPUs > 0 {
 			writeReject(w, http.StatusUnprocessableEntity, "filtered_unavailable",
 				"filtered mode needs a CPU engine; this server runs GPU-only")
 			return jreq, false

@@ -20,6 +20,8 @@ type JobView struct {
 	Error     string     `json:"error,omitempty"`
 	Coalesced int        `json:"coalesced,omitempty"`
 	CacheHit  bool       `json:"cache_hit,omitempty"`
+	// Backend names the execution path that runs (or ran) this job.
+	Backend jobs.Backend `json:"backend,omitempty"`
 
 	Queries     int    `json:"queries"`
 	Residues    int64  `json:"residues"`
@@ -31,6 +33,8 @@ type JobView struct {
 	ResultBytes int64  `json:"result_bytes,omitempty"`
 	// Stages shows a running filtered job's prefilter/rescore progress.
 	Stages map[string]jobs.StageCount `json:"stages,omitempty"`
+	// Shards shows a running cluster job's per-shard scan progress.
+	Shards []jobs.ShardProgress `json:"shards,omitempty"`
 }
 
 func viewOf(j jobs.Job) JobView {
@@ -42,6 +46,7 @@ func viewOf(j jobs.Job) JobView {
 		Error:     j.Error,
 		Coalesced: j.Coalesced,
 		CacheHit:  j.CacheHit,
+		Backend:   j.Backend,
 
 		Queries:     j.Request.Queries,
 		Residues:    j.Request.Residues,
@@ -52,6 +57,7 @@ func viewOf(j jobs.Job) JobView {
 		Priority:    j.Request.Priority,
 		ResultBytes: j.ResultBytes,
 		Stages:      j.Stages,
+		Shards:      j.Shards,
 	}
 	if !j.Started.IsZero() {
 		t := j.Started

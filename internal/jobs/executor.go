@@ -1,0 +1,64 @@
+package jobs
+
+import "context"
+
+// Backend names the execution path a Manager routes jobs onto. It is a
+// closed enum: the exhaustive analyzer audits switches over it, so adding
+// a backend forces every routing decision to be revisited.
+type Backend string
+
+const (
+	// BackendLocal executes jobs on the in-process engine set (the
+	// single-node path swserve has always had).
+	BackendLocal Backend = "local"
+	// BackendCluster executes jobs on a sharded master/slave fleet with
+	// scatter-gather merging (internal/cluster).
+	BackendCluster Backend = "cluster"
+)
+
+// Executor is the pluggable job-execution seam. A Manager built with
+// Config.Executor routes every job body through Execute instead of the
+// legacy Config.Run closure; Kind stamps each job so observers (JobView,
+// /readyz) can tell which path produced a result.
+//
+// Execute must honor ctx — cancellation aborts the job — and may call
+// Manager.SetStage/Manager.SetShards with the same ctx to publish progress.
+type Executor interface {
+	// Kind identifies the backend for job stamping and health reporting.
+	Kind() Backend
+	// Execute runs one job to completion, returning the result body.
+	Execute(ctx context.Context, req Request) ([]byte, error)
+}
+
+// ShardProgress is the live state of one database shard within a running
+// cluster job: how much of the shard's cell budget has been scanned, at
+// what instantaneous rate, and which lifecycle state the scan is in
+// ("pending", "scanning", "done", "failed").
+type ShardProgress struct {
+	Shard      int     `json:"shard"`
+	State      string  `json:"state"`
+	Cells      int64   `json:"cells"`
+	TotalCells int64   `json:"total_cells"`
+	Rate       float64 `json:"rate,omitempty"`
+}
+
+// SetShards records a running cluster job's per-shard progress, the
+// scatter-gather analogue of SetStage. The executor body calls it from
+// inside Execute with the Execute context; calls with a foreign or stale
+// context are dropped. The job's Shards slice is replaced, not mutated,
+// so snapshots already handed out stay race-free.
+func (m *Manager) SetShards(ctx context.Context, shards []ShardProgress) {
+	id := JobID(ctx)
+	if id == "" {
+		return
+	}
+	next := make([]ShardProgress, len(shards))
+	copy(next, shards)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil || j.State != StateRunning {
+		return
+	}
+	j.Shards = next
+}

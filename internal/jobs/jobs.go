@@ -102,6 +102,11 @@ type Job struct {
 	// Stages is the live per-stage progress of a filtered job ("prefilter",
 	// "rescore"), fed by SetStage while the job runs. Nil for full scans.
 	Stages map[string]StageCount `json:"stages,omitempty"`
+	// Backend names the execution path that runs (or ran) this job.
+	Backend Backend `json:"backend,omitempty"`
+	// Shards is the live per-shard progress of a cluster job, fed by
+	// SetShards while the job runs. Nil on the local backend.
+	Shards []ShardProgress `json:"shards,omitempty"`
 }
 
 // job is the Manager's live record: the public snapshot plus coordination
@@ -136,7 +141,12 @@ func (e *RejectError) Error() string { return "jobs: " + e.Detail }
 type Config struct {
 	// Run executes one job. It must honor ctx: cancellation aborts the job
 	// (DELETE, client disconnect, shutdown past the drain deadline).
+	// Exactly one of Run and Executor must be set; a bare Run is the
+	// legacy local path (jobs are stamped BackendLocal).
 	Run func(ctx context.Context, req Request) ([]byte, error)
+	// Executor, when non-nil, is the pluggable execution seam: jobs run
+	// through Executor.Execute and are stamped with Executor.Kind().
+	Executor Executor
 	// Salt folds the serving identity (database, platform, scheme) into the
 	// cache key, so results never leak across different configurations.
 	Salt string
@@ -183,11 +193,14 @@ const (
 // store. Fields above mu are set once in New; the group below mu is what mu
 // guards (the cache carries its own lock so result reads skip mu).
 type Manager struct {
-	cfg   Config
-	base  context.Context
-	abort context.CancelFunc
-	cache *lru
-	wg    sync.WaitGroup
+	cfg Config
+	// backend stamps every new job with the execution path that will run
+	// it (derived from Config.Executor, BackendLocal for bare Config.Run).
+	backend Backend
+	base    context.Context
+	abort   context.CancelFunc
+	cache   *lru
+	wg      sync.WaitGroup
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -204,8 +217,15 @@ type Manager struct {
 // (their results readable if persisted), and queued or previously running
 // jobs re-enqueue in creation order.
 func New(cfg Config) (*Manager, error) {
-	if cfg.Run == nil {
-		return nil, fmt.Errorf("jobs: Config.Run is required")
+	backend := BackendLocal
+	switch {
+	case cfg.Run == nil && cfg.Executor == nil:
+		return nil, fmt.Errorf("jobs: one of Config.Run or Config.Executor is required")
+	case cfg.Run != nil && cfg.Executor != nil:
+		return nil, fmt.Errorf("jobs: Config.Run and Config.Executor are mutually exclusive")
+	case cfg.Executor != nil:
+		backend = cfg.Executor.Kind()
+		cfg.Run = cfg.Executor.Execute
 	}
 	if cfg.Executors == 0 {
 		cfg.Executors = DefaultExecutors
@@ -225,13 +245,14 @@ func New(cfg Config) (*Manager, error) {
 	//swcheck:ignore ctxflow the Manager's base ctx outlives any submitter: queued jobs survive caller disconnects and re-run after recovery, so it must root at Background
 	base, abort := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:   cfg,
-		base:  base,
-		abort: abort,
-		cache: newLRU(cfg.CacheBytes),
-		jobs:  map[string]*job{},
-		byKey: map[string]*job{},
-		q:     newQueue(cfg.MaxQueue),
+		cfg:     cfg,
+		backend: backend,
+		base:    base,
+		abort:   abort,
+		cache:   newLRU(cfg.CacheBytes),
+		jobs:    map[string]*job{},
+		byKey:   map[string]*job{},
+		q:       newQueue(cfg.MaxQueue),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	if cfg.Dir != "" {
@@ -405,6 +426,7 @@ func (m *Manager) newJobLocked(key string, req Request, async bool) *job {
 			Key:     key,
 			Request: req,
 			Created: time.Now(),
+			Backend: m.backend,
 		},
 		done:  make(chan struct{}),
 		async: async,

@@ -56,6 +56,12 @@ type Core struct {
 	// stageProgress, when set, is invoked on every accepted stage
 	// completion with cumulative done/total counts for that stage.
 	stageProgress func(stage string, done, total int64)
+	// progress, when set, observes the job's execution progress on every
+	// Progress and accepted Complete message: doneCells comes from the
+	// pool's finished tally (authoritative — replicated scans are not
+	// double-counted) and rate is the reporting slave's instantaneous
+	// speed. The cluster backend feeds per-shard progress from it.
+	progress func(doneCells int64, rate float64)
 	// fmet, when set, receives the master-side savings accounting
 	// (prefilter_rescore_cells_saved_total); the per-pass scan metrics are
 	// observed slave-side where the work happens.
@@ -170,6 +176,11 @@ func newCore(queries []*seq.Sequence, dbResidues int64, tasks []sched.Task, sc s
 // SetStageProgress installs the per-stage progress hook (filtered jobs).
 // Call before serving traffic; the hook runs inside the dispatch path.
 func (c *Core) SetStageProgress(fn func(stage string, done, total int64)) { c.stageProgress = fn }
+
+// SetProgress installs the execution-progress hook. Call before serving
+// traffic; the hook runs inside the dispatch path, so keep it fast and
+// never call back into the core.
+func (c *Core) SetProgress(fn func(doneCells int64, rate float64)) { c.progress = fn }
 
 // SetFilterMetrics attaches the prefilter bundle for master-side savings
 // accounting.
@@ -359,6 +370,9 @@ func (c *Core) Dispatch(req wire.Envelope, now time.Duration) wire.Envelope {
 			return *e
 		}
 		c.coord.ProgressRate(req.Progress.Slave, req.Progress.Rate, req.Progress.Cells, now)
+		if c.progress != nil {
+			c.progress(c.coord.Pool().FinishedCells(), req.Progress.Rate)
+		}
 		if c.events != nil {
 			_ = c.events.Emit(metrics.Event{
 				Kind: metrics.EventSample, TimeSec: now.Seconds(),
@@ -400,6 +414,9 @@ func (c *Core) Dispatch(req wire.Envelope, now time.Duration) wire.Envelope {
 			payload, req.Complete.Cells, req.Complete.Rate, now)
 		for _, o := range canceledSlaves {
 			c.pendingCancel[o] = append(c.pendingCancel[o], req.Complete.Task)
+		}
+		if accepted && c.progress != nil {
+			c.progress(c.coord.Pool().FinishedCells(), req.Complete.Rate)
 		}
 		if accepted && c.events != nil {
 			_ = c.events.Emit(metrics.Event{
@@ -555,12 +572,7 @@ func (c *Core) Results() []QueryResult {
 		}
 		if hits, ok := r.Payload.([]wire.Hit); ok {
 			qr.Hits = append(qr.Hits, hits...)
-			sort.SliceStable(qr.Hits, func(i, j int) bool {
-				if qr.Hits[i].Score != qr.Hits[j].Score {
-					return qr.Hits[i].Score > qr.Hits[j].Score
-				}
-				return qr.Hits[i].Index < qr.Hits[j].Index
-			})
+			wire.SortHits(qr.Hits)
 		}
 		out = append(out, qr)
 	}

@@ -63,6 +63,13 @@ type Config struct {
 	// (stage is "prefilter" or "rescore"). Called under the master's lock:
 	// keep it fast and never call back into the master.
 	StageProgress func(stage string, done, total int64)
+	// Progress, when non-nil, is invoked on every progress report and
+	// accepted completion with the job's authoritative finished-cell tally
+	// (replicated scans are not double-counted) and the reporting slave's
+	// instantaneous rate. Called under the master's lock: keep it fast and
+	// never call back into the master. The cluster backend folds per-shard
+	// progress out of this hook.
+	Progress func(doneCells int64, rate float64)
 }
 
 // schedConfig derives the coordinator configuration, attaching scheduler
@@ -144,6 +151,7 @@ func New(cfg Config) (*Master, error) {
 		return nil, err
 	}
 	core.SetStageProgress(cfg.StageProgress)
+	core.SetProgress(cfg.Progress)
 	if cfg.Registry != nil {
 		core.SetFilterMetrics(prefilter.NewMetrics(cfg.Registry))
 	}

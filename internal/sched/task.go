@@ -317,6 +317,21 @@ func (p *Pool) Abandon(id TaskID, s SlaveID) {
 	}
 }
 
+// FinishedCells sums the Cells of finished tasks: the authoritative
+// completed-work figure for progress reporting. Per-slave progress deltas
+// cannot serve that role — with the workload adjustment mechanism several
+// replicas scan the same task and each reports its own cells, so summing
+// deltas double-counts replicated work.
+func (p *Pool) FinishedCells() int64 {
+	var cells int64
+	for i := range p.entries {
+		if p.entries[i].state == Finished {
+			cells += p.entries[i].task.Cells
+		}
+	}
+	return cells
+}
+
 // FinishedBy returns which slave completed task id and when; ok is false if
 // the task is not finished.
 func (p *Pool) FinishedBy(id TaskID) (s SlaveID, at time.Duration, ok bool) {

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShardFailoverScenario is the deterministic counterpart of the
+// cluster package's failover test: the shard primary crashes mid-scan and
+// the replica must complete the whole task set exactly once (the invariant
+// library reports any lost or double-completed task as a violation).
+func TestShardFailoverScenario(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		sc := ShardFailover(seed)
+		rep := mustRun(t, sc)
+		requireClean(t, rep)
+		if len(rep.Results) != len(sc.TaskResidues) {
+			t.Errorf("seed %d: %d results, want %d", seed, len(rep.Results), len(sc.TaskResidues))
+		}
+		// The crash must actually land mid-scan: a run finishing before
+		// CrashAt never exercised the failover.
+		if rep.Makespan <= sc.Slaves[0].CrashAt {
+			t.Errorf("seed %d: makespan %v ended before the primary's crash at %v",
+				seed, rep.Makespan, sc.Slaves[0].CrashAt)
+		}
+	}
+}
+
+func TestNamedScenarios(t *testing.T) {
+	sc, err := Named("shard-failover", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Seed != 3 || sc.Name != "shard-failover" {
+		t.Fatalf("scenario = %+v", sc)
+	}
+	if sc.Slaves[0].CrashAt != time.Second {
+		t.Fatalf("primary crash not pinned: %+v", sc.Slaves[0])
+	}
+	if _, err := Named("nope", 1); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}

@@ -7,7 +7,6 @@ package slave
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/cudasw"
 	"repro/internal/farrar"
@@ -175,7 +174,8 @@ func (e *GPUEngine) Search(query *seq.Sequence, progress func(int64), cancel <-c
 	return out, nil
 }
 
-// TopK returns the k best hits by score (ties by database order), the form
+// TopK returns the k best hits under the module-wide ranking contract
+// (wire.HitLess: score descending, database order on ties), the form
 // results travel back to the master in.
 func TopK(hits []wire.Hit, k int) []wire.Hit {
 	if k <= 0 || k >= len(hits) {
@@ -183,12 +183,7 @@ func TopK(hits []wire.Hit, k int) []wire.Hit {
 	}
 	out := make([]wire.Hit, len(hits))
 	copy(out, hits)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Index < out[j].Index
-	})
+	wire.SortHits(out)
 	return out[:k]
 }
 

@@ -1,0 +1,23 @@
+package wire
+
+import "sort"
+
+// HitLess is the module-wide hit-ranking contract: score descending, then
+// database index ascending. Every layer that orders hits — the slave's
+// per-task top-k cut, the master core's per-query merge, and the cluster
+// backend's cross-shard scatter-gather merge — must use exactly this
+// comparator. That single definition is what makes a sharded run's ranking
+// byte-identical to a single-node run's: (Score, Index) is unique per hit,
+// so any list sorted with HitLess has exactly one legal order regardless of
+// which engine, replica or shard produced each entry.
+func HitLess(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Index < b.Index
+}
+
+// SortHits orders hits best-first under HitLess, in place.
+func SortHits(hits []Hit) {
+	sort.SliceStable(hits, func(i, j int) bool { return HitLess(hits[i], hits[j]) })
+}
