@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint lint-cover test race race-full sim-smoke fuzz-smoke bench-smoke cover cluster-cover bench tables svg csv examples clean
+.PHONY: all build vet lint lint-cover test race race-full sim-smoke fuzz-smoke bench-smoke cover cluster-cover tenancy-cover bench tables svg csv examples clean
 
 # The concurrency-heavy packages (distributed path + scheduler) always run
 # under the race detector as part of `make test`; `race-full` covers the
@@ -10,7 +10,7 @@
 # internal/simd rides along too: the SWAR lane-law property tests there are
 # pure math, but running them under -race keeps the exhaustive truth tables
 # honest if anyone parallelizes them later.
-RACE_PKGS := ./internal/sched/... ./internal/master/... ./internal/slave/... ./internal/wire/... ./internal/httpapi/... ./internal/metrics/... ./internal/jobs/... ./internal/sim/... ./internal/simd/... ./internal/prefilter/... ./internal/cluster/...
+RACE_PKGS := ./internal/sched/... ./internal/master/... ./internal/slave/... ./internal/wire/... ./internal/httpapi/... ./internal/metrics/... ./internal/jobs/... ./internal/autoscale/... ./internal/sim/... ./internal/simd/... ./internal/prefilter/... ./internal/cluster/...
 
 all: build lint test
 
@@ -54,12 +54,26 @@ race-full:
 
 # Chaos-test the master/slave/jobs stack: 200 generated fault scenarios
 # replayed under virtual time from pinned seeds (see cmd/swsim and
-# DESIGN §10), plus the curated shard-failover scenario guarding the
-# cluster backend's replica-crash story across a seed sweep. Fails loudly
-# with a shrunken reproducer on any invariant violation.
+# DESIGN §10) — about a third of which now carry tenant arrival streams,
+# preemption and elastic pools — plus the curated scenarios: the cluster
+# backend's replica-crash story, the DRF flood-vs-trickle fairness
+# contract, quota admission, preemption safety and autoscaler stability
+# (DESIGN §13). Fails loudly with a shrunken reproducer on any invariant
+# violation.
 sim-smoke:
 	go run ./cmd/swsim -seed 1 -scenarios 200 -duration 60s
 	go run ./cmd/swsim -named shard-failover -seed 1 -scenarios 25
+	go run ./cmd/swsim -named tenant-starvation -seed 1 -scenarios 25
+	go run ./cmd/swsim -named quota-burst -seed 1 -scenarios 25
+	go run ./cmd/swsim -named preempt-storm -seed 1 -scenarios 25
+	go run ./cmd/swsim -named autoscale-flap -seed 1 -scenarios 25
+
+# Coverage floor for the multi-tenant control plane: the fair queue +
+# quota book (jobs) and the scale controller (autoscale) gate admission
+# and capacity decisions, so their tests must not rot.
+tenancy-cover:
+	go test -coverprofile=tenancy.cover.out ./internal/jobs ./internal/autoscale
+	go run ./cmd/covercheck -profile tenancy.cover.out -min 78
 
 # Coverage floor for the cluster backend: the scatter-gather merge and
 # failover paths gate serving correctness, so their tests must not rot.
@@ -73,11 +87,15 @@ cluster-cover:
 # which drives random sequences and gap schemes through the full
 # SWAR/emulated/scalar ladder and fails on any score divergence, and the
 # Aho-Corasick one, which pits the prefilter automaton against a naive
-# multi-pattern scan. Each target fuzzes for a fixed budget; regressions
-# land in testdata/fuzz and replay as ordinary tests forever after.
+# multi-pattern scan, and the fair-queue one, which replays randomized
+# push/pop/finish/remove interleavings against a shadow model of the
+# per-tenant accounting. Each target fuzzes for a fixed budget;
+# regressions land in testdata/fuzz and replay as ordinary tests forever
+# after.
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire
 	go test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/jobs
+	go test -run='^$$' -fuzz=FuzzFairQueue -fuzztime=10s ./internal/jobs
 	go test -run='^$$' -fuzz=FuzzFarrarVsScalar -fuzztime=10s ./internal/farrar
 	go test -run='^$$' -fuzz=FuzzACVsNaive -fuzztime=10s ./internal/prefilter
 

@@ -28,6 +28,17 @@
 // (-cache-bytes) with singleflight coalescing, and — with -jobs-dir — a
 // durable store so queued jobs survive a restart.
 //
+// Multi-tenancy: requests carry a tenant (X-Tenant header or the "tenant"
+// body field). -tenant-policy selects the dequeue discipline — "wfq"
+// (weighted fair queueing over declared residues) or "drf" (dominant
+// resource over queries and residues) instead of the default single FIFO —
+// and -tenants sets per-tenant weights and outstanding-job quotas:
+//
+//	swserve -db db.fasta -tenant-policy drf -tenants "alice:2:0,bob:1:4"
+//
+// gives alice twice bob's share and caps bob at 4 outstanding jobs
+// (over-quota submissions get 429 with a backlog-scaled Retry-After).
+//
 // With -backend=cluster the database is partitioned into -shards contiguous
 // shards, each scanned by -replicas replicated engines under its own
 // master-protocol job, and per-query top-k hits are merged with
@@ -49,6 +60,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -86,6 +98,9 @@ func main() {
 		maxQueries  = flag.Int("max-queries", 0, "per-request query-count cap (0: default, negative: uncapped)")
 		maxResidues = flag.Int64("max-residues", 0, "per-request total-residue cap (0: default, negative: uncapped)")
 		maxTopK     = flag.Int("max-topk", 0, "per-request top_k cap (0: default, negative: uncapped)")
+
+		tenantPolicy = flag.String("tenant-policy", "", `multi-tenant dequeue policy: "fifo" (default), "wfq" or "drf"`)
+		tenantSpecs  = flag.String("tenants", "", `per-tenant overrides as "name:weight:maxOutstanding,..." (e.g. "alice:2:0,bob:1:4"; 0 = unlimited)`)
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -128,6 +143,14 @@ func main() {
 	default:
 		fail("unknown -backend %q (want local or cluster)", *backend)
 	}
+	tpol, err := jobs.ParseTenantPolicy(*tenantPolicy)
+	if err != nil {
+		fail("%v", err)
+	}
+	tenants, err := parseTenants(*tenantSpecs)
+	if err != nil {
+		fail("%v", err)
+	}
 	srv, err := httpapi.NewWithOptions(*dbPath, db, platform, httpapi.Options{
 		Fleet: fleet,
 		Limits: httpapi.Limits{
@@ -136,10 +159,12 @@ func main() {
 			MaxTopK:     *maxTopK,
 		},
 		Jobs: jobs.Config{
-			Dir:        *jobsDir,
-			Executors:  *executors,
-			MaxQueue:   *queueDepth,
-			CacheBytes: *cacheBytes,
+			Dir:          *jobsDir,
+			Executors:    *executors,
+			MaxQueue:     *queueDepth,
+			CacheBytes:   *cacheBytes,
+			TenantPolicy: tpol,
+			Tenants:      tenants,
 		},
 	})
 	if err != nil {
@@ -178,6 +203,46 @@ func main() {
 		}
 		fmt.Println("swserve: shut down cleanly")
 	}
+}
+
+// parseTenants parses the -tenants flag: comma-separated
+// "name[:weight[:maxOutstanding]]" entries. Weight 0 means the default 1;
+// maxOutstanding 0 means unlimited.
+func parseTenants(s string) (map[string]jobs.TenantConfig, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]jobs.TenantConfig{}
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		name := parts[0]
+		if name == "" {
+			return nil, fmt.Errorf("-tenants: empty tenant name in %q", entry)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("-tenants: duplicate tenant %q", name)
+		}
+		var cfg jobs.TenantConfig
+		if len(parts) > 1 && parts[1] != "" {
+			w, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("-tenants: bad weight %q for %q", parts[1], name)
+			}
+			cfg.Weight = w
+		}
+		if len(parts) > 2 && parts[2] != "" {
+			n, err := strconv.Atoi(parts[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("-tenants: bad maxOutstanding %q for %q", parts[2], name)
+			}
+			cfg.MaxOutstanding = n
+		}
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("-tenants: too many fields in %q (want name:weight:maxOutstanding)", entry)
+		}
+		out[name] = cfg
+	}
+	return out, nil
 }
 
 func fail(format string, args ...any) {

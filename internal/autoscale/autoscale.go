@@ -1,0 +1,224 @@
+// Package autoscale decides when an elastic slave pool should grow or
+// shrink. It is a pure policy: callers feed it observations (backlog and
+// pool size at a virtual or wall timestamp) and apply the returned actions
+// themselves, so the same controller drives the deterministic simulator and
+// a live deployment.
+//
+// The controller is a classic hysteresis loop. Pressure is the backlog per
+// pool member; crossing UpAt (or DownAt) starts a dwell clock, and only
+// after the pressure has stayed over (under) the threshold for UpAfter
+// (DownAfter) does the controller emit a Grow (Shrink) — a momentary spike
+// or trough never moves the pool. After any action a Cooldown mutes further
+// actions, and Min/Max clamp the pool absolutely, so a flapping workload
+// produces a bounded number of scale events (the simulator asserts this as
+// an invariant).
+package autoscale
+
+import (
+	"fmt"
+	"time"
+)
+
+// State is the controller's dwell phase.
+type State int
+
+const (
+	// Steady: pressure inside the [DownAt, UpAt] band, no dwell running.
+	Steady State = iota
+	// ScalingUp: pressure has been above UpAt since the dwell started.
+	ScalingUp
+	// ScalingDown: pressure has been below DownAt since the dwell started.
+	ScalingDown
+)
+
+// String names the state for logs and decision traces.
+func (s State) String() string {
+	switch s {
+	case Steady:
+		return "steady"
+	case ScalingUp:
+		return "scaling-up"
+	case ScalingDown:
+		return "scaling-down"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Action is what the caller should do to the pool.
+type Action int
+
+const (
+	// Hold: leave the pool alone.
+	Hold Action = iota
+	// Grow: add one slave.
+	Grow
+	// Shrink: retire one slave.
+	Shrink
+)
+
+// String names the action for logs and metrics labels.
+func (a Action) String() string {
+	switch a {
+	case Hold:
+		return "hold"
+	case Grow:
+		return "grow"
+	case Shrink:
+		return "shrink"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Config tunes the controller. The zero value is completed by sane
+// defaults (see Defaults).
+type Config struct {
+	// Min and Max clamp the pool size the controller will steer toward.
+	// Min defaults to 1; Max defaults to 8.
+	Min, Max int
+	// UpAt is the backlog-per-slave pressure above which the pool wants to
+	// grow; defaults to 4.
+	UpAt float64
+	// DownAt is the pressure below which the pool wants to shrink;
+	// defaults to 0.5. Must be < UpAt for the hysteresis band to exist.
+	DownAt float64
+	// UpAfter and DownAfter are how long the pressure must dwell past the
+	// threshold before the controller acts. Both default to 2s. Shrinking
+	// usually wants a longer dwell than growing.
+	UpAfter, DownAfter time.Duration
+	// Cooldown mutes all actions after one fires, letting the pool change
+	// take effect before the controller reacts to its own wake. Defaults
+	// to 5s.
+	Cooldown time.Duration
+}
+
+// Defaults fills unset fields and returns the completed config.
+func (c Config) Defaults() Config {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = 8
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.UpAt <= 0 {
+		c.UpAt = 4
+	}
+	if c.DownAt <= 0 {
+		c.DownAt = 0.5
+	}
+	if c.DownAt >= c.UpAt {
+		c.DownAt = c.UpAt / 2
+	}
+	if c.UpAfter <= 0 {
+		c.UpAfter = 2 * time.Second
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 2 * time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Decision is one recorded Observe outcome that changed something: every
+// non-Hold action, kept so tests and the simulator can audit flap counts.
+type Decision struct {
+	At       time.Duration
+	Action   Action
+	Pool     int // pool size the controller observed
+	Backlog  int
+	Pressure float64
+}
+
+// Controller is the hysteresis loop. Not safe for concurrent use; it keeps
+// no goroutines and never reads the wall clock — time arrives through
+// Observe's now argument.
+type Controller struct {
+	cfg   Config
+	state State
+	// dwellStart is when pressure first crossed the active threshold.
+	dwellStart time.Duration
+	lastAction time.Duration
+	acted      bool // lastAction is valid (distinguishes t=0 from never)
+	decisions  []Decision
+}
+
+// New builds a controller; cfg is completed with Defaults.
+func New(cfg Config) *Controller {
+	return &Controller{cfg: cfg.Defaults()}
+}
+
+// Config returns the completed configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// State returns the current dwell phase.
+func (c *Controller) State() State { return c.state }
+
+// Decisions returns every non-Hold action taken so far, in order.
+func (c *Controller) Decisions() []Decision { return c.decisions }
+
+// Observe feeds one (backlog, pool) sample at time now and returns the
+// action the caller should apply. now must not go backwards between calls.
+func (c *Controller) Observe(backlog, pool int, now time.Duration) Action {
+	if pool < 1 {
+		pool = 1
+	}
+	pressure := float64(backlog) / float64(pool)
+
+	// Classify the sample against the hysteresis band.
+	var want State
+	switch {
+	case pressure > c.cfg.UpAt:
+		want = ScalingUp
+	case pressure < c.cfg.DownAt:
+		want = ScalingDown
+	default:
+		want = Steady
+	}
+
+	// (Re)start the dwell clock whenever the phase changes: a sample back
+	// inside the band resets accumulated intent.
+	if want != c.state {
+		c.state = want
+		c.dwellStart = now
+	}
+	if c.state == Steady {
+		return Hold
+	}
+	// Cooldown after an action, regardless of dwell.
+	if c.acted && now-c.lastAction < c.cfg.Cooldown {
+		return Hold
+	}
+
+	switch c.state {
+	case ScalingUp:
+		if now-c.dwellStart < c.cfg.UpAfter || pool >= c.cfg.Max {
+			return Hold
+		}
+		return c.act(Grow, backlog, pool, pressure, now)
+	case ScalingDown:
+		if now-c.dwellStart < c.cfg.DownAfter || pool <= c.cfg.Min {
+			return Hold
+		}
+		return c.act(Shrink, backlog, pool, pressure, now)
+	default:
+		return Hold
+	}
+}
+
+func (c *Controller) act(a Action, backlog, pool int, pressure float64, now time.Duration) Action {
+	c.lastAction = now
+	c.acted = true
+	// The action resets the dwell: the next sample re-evaluates from
+	// scratch against the changed pool.
+	c.state = Steady
+	c.decisions = append(c.decisions, Decision{
+		At: now, Action: a, Pool: pool, Backlog: backlog, Pressure: pressure,
+	})
+	return a
+}

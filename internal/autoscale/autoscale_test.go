@@ -1,0 +1,152 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func cfg() Config {
+	return Config{
+		Min: 1, Max: 4,
+		UpAt: 4, DownAt: 0.5,
+		UpAfter: 2 * time.Second, DownAfter: 2 * time.Second,
+		Cooldown: 5 * time.Second,
+	}
+}
+
+// A momentary spike shorter than the dwell never grows the pool.
+func TestSpikeShorterThanDwellIsIgnored(t *testing.T) {
+	c := New(cfg())
+	if a := c.Observe(40, 2, 0); a != Hold {
+		t.Fatalf("first over-pressure sample acted: %v", a)
+	}
+	if c.State() != ScalingUp {
+		t.Fatalf("state = %v, want scaling-up", c.State())
+	}
+	// Back inside the band before the dwell elapses: intent resets.
+	if a := c.Observe(4, 2, sec(1)); a != Hold || c.State() != Steady {
+		t.Fatalf("reset sample: action=%v state=%v", a, c.State())
+	}
+	// Over again — the old dwell must not be credited.
+	if a := c.Observe(40, 2, sec(1.5)); a != Hold {
+		t.Fatalf("fresh dwell acted immediately: %v", a)
+	}
+	if a := c.Observe(40, 2, sec(4)); a != Grow {
+		t.Fatalf("sustained pressure past dwell = %v, want grow", a)
+	}
+}
+
+// Sustained pressure grows, cooldown mutes the next action, and Max clamps.
+func TestGrowCooldownAndMaxClamp(t *testing.T) {
+	c := New(cfg())
+	mm := NewMetrics(metrics.NewRegistry())
+	pool := 2
+	apply := func(a Action) {
+		switch a {
+		case Grow:
+			pool++
+		case Shrink:
+			pool--
+		case Hold:
+		}
+		mm.Record(a, pool)
+	}
+	apply(c.Observe(40, pool, 0))
+	apply(c.Observe(40, pool, sec(3))) // dwell elapsed -> grow to 3
+	if pool != 3 {
+		t.Fatalf("pool = %d after dwell, want 3", pool)
+	}
+	// Still over-pressure but inside cooldown: held.
+	apply(c.Observe(40, pool, sec(4)))
+	apply(c.Observe(40, pool, sec(6)))
+	if pool != 3 {
+		t.Fatalf("pool = %d during cooldown, want 3", pool)
+	}
+	// Cooldown over; a fresh dwell (restarted at the post-action sample)
+	// must still elapse before the next grow.
+	apply(c.Observe(40, pool, sec(9)))
+	apply(c.Observe(40, pool, sec(12)))
+	if pool != 4 {
+		t.Fatalf("pool = %d after second cycle, want 4", pool)
+	}
+	// At Max: no further growth no matter the pressure.
+	apply(c.Observe(400, pool, sec(20)))
+	apply(c.Observe(400, pool, sec(30)))
+	if pool != 4 {
+		t.Fatalf("pool = %d, grew past Max", pool)
+	}
+	if got := mm.PoolSize.Value(); got != 4 {
+		t.Fatalf("autoscale_pool_size = %v, want 4", got)
+	}
+	if got := mm.Events.With("grow").Value(); got != 2 {
+		t.Fatalf("autoscale_events_total{grow} = %v, want 2", got)
+	}
+}
+
+// An idle pool shrinks after the down dwell and never below Min.
+func TestShrinkAndMinClamp(t *testing.T) {
+	c := New(cfg())
+	pool := 3
+	if a := c.Observe(0, pool, 0); a != Hold {
+		t.Fatalf("first idle sample acted: %v", a)
+	}
+	if a := c.Observe(0, pool, sec(3)); a != Shrink {
+		t.Fatalf("idle past dwell = %v, want shrink", a)
+	}
+	pool--
+	// Cooldown, then another full dwell, shrinks again.
+	if a := c.Observe(0, pool, sec(9)); a != Hold {
+		t.Fatalf("post-cooldown first sample acted: %v", a)
+	}
+	if a := c.Observe(0, pool, sec(12)); a != Shrink {
+		t.Fatalf("second idle dwell = %v, want shrink", a)
+	}
+	pool--
+	// At Min: held forever.
+	if a := c.Observe(0, pool, sec(20)); a != Hold {
+		t.Fatalf("at Min acted: %v", a)
+	}
+	if a := c.Observe(0, pool, sec(60)); a != Hold {
+		t.Fatalf("at Min acted late: %v", a)
+	}
+	dec := c.Decisions()
+	if len(dec) != 2 || dec[0].Action != Shrink || dec[1].Action != Shrink {
+		t.Fatalf("decisions = %+v, want exactly 2 shrinks", dec)
+	}
+}
+
+// A workload oscillating faster than the dwell produces zero actions: the
+// hysteresis band plus dwell is the anti-flap guarantee the simulator
+// sweeps under chaos.
+func TestFastOscillationNeverActs(t *testing.T) {
+	c := New(cfg())
+	for i := 0; i < 100; i++ {
+		backlog := 0
+		if i%2 == 0 {
+			backlog = 40
+		}
+		if a := c.Observe(backlog, 2, sec(float64(i)*0.5)); a != Hold {
+			t.Fatalf("flapping sample %d acted: %v", i, a)
+		}
+	}
+	if len(c.Decisions()) != 0 {
+		t.Fatalf("decisions = %+v, want none", c.Decisions())
+	}
+}
+
+// Defaults complete a zero config into a usable band.
+func TestDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.Min < 1 || c.Max < c.Min || c.DownAt >= c.UpAt || c.UpAfter <= 0 || c.DownAfter <= 0 || c.Cooldown <= 0 {
+		t.Fatalf("bad defaults: %+v", c)
+	}
+	// An inverted band is repaired, not accepted.
+	c = Config{UpAt: 1, DownAt: 3}.Defaults()
+	if c.DownAt >= c.UpAt {
+		t.Fatalf("inverted band survived Defaults: %+v", c)
+	}
+}

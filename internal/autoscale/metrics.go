@@ -1,0 +1,30 @@
+package autoscale
+
+import "repro/internal/metrics"
+
+// Metrics is the autoscaler's instrumentation bundle; nil skips all
+// accounting, like every bundle in this repo.
+type Metrics struct {
+	PoolSize *metrics.Gauge
+	Events   *metrics.CounterVec
+}
+
+// NewMetrics registers (or re-attaches to) the autoscaler families on r.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		PoolSize: r.Gauge("autoscale_pool_size", "Slaves currently provisioned by the elastic pool (including booting ones)."),
+		Events:   r.CounterVec("autoscale_events_total", "Scale actions applied to the elastic pool, by direction.", "direction"),
+	}
+}
+
+// Record mirrors one applied action and the resulting pool size into the
+// bundle.
+func (m *Metrics) Record(a Action, pool int) {
+	if m == nil {
+		return
+	}
+	m.PoolSize.Set(float64(pool))
+	if a != Hold {
+		m.Events.With(a.String()).Inc()
+	}
+}

@@ -279,6 +279,10 @@ type SearchRequest struct {
 	// Priority orders the job queue: higher runs first, FIFO within a
 	// level. Only meaningful while the queue is backed up.
 	Priority int `json:"priority,omitempty"`
+	// Tenant names the submitting tenant for fair queueing and quotas; the
+	// X-Tenant request header takes precedence over this field. Empty means
+	// the anonymous default tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // SearchHit is one reported hit.
@@ -326,6 +330,14 @@ type SearchResponse struct {
 func (s *Server) decodeSearch(w http.ResponseWriter, r *http.Request) (jreq jobs.Request, ok bool) {
 	var req SearchRequest
 	if !decodeJSON(w, r, &req) {
+		return jreq, false
+	}
+	tenant := req.Tenant
+	if h := r.Header.Get("X-Tenant"); h != "" {
+		tenant = h
+	}
+	if err := validTenant(tenant); err != nil {
+		writeReject(w, http.StatusUnprocessableEntity, "bad_tenant", "%v", err)
 		return jreq, false
 	}
 	queries, err := fasta.NewReader(strings.NewReader(req.QueriesFasta)).ReadAll()
@@ -392,9 +404,28 @@ func (s *Server) decodeSearch(w http.ResponseWriter, r *http.Request) (jreq jobs
 		FilterK:      req.FilterK,
 		FilterMargin: req.FilterMargin,
 		Priority:     req.Priority,
+		Tenant:       tenant,
 		Queries:      len(queries),
 		Residues:     residues,
 	}, true
+}
+
+// validTenant vets a tenant name before it becomes a queue bucket and a
+// metrics label: at most 64 characters from [a-zA-Z0-9._-]. Empty is the
+// anonymous default and always valid.
+func validTenant(name string) error {
+	if len(name) > 64 {
+		return fmt.Errorf("tenant name exceeds 64 characters")
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("tenant name contains %q; allowed: [a-zA-Z0-9._-]", c)
+		}
+	}
+	return nil
 }
 
 // runJob is the executor body the job subsystem runs: one full search with
@@ -603,7 +634,7 @@ func writeJobErr(w http.ResponseWriter, err error) {
 	if errors.As(err, &rej) {
 		code := http.StatusBadRequest
 		switch rej.Reason {
-		case "queue_full":
+		case "queue_full", "tenant_quota":
 			code = http.StatusTooManyRequests
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(rej.RetryAfter.Seconds()+0.5)))
 		case "too_many_queries", "too_many_residues":

@@ -30,6 +30,7 @@ type JobView struct {
 	Align       bool   `json:"align,omitempty"`
 	Mode        string `json:"mode,omitempty"`
 	Priority    int    `json:"priority,omitempty"`
+	Tenant      string `json:"tenant,omitempty"`
 	ResultBytes int64  `json:"result_bytes,omitempty"`
 	// Stages shows a running filtered job's prefilter/rescore progress.
 	Stages map[string]jobs.StageCount `json:"stages,omitempty"`
@@ -55,6 +56,7 @@ func viewOf(j jobs.Job) JobView {
 		Align:       j.Request.Align,
 		Mode:        j.Request.Mode,
 		Priority:    j.Request.Priority,
+		Tenant:      j.Request.Tenant,
 		ResultBytes: j.ResultBytes,
 		Stages:      j.Stages,
 		Shards:      j.Shards,

@@ -1,0 +1,95 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+// submitAs POSTs a job for a tenant via the X-Tenant header and returns
+// the response and decoded body.
+func submitAs(t *testing.T, url, tenant, fasta string) (*http.Response, map[string]any) {
+	t.Helper()
+	raw, _ := json.Marshal(SearchRequest{QueriesFasta: fasta, TopK: 1})
+	req, err := http.NewRequest("POST", url+"/jobs", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	return resp, body
+}
+
+// The X-Tenant header outranks the body field, and the resolved tenant is
+// visible when polling the job.
+func TestTenantHeaderPrecedence(t *testing.T) {
+	_, ts := testServerOpts(t, Options{})
+	raw, _ := json.Marshal(SearchRequest{QueriesFasta: ">q\nMKVLAA", TopK: 1, Tenant: "bodyteam"})
+	req, err := http.NewRequest("POST", ts.URL+"/jobs", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Tenant", "headerteam")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Tenant != "headerteam" {
+		t.Fatalf("job tenant = %q, want the X-Tenant header value", v.Tenant)
+	}
+	got := pollJob(t, ts.URL, v.ID, jobs.StateDone)
+	if got.Tenant != "headerteam" {
+		t.Fatalf("polled tenant = %q", got.Tenant)
+	}
+}
+
+// Tenant names are queue buckets and metrics labels; reject anything
+// outside [a-zA-Z0-9._-] or longer than 64 characters before it gets in.
+func TestBadTenantRejected(t *testing.T) {
+	_, ts := testServerOpts(t, Options{})
+	for _, bad := range []string{"no/slash", "no space", strings.Repeat("x", 65)} {
+		resp, body := submitAs(t, ts.URL, bad, ">q\nMKVLAA")
+		if resp.StatusCode != http.StatusUnprocessableEntity || body["reason"] != "bad_tenant" {
+			t.Errorf("tenant %q: status %d reason %v, want 422/bad_tenant", bad, resp.StatusCode, body["reason"])
+		}
+	}
+}
+
+// An over-quota tenant gets 429 with a Retry-After hint — and only that
+// tenant: a co-tenant's submissions are untouched.
+func TestTenantQuota429(t *testing.T) {
+	_, ts := testServerOpts(t, Options{Jobs: jobs.Config{
+		Executors: -1, // no executors: jobs stay queued, quotas stay held
+		Tenants:   map[string]jobs.TenantConfig{"capped": {MaxOutstanding: 1}},
+	}})
+	if resp, body := submitAs(t, ts.URL, "capped", ">q1\nMKVLAA"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d %v", resp.StatusCode, body)
+	}
+	resp, body := submitAs(t, ts.URL, "capped", ">q2\nMKVLAW")
+	if resp.StatusCode != http.StatusTooManyRequests || body["reason"] != "tenant_quota" {
+		t.Fatalf("over-quota submit: status %d reason %v, want 429/tenant_quota", resp.StatusCode, body["reason"])
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	if resp, body := submitAs(t, ts.URL, "other", ">q3\nMKVLAY"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("co-tenant submit hit the quota: %d %v", resp.StatusCode, body)
+	}
+}

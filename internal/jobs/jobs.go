@@ -76,6 +76,14 @@ type Request struct {
 	Priority     int    `json:"priority,omitempty"`
 	Queries      int    `json:"queries,omitempty"`
 	Residues     int64  `json:"residues,omitempty"`
+	// Tenant names the submitter for quota enforcement and fair queueing.
+	// Empty is the anonymous tenant. Tenant is deliberately NOT part of the
+	// cache identity: results depend only on the query and the database, so
+	// tenants share cache entries (and identical in-flight submissions
+	// coalesce across tenants without charging the later tenant's quota).
+	// Because Request is embedded in the persisted Job record, tenancy
+	// rides the WAL for free and survives a restart.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // StageCount is one pipeline stage's progress: queries completed vs total.
@@ -170,9 +178,19 @@ type Config struct {
 	// MaxJobs bounds retained terminal job records (oldest-finished pruned
 	// at snapshot time); 0 means DefaultMaxJobs.
 	MaxJobs int
-	// RetryAfter is the hint attached to queue-full rejections; 0 means
+	// RetryAfter is the base hint attached to backpressure rejections; the
+	// actual hint scales with queue depth (see RetryAfterFor). 0 means
 	// DefaultRetryAfter.
 	RetryAfter time.Duration
+	// TenantPolicy selects the cross-tenant dequeue order (fifo|wfq|drf);
+	// the zero value keeps the legacy single priority FIFO.
+	TenantPolicy TenantPolicy
+	// Tenants maps tenant names to their scheduling contracts (weights and
+	// quotas); TenantDefaults applies to unlisted tenants. Zero values mean
+	// weight 1 and no quotas, which keeps single-tenant deployments
+	// entirely unaffected.
+	Tenants        map[string]TenantConfig
+	TenantDefaults TenantConfig
 	// Metrics, when non-nil, instruments every transition (see NewMetrics).
 	Metrics *Metrics
 }
@@ -208,6 +226,7 @@ type Manager struct {
 	jobs     map[string]*job
 	byKey    map[string]*job
 	q        *queue
+	book     *TenantBook
 	stopped  bool
 	draining bool
 }
@@ -244,6 +263,7 @@ func New(cfg Config) (*Manager, error) {
 	}
 	//swcheck:ignore ctxflow the Manager's base ctx outlives any submitter: queued jobs survive caller disconnects and re-run after recovery, so it must root at Background
 	base, abort := context.WithCancel(context.Background())
+	book := NewTenantBook(cfg.TenantPolicy, cfg.Tenants, cfg.TenantDefaults)
 	m := &Manager{
 		cfg:     cfg,
 		backend: backend,
@@ -252,7 +272,8 @@ func New(cfg Config) (*Manager, error) {
 		cache:   newLRU(cfg.CacheBytes),
 		jobs:    map[string]*job{},
 		byKey:   map[string]*job{},
-		q:       newQueue(cfg.MaxQueue),
+		q:       newQueue(cfg.MaxQueue, book),
+		book:    book,
 	}
 	m.cond = sync.NewCond(&m.mu)
 	if cfg.Dir != "" {
@@ -371,12 +392,20 @@ func (m *Manager) Submit(req Request, async bool) (Job, error) {
 		m.logLocked(j)
 		return j.snapshot(), nil
 	}
+	if rej := m.book.Admit(req.Tenant, req.Residues); rej != nil {
+		m.countRejectLocked("tenant_quota")
+		if mm := m.cfg.Metrics; mm != nil {
+			mm.TenantRejected.With(tenantLabel(req.Tenant)).Inc()
+		}
+		rej.RetryAfter = RetryAfterFor(m.cfg.RetryAfter, m.q.len(), m.cfg.Executors)
+		return Job{}, rej
+	}
 	if m.q.len() >= m.cfg.MaxQueue {
 		m.countRejectLocked("queue_full")
 		return Job{}, &RejectError{
 			Reason:     "queue_full",
 			Detail:     fmt.Sprintf("queue is full (%d jobs)", m.q.len()),
-			RetryAfter: m.cfg.RetryAfter,
+			RetryAfter: RetryAfterFor(m.cfg.RetryAfter, m.q.len(), m.cfg.Executors),
 		}
 	}
 	j := m.newJobLocked(key, req, async)
@@ -388,9 +417,30 @@ func (m *Manager) Submit(req Request, async bool) (Job, error) {
 		mm.CacheMisses.Inc()
 		mm.QueueDepth.Set(float64(m.q.len()))
 	}
+	m.syncTenantLocked(req.Tenant)
 	m.logLocked(j)
 	m.cond.Signal()
 	return j.snapshot(), nil
+}
+
+// tenantLabel is the metric label for a tenant; the anonymous tenant
+// renders as "default".
+func tenantLabel(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	return tenant
+}
+
+// syncTenantLocked refreshes one tenant's queued/running gauges.
+func (m *Manager) syncTenantLocked(tenant string) {
+	mm := m.cfg.Metrics
+	if mm == nil {
+		return
+	}
+	label := tenantLabel(tenant)
+	mm.TenantQueued.With(label).Set(float64(m.book.Queued(tenant)))
+	mm.TenantRunning.With(label).Set(float64(m.book.Running(tenant)))
 }
 
 // admit applies the per-request size caps (no lock needed: caps are
@@ -548,6 +598,7 @@ func (m *Manager) executor() {
 			mm.ExecutorsBusy.Inc()
 			mm.WaitSeconds.Observe(j.Started.Sub(j.Created).Seconds())
 		}
+		m.syncTenantLocked(j.Request.Tenant)
 		m.logLocked(j)
 		req := j.Request
 		m.mu.Unlock()
@@ -563,23 +614,31 @@ func (m *Manager) executor() {
 			j.ResultBytes = int64(len(body))
 			m.setStateLocked(j, StateDone)
 			m.storeResultLocked(j.Key, body)
+			m.book.Finish(req.Tenant, req.Residues, true)
+			if mm := m.cfg.Metrics; mm != nil {
+				mm.TenantServed.With(tenantLabel(req.Tenant)).Add(float64(req.Residues))
+			}
 			m.finishLocked(j, "done")
 		case j.canceled:
 			j.Error = context.Canceled.Error()
 			m.setStateLocked(j, StateCanceled)
+			m.book.Finish(req.Tenant, req.Residues, false)
 			m.finishLocked(j, "canceled")
 		case m.base.Err() != nil:
 			// Shutdown aborted the run: the job goes back to queued so the
 			// next boot re-executes it; done stays open.
 			j.Started, j.Finished = time.Time{}, time.Time{}
 			m.setStateLocked(j, StateQueued)
+			m.book.Finish(req.Tenant, req.Residues, false)
 			m.q.forcePush(j)
 			m.logLocked(j)
 		default:
 			j.Error = err.Error()
 			m.setStateLocked(j, StateFailed)
+			m.book.Finish(req.Tenant, req.Residues, false)
 			m.finishLocked(j, "failed")
 		}
+		m.syncTenantLocked(req.Tenant)
 		if mm := m.cfg.Metrics; mm != nil {
 			mm.ExecutorsBusy.Dec()
 			if !j.Finished.IsZero() {
@@ -733,6 +792,7 @@ func (m *Manager) cancelLocked(j *job) {
 		if mm := m.cfg.Metrics; mm != nil {
 			mm.QueueDepth.Set(float64(m.q.len()))
 		}
+		m.syncTenantLocked(j.Request.Tenant)
 		m.finishLocked(j, "canceled")
 	case StateRunning:
 		j.canceled = true

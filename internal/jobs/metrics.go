@@ -31,6 +31,12 @@ type Metrics struct {
 	CacheBytes    *metrics.Gauge
 	ByState       *metrics.GaugeVec
 
+	// Per-tenant families (the "default" label is the anonymous tenant).
+	TenantQueued   *metrics.GaugeVec
+	TenantRunning  *metrics.GaugeVec
+	TenantRejected *metrics.CounterVec
+	TenantServed   *metrics.CounterVec
+
 	WaitSeconds *metrics.Histogram
 	RunSeconds  *metrics.Histogram
 	ResultBytes *metrics.Histogram
@@ -51,6 +57,10 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 		ExecutorsBusy:  r.Gauge("jobs_executors_busy", "Executors currently running a job."),
 		CacheBytes:     r.Gauge("jobs_cache_bytes", "Bytes held by the in-memory result cache."),
 		ByState:        r.GaugeVec("jobs_by_state", "Jobs currently tracked, by state.", "state"),
+		TenantQueued:   r.GaugeVec("tenant_queued_jobs", "Jobs waiting for an executor, by tenant.", "tenant"),
+		TenantRunning:  r.GaugeVec("tenant_running_jobs", "Jobs currently executing, by tenant.", "tenant"),
+		TenantRejected: r.CounterVec("tenant_rejected_total", "Submissions rejected by per-tenant quota, by tenant.", "tenant"),
+		TenantServed:   r.CounterVec("tenant_served_residues_total", "Query residues successfully served, by tenant.", "tenant"),
 		WaitSeconds:    r.Histogram("jobs_wait_seconds", "Time from submission to execution start.", WaitBuckets),
 		RunSeconds:     r.Histogram("jobs_run_seconds", "Job execution time.", RunBuckets),
 		ResultBytes:    r.Histogram("jobs_result_bytes", "Encoded result size per executed job.", ResultBuckets),

@@ -1,32 +1,65 @@
 package jobs
 
-// queue is a bounded priority FIFO: jobs pop highest Priority first and in
-// submission order within a priority level. It is not safe for concurrent
-// use; the Manager serializes access under its mutex.
+import "sort"
+
+// queue is the Manager's bounded admission queue. Under TenantFIFO it is
+// the legacy single priority FIFO: jobs pop highest Priority first and in
+// submission order within a level, tenant-blind. Under TenantWFQ/TenantDRF
+// it keeps one priority FIFO per tenant and pops from the backlogged tenant
+// with the lowest virtual pass in the TenantBook — weighted fair queueing,
+// with priority ordering within (not across) tenants, so one tenant's
+// priority inflation cannot starve another. Every transition is mirrored
+// into the book so quota and fairness accounting stay exact. It is not safe
+// for concurrent use; the Manager serializes access under its mutex.
 type queue struct {
 	max   int
-	items []*job // sorted: higher priority first, then arrival order
+	book  *TenantBook
+	lists map[string][]*job
+	names []string // sorted keys of lists (deterministic pop scans)
+	n     int
 }
 
-func newQueue(max int) *queue { return &queue{max: max} }
+func newQueue(max int, book *TenantBook) *queue {
+	if book == nil {
+		book = NewTenantBook(TenantFIFO, nil, TenantConfig{})
+	}
+	return &queue{max: max, book: book, lists: map[string][]*job{}}
+}
 
-func (q *queue) len() int { return len(q.items) }
+func (q *queue) len() int { return q.n }
 
-// push appends j in priority position; it reports false when the queue is
-// at capacity (admission control rejects, it never blocks).
+// listKey buckets a job: one global list under FIFO, per-tenant otherwise.
+func (q *queue) listKey(j *job) string {
+	if q.book.Policy() == TenantFIFO {
+		return ""
+	}
+	return j.Request.Tenant
+}
+
+// push appends j in priority position within its bucket; it reports false
+// when the queue is at capacity (admission control rejects, never blocks).
 func (q *queue) push(j *job) bool {
-	if q.max > 0 && len(q.items) >= q.max {
+	if q.max > 0 && q.n >= q.max {
 		return false
+	}
+	key := q.listKey(j)
+	items, ok := q.lists[key]
+	if !ok {
+		q.names = append(q.names, key)
+		sort.Strings(q.names)
 	}
 	// Insert after the last item with priority >= j's: stable within a
 	// level. Queues are small (bounded); linear scan is fine.
-	i := len(q.items)
-	for i > 0 && q.items[i-1].Request.Priority < j.Request.Priority {
+	i := len(items)
+	for i > 0 && items[i-1].Request.Priority < j.Request.Priority {
 		i--
 	}
-	q.items = append(q.items, nil)
-	copy(q.items[i+1:], q.items[i:])
-	q.items[i] = j
+	items = append(items, nil)
+	copy(items[i+1:], items[i:])
+	items[i] = j
+	q.lists[key] = items
+	q.n++
+	q.book.Enqueue(j.Request.Tenant, j.Request.Residues)
 	return true
 }
 
@@ -40,26 +73,47 @@ func (q *queue) forcePush(j *job) {
 	q.max = max
 }
 
-// pop removes and returns the head, or nil when empty.
+// pop removes and returns the next job — the fair-queue head — or nil when
+// empty. The dequeue is charged to the tenant's pass in the book.
 func (q *queue) pop() *job {
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return nil
 	}
-	j := q.items[0]
-	copy(q.items, q.items[1:])
-	q.items[len(q.items)-1] = nil
-	q.items = q.items[:len(q.items)-1]
+	bestKey, have := "", false
+	var bestPass float64
+	for _, key := range q.names {
+		if len(q.lists[key]) == 0 {
+			continue
+		}
+		// Under FIFO there is a single bucket; otherwise the bucket key is
+		// the tenant and its pass decides.
+		pass := q.book.Pass(q.lists[key][0].Request.Tenant)
+		if !have || pass < bestPass {
+			bestKey, bestPass, have = key, pass, true
+		}
+	}
+	items := q.lists[bestKey]
+	j := items[0]
+	copy(items, items[1:])
+	items[len(items)-1] = nil
+	q.lists[bestKey] = items[:len(items)-1]
+	q.n--
+	q.book.Dequeue(j.Request.Tenant, j.Request.Queries, j.Request.Residues)
 	return j
 }
 
 // remove drops a specific job (cancellation of a queued job); it reports
 // whether the job was present.
 func (q *queue) remove(j *job) bool {
-	for i, it := range q.items {
+	key := q.listKey(j)
+	items := q.lists[key]
+	for i, it := range items {
 		if it == j {
-			copy(q.items[i:], q.items[i+1:])
-			q.items[len(q.items)-1] = nil
-			q.items = q.items[:len(q.items)-1]
+			copy(items[i:], items[i+1:])
+			items[len(items)-1] = nil
+			q.lists[key] = items[:len(items)-1]
+			q.n--
+			q.book.Remove(j.Request.Tenant, j.Request.Residues)
 			return true
 		}
 	}

@@ -18,7 +18,7 @@ func popOrder(q *queue) []string {
 }
 
 func TestQueuePriorityFIFO(t *testing.T) {
-	q := newQueue(10)
+	q := newQueue(10, nil)
 	for _, j := range []*job{qjob("a", 0), qjob("b", 1), qjob("c", 0), qjob("d", 1), qjob("e", 2)} {
 		if !q.push(j) {
 			t.Fatalf("push %s rejected", j.ID)
@@ -32,7 +32,7 @@ func TestQueuePriorityFIFO(t *testing.T) {
 }
 
 func TestQueueBoundAndForcePush(t *testing.T) {
-	q := newQueue(2)
+	q := newQueue(2, nil)
 	if !q.push(qjob("a", 0)) || !q.push(qjob("b", 0)) {
 		t.Fatal("pushes under capacity rejected")
 	}
@@ -58,7 +58,7 @@ func TestQueueBoundAndForcePush(t *testing.T) {
 }
 
 func TestQueueRemove(t *testing.T) {
-	q := newQueue(0)
+	q := newQueue(0, nil)
 	a, b, c := qjob("a", 0), qjob("b", 0), qjob("c", 0)
 	q.push(a)
 	q.push(b)

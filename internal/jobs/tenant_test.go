@@ -1,0 +1,421 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// RetryAfterFor's depth mapping is part of the HTTP contract (clients obey
+// Retry-After); pin it exactly.
+func TestRetryAfterForMapping(t *testing.T) {
+	base := 2 * time.Second
+	cases := []struct {
+		depth, executors int
+		want             time.Duration
+	}{
+		{0, 2, 2 * time.Second},
+		{4, 2, 4 * time.Second},
+		{64, 2, 34 * time.Second},
+		{240, 2, 60 * time.Second}, // capped at MaxRetryAfter
+		{10, 0, 12 * time.Second},  // executors clamps to 1
+		{-5, 2, 2 * time.Second},   // negative depth clamps to 0
+	}
+	for _, c := range cases {
+		if got := RetryAfterFor(base, c.depth, c.executors); got != c.want {
+			t.Errorf("RetryAfterFor(2s, %d, %d) = %v, want %v", c.depth, c.executors, got, c.want)
+		}
+	}
+	// Zero base falls back to the default hint.
+	if got := RetryAfterFor(0, 0, 1); got != DefaultRetryAfter {
+		t.Errorf("RetryAfterFor(0, 0, 1) = %v, want %v", got, DefaultRetryAfter)
+	}
+}
+
+func tjob(id, tenant string, prio, queries int, residues int64) *job {
+	return &job{Job: Job{ID: id, Request: Request{
+		Tenant: tenant, Priority: prio, Queries: queries, Residues: residues,
+	}}}
+}
+
+// Equal-weight WFQ alternates between a heavy and a light tenant instead of
+// draining the heavy tenant's backlog first.
+func TestWFQDequeueAlternates(t *testing.T) {
+	book := NewTenantBook(TenantWFQ, nil, TenantConfig{})
+	q := newQueue(0, book)
+	for i := 0; i < 4; i++ {
+		q.push(tjob(fmt.Sprintf("a%d", i), "alice", 0, 1, 100))
+	}
+	for i := 0; i < 2; i++ {
+		q.push(tjob(fmt.Sprintf("b%d", i), "bob", 0, 1, 100))
+	}
+	if got, want := fmt.Sprint(popOrder(q)), "[a0 b0 a1 b1 a2 a3]"; got != want {
+		t.Fatalf("pop order %s, want %s", got, want)
+	}
+}
+
+// A weight-2 tenant is charged half per dequeue and receives twice the
+// service of a weight-1 tenant with the same demand.
+func TestWFQWeightsSkewService(t *testing.T) {
+	cfg := map[string]TenantConfig{"alice": {Weight: 2}}
+	book := NewTenantBook(TenantWFQ, cfg, TenantConfig{})
+	q := newQueue(0, book)
+	for i := 0; i < 4; i++ {
+		q.push(tjob(fmt.Sprintf("a%d", i), "alice", 0, 1, 100))
+		q.push(tjob(fmt.Sprintf("b%d", i), "bob", 0, 1, 100))
+	}
+	var first6 []string
+	for i := 0; i < 6; i++ {
+		first6 = append(first6, q.pop().ID)
+	}
+	na := 0
+	for _, id := range first6 {
+		if id[0] == 'a' {
+			na++
+		}
+	}
+	if na != 4 {
+		t.Fatalf("weight-2 tenant got %d of first 6 pops (%v), want 4", na, first6)
+	}
+}
+
+// DRF charges each request by its dominant dimension: a many-queries tenant
+// and a many-residues tenant with equal dominant shares alternate.
+func TestDRFChargesDominantDimension(t *testing.T) {
+	book := NewTenantBook(TenantDRF, nil, TenantConfig{})
+	q := newQueue(0, book)
+	for i := 0; i < 3; i++ {
+		// alice: residue-heavy (2 in residue share, negligible in queries).
+		q.push(tjob(fmt.Sprintf("a%d", i), "alice", 0, 1, 2*DRFRefResidues))
+		// bob: query-heavy (2 in query share, negligible in residues).
+		q.push(tjob(fmt.Sprintf("b%d", i), "bob", 0, 2*DRFRefQueries, 16))
+	}
+	if got, want := fmt.Sprint(popOrder(q)), "[a0 b0 a1 b1 a2 b2]"; got != want {
+		t.Fatalf("pop order %s, want %s", got, want)
+	}
+}
+
+// With a single tenant, WFQ degenerates to the legacy priority FIFO.
+func TestWFQSingleTenantMatchesFIFO(t *testing.T) {
+	book := NewTenantBook(TenantWFQ, nil, TenantConfig{})
+	q := newQueue(0, book)
+	for _, j := range []*job{
+		tjob("a", "x", 0, 1, 10), tjob("b", "x", 1, 1, 10),
+		tjob("c", "x", 0, 1, 10), tjob("d", "x", 1, 1, 10), tjob("e", "x", 2, 1, 10),
+	} {
+		q.push(j)
+	}
+	if got, want := fmt.Sprint(popOrder(q)), "[e b d a c]"; got != want {
+		t.Fatalf("pop order %s, want %s", got, want)
+	}
+}
+
+// An over-quota submission is rejected with the machine-readable reason the
+// HTTP layer maps to 429, a depth-scaled Retry-After, and a per-tenant
+// rejection count; other tenants are unaffected and the quota frees when
+// the outstanding job finishes.
+func TestTenantQuotaRejectsAndFrees(t *testing.T) {
+	mm := NewMetrics(metrics.NewRegistry())
+	release := make(chan struct{})
+	m, err := New(Config{
+		Executors:    1,
+		Metrics:      mm,
+		RetryAfter:   2 * time.Second,
+		TenantPolicy: TenantDRF,
+		Tenants:      map[string]TenantConfig{"alice": {MaxOutstanding: 1}},
+		Run: func(ctx context.Context, r Request) ([]byte, error) {
+			select {
+			case <-release:
+				return []byte("{}"), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+
+	sub := func(fasta, tenant string) (Job, error) {
+		r := req(fasta)
+		r.Tenant = tenant
+		return m.Submit(r, true)
+	}
+	first, err := sub(">a\nMKVL", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sub(">b\nAAAA", "alice")
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Reason != "tenant_quota" {
+		t.Fatalf("over-quota submit: err = %v, want tenant_quota rejection", err)
+	}
+	if rej.RetryAfter != 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want the 2s base at an empty queue", rej.RetryAfter)
+	}
+	if got := mm.TenantRejected.With("alice").Value(); got != 1 {
+		t.Fatalf("tenant_rejected_total{alice} = %v, want 1", got)
+	}
+	// Another tenant is not throttled by alice's quota.
+	other, err := sub(">c\nCCCC", "bob")
+	if err != nil {
+		t.Fatalf("bob's submit rejected: %v", err)
+	}
+
+	close(release)
+	waitState(t, m, first.ID, StateDone)
+	waitState(t, m, other.ID, StateDone)
+
+	// Quota is outstanding-based: it frees on completion.
+	again, err := sub(">d\nDDDD", "alice")
+	if err != nil {
+		t.Fatalf("post-completion submit rejected: %v", err)
+	}
+	waitState(t, m, again.ID, StateDone)
+	if got := mm.TenantQueued.With("alice").Value(); got != 0 {
+		t.Fatalf("tenant_queued_jobs{alice} = %v after drain, want 0", got)
+	}
+	if got := mm.TenantRunning.With("alice").Value(); got != 0 {
+		t.Fatalf("tenant_running_jobs{alice} = %v after drain, want 0", got)
+	}
+	if got := mm.TenantServed.With("alice").Value(); got == 0 {
+		t.Fatal("tenant_served_residues_total{alice} stayed 0 after two served jobs")
+	}
+}
+
+// The residue quota rejects a single request that would exceed it.
+func TestTenantResidueQuota(t *testing.T) {
+	m, err := New(Config{
+		Executors:      1,
+		TenantDefaults: TenantConfig{MaxOutstandingResidues: 100},
+		Run:            func(context.Context, Request) ([]byte, error) { return []byte("{}"), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+	big := Request{QueriesFasta: ">q\nM", Queries: 1, Residues: 101, Tenant: "eve"}
+	_, err = m.Submit(big, true)
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Reason != "tenant_quota" {
+		t.Fatalf("err = %v, want tenant_quota", err)
+	}
+}
+
+// Recovery rebuilds tenant accounting from the WAL: a queued job recovered
+// with a tenant lands in that tenant's book, not the anonymous bucket.
+func TestRecoveryPreservesTenancy(t *testing.T) {
+	dir := t.TempDir()
+	rec := Job{
+		ID:      "j-tenant",
+		Key:     "ktenant",
+		State:   StateQueued,
+		Request: Request{QueriesFasta: ">q\nMKVL", Queries: 1, Residues: 4, Tenant: "alice"},
+		Created: time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC),
+	}
+	line, err := MarshalRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walName), line, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	m, err := New(Config{
+		Executors:    1,
+		Dir:          dir,
+		TenantPolicy: TenantWFQ,
+		Run: func(ctx context.Context, r Request) ([]byte, error) {
+			select {
+			case <-release:
+				return []byte("{}"), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+	waitState(t, m, "j-tenant", StateRunning)
+	m.mu.Lock()
+	running := m.book.Running("alice")
+	check := m.book.Check()
+	m.mu.Unlock()
+	if running != 1 {
+		t.Fatalf("recovered tenant running = %d, want 1", running)
+	}
+	if check != nil {
+		t.Fatalf("book audit after recovery: %v", check)
+	}
+	close(release)
+	j := waitState(t, m, "j-tenant", StateDone)
+	if j.Request.Tenant != "alice" {
+		t.Fatalf("recovered job lost its tenant: %+v", j.Request)
+	}
+}
+
+// driveFairQueue runs a randomized interleaving of push/pop/remove/finish
+// against the fair queue and its book, checking after every step that (a)
+// quota accounting never goes negative, (b) pops respect each tenant's
+// priority-then-FIFO order, (c) no job is duplicated or lost, and (d) the
+// book's queued counts agree with a shadow model.
+func driveFairQueue(t testing.TB, seed int64, policy TenantPolicy) {
+	rng := rand.New(rand.NewSource(seed))
+	tenants := []string{"", "alice", "bob", "carol"}
+	cfg := map[string]TenantConfig{
+		"alice": {Weight: 2},
+		"bob":   {MaxOutstanding: 8},
+		"carol": {MaxOutstandingResidues: 1 << 20},
+	}
+	book := NewTenantBook(policy, cfg, TenantConfig{})
+	q := newQueue(16, book)
+	model := map[string][]*job{} // expected within-tenant pop order
+	queued := map[*job]bool{}
+	var running []*job
+	popped := map[string]bool{}
+	next := 0
+	lastVclock := -1.0
+
+	step := func(op int) {
+		switch k := rng.Intn(10); {
+		case k < 5: // push
+			tn := tenants[rng.Intn(len(tenants))]
+			j := tjob(fmt.Sprintf("j%d", next), tn, rng.Intn(4), 1+rng.Intn(100), int64(1+rng.Intn(1<<20)))
+			next++
+			if rej := book.Admit(tn, j.Request.Residues); rej != nil {
+				return
+			}
+			if !q.push(j) {
+				return // global bound
+			}
+			items := model[tn]
+			i := len(items)
+			for i > 0 && items[i-1].Request.Priority < j.Request.Priority {
+				i--
+			}
+			items = append(items, nil)
+			copy(items[i+1:], items[i:])
+			items[i] = j
+			model[tn] = items
+			queued[j] = true
+		case k < 8: // pop
+			j := q.pop()
+			if j == nil {
+				if q.len() != 0 {
+					t.Fatalf("seed %d op %d: empty pop but len=%d", seed, op, q.len())
+				}
+				return
+			}
+			tn := j.Request.Tenant
+			if len(model[tn]) == 0 || model[tn][0] != j {
+				t.Fatalf("seed %d op %d: pop %s violated tenant %q priority/FIFO order", seed, op, j.ID, tn)
+			}
+			model[tn] = model[tn][1:]
+			if popped[j.ID] {
+				t.Fatalf("seed %d op %d: job %s popped twice", seed, op, j.ID)
+			}
+			popped[j.ID] = true
+			delete(queued, j)
+			running = append(running, j)
+		case k < 9: // finish a running job
+			if len(running) == 0 {
+				return
+			}
+			i := rng.Intn(len(running))
+			j := running[i]
+			running = append(running[:i], running[i+1:]...)
+			book.Finish(j.Request.Tenant, j.Request.Residues, rng.Intn(2) == 0)
+		default: // cancel a random queued job
+			var cand []*job
+			for j := range queued {
+				cand = append(cand, j)
+			}
+			if len(cand) == 0 {
+				return
+			}
+			sort.Slice(cand, func(a, b int) bool { return cand[a].ID < cand[b].ID })
+			j := cand[rng.Intn(len(cand))]
+			if !q.remove(j) {
+				t.Fatalf("seed %d op %d: remove of queued %s failed", seed, op, j.ID)
+			}
+			delete(queued, j)
+			items := model[j.Request.Tenant]
+			for i, it := range items {
+				if it == j {
+					model[j.Request.Tenant] = append(items[:i], items[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	for op := 0; op < 400; op++ {
+		step(op)
+		if err := book.Check(); err != nil {
+			t.Fatalf("seed %d op %d: %v", seed, op, err)
+		}
+		for _, tn := range tenants {
+			if got, want := book.Queued(tn), len(model[tn]); got != want {
+				t.Fatalf("seed %d op %d: book.Queued(%q)=%d, model=%d", seed, op, tn, got, want)
+			}
+			if p := book.Pass(tn); p < 0 {
+				t.Fatalf("seed %d op %d: negative pass for %q", seed, op, tn)
+			}
+		}
+		if book.vclock < lastVclock {
+			t.Fatalf("seed %d op %d: vclock went backwards (%v -> %v)", seed, op, lastVclock, book.vclock)
+		}
+		lastVclock = book.vclock
+	}
+	// Drain: everything still queued pops exactly once, nothing is lost.
+	for j := q.pop(); j != nil; j = q.pop() {
+		tn := j.Request.Tenant
+		if len(model[tn]) == 0 || model[tn][0] != j {
+			t.Fatalf("seed %d drain: pop %s out of order for %q", seed, j.ID, tn)
+		}
+		model[tn] = model[tn][1:]
+		if popped[j.ID] {
+			t.Fatalf("seed %d drain: job %s popped twice", seed, j.ID)
+		}
+		popped[j.ID] = true
+	}
+	for tn, items := range model {
+		if len(items) != 0 {
+			t.Fatalf("seed %d: tenant %q lost %d queued jobs", seed, tn, len(items))
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("seed %d: queue reports %d after drain", seed, q.len())
+	}
+}
+
+// TestFairQueueProperty sweeps the randomized interleaving across a pinned
+// seed matrix for every policy.
+func TestFairQueueProperty(t *testing.T) {
+	for _, policy := range []TenantPolicy{TenantFIFO, TenantWFQ, TenantDRF} {
+		for seed := int64(1); seed <= 20; seed++ {
+			driveFairQueue(t, seed, policy)
+		}
+	}
+}
+
+// FuzzFairQueue lets the fuzzer hunt for interleavings the pinned matrix
+// misses; the corpus seeds mirror the property test.
+func FuzzFairQueue(f *testing.F) {
+	f.Add(int64(1), byte(0))
+	f.Add(int64(2), byte(1))
+	f.Add(int64(3), byte(2))
+	f.Fuzz(func(t *testing.T, seed int64, policyByte byte) {
+		driveFairQueue(t, seed, TenantPolicy(policyByte%3))
+	})
+}

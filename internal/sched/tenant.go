@@ -1,0 +1,291 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+)
+
+// PreemptReason classifies why a replicated task copy was revoked.
+type PreemptReason int
+
+const (
+	// PreemptShare marks a revocation driven by dominant-resource fairness:
+	// the victim's tenant held a dominant share far above an underserved
+	// tenant with ready work.
+	PreemptShare PreemptReason = iota
+	// PreemptPriority marks a revocation driven by task priority: ready
+	// work of strictly higher priority existed while a replicated copy of
+	// lower-priority work occupied the slave.
+	PreemptPriority
+)
+
+// String returns the reason label used in logs, traces and tests.
+func (r PreemptReason) String() string {
+	switch r {
+	case PreemptShare:
+		return "share"
+	case PreemptPriority:
+		return "priority"
+	default:
+		return fmt.Sprintf("PreemptReason(%d)", int(r))
+	}
+}
+
+// PreemptEvent records one preemption for traces and the simulator's
+// sole-copy-never-preempted invariant: Survivors is the executor count of
+// the task immediately after the revoked copy was dropped, and must always
+// be at least 1.
+type PreemptEvent struct {
+	At        time.Duration
+	Task      TaskID
+	Tenant    string
+	Slave     SlaveID
+	Reason    PreemptReason
+	Survivors int
+}
+
+// tenantShare is the coordinator's per-tenant allocation ledger. running
+// holds in-flight cells bucketed by the slave kind each task was first
+// granted to (its "home" kind) — the resource vector of dominant-resource
+// fairness, where each hardware class is one divisible resource. Replica
+// copies are deliberately not charged: DRF shares describe what a tenant
+// holds, and a replica adds no held work, only redundancy.
+type tenantShare struct {
+	weight    float64
+	doneCells int64
+	running   map[SlaveKind]int64
+	homeKind  map[TaskID]SlaveKind
+}
+
+// tenantOf returns (creating on first use) the share ledger for a tenant.
+func (c *Coordinator) tenantOf(name string) *tenantShare {
+	ts := c.tenants[name]
+	if ts == nil {
+		w := c.cfg.Tenants[name]
+		if w <= 0 {
+			w = 1
+		}
+		ts = &tenantShare{
+			weight:   w,
+			running:  map[SlaveKind]int64{},
+			homeKind: map[TaskID]SlaveKind{},
+		}
+		c.tenants[name] = ts
+	}
+	return ts
+}
+
+// tenantGrant charges a first-copy grant to the tenant's ledger under the
+// granting slave's hardware kind.
+func (c *Coordinator) tenantGrant(t Task, kind SlaveKind) {
+	if !c.mixedTenants {
+		return
+	}
+	ts := c.tenantOf(t.Tenant)
+	ts.running[kind] += t.Cells
+	ts.homeKind[t.ID] = kind
+}
+
+// tenantRelease removes a task from its tenant's in-flight ledger (the task
+// finished or fell back to ready). done marks an accepted completion, which
+// also credits the tenant's served total.
+func (c *Coordinator) tenantRelease(t Task, done bool) {
+	if !c.mixedTenants {
+		return
+	}
+	ts := c.tenantOf(t.Tenant)
+	if k, ok := ts.homeKind[t.ID]; ok {
+		ts.running[k] -= t.Cells
+		if ts.running[k] < 0 {
+			ts.running[k] = 0
+		}
+		delete(ts.homeKind, t.ID)
+	}
+	if done {
+		ts.doneCells += t.Cells
+	}
+}
+
+// capacityByKind sums the current speed estimates of alive slaves per
+// hardware kind — the resource totals DRF shares are normalized against.
+// Slaves with no speed information count 1 "unit" so a freshly booted fleet
+// still yields usable shares.
+func (c *Coordinator) capacityByKind() map[SlaveKind]float64 {
+	cap := map[SlaveKind]float64{}
+	for i, s := range c.slaves {
+		if s.dead {
+			continue
+		}
+		v := c.SpeedOf(SlaveID(i))
+		if v <= 0 {
+			v = 1
+		}
+		cap[s.info.Kind] += v
+	}
+	return cap
+}
+
+// dominantScore is a tenant's dominant share divided by its weight: the
+// quantity DRF equalizes. The dominant share is the maximum, over hardware
+// kinds with nonzero capacity, of the tenant's in-flight cells on that kind
+// divided by the kind's total capacity.
+func dominantScore(ts *tenantShare, capacity map[SlaveKind]float64) float64 {
+	var dom float64
+	for k, cells := range ts.running {
+		cp := capacity[k]
+		if cp <= 0 || cells <= 0 {
+			continue
+		}
+		if sh := float64(cells) / cp; sh > dom {
+			dom = sh
+		}
+	}
+	return dom / ts.weight
+}
+
+// takeReadyFair is the tenant-aware grant path: up to n ready tasks for
+// slave id, each chosen from the most underserved tenant (minimum dominant
+// share over weight) that has admissible ready work; within a tenant,
+// highest priority first, then arrival order. Shares update between picks
+// so one multi-task grant cannot hand a whole batch to a single tenant.
+// With no tenants in play it degenerates to the historical FIFO take.
+func (c *Coordinator) takeReadyFair(n int, allow func(Task) bool, id SlaveID, now time.Duration) []Task {
+	if !c.mixedTenants {
+		return c.pool.TakeReadyFunc(n, allow, id, now)
+	}
+	kind := c.slaves[id].info.Kind
+	capacity := c.capacityByKind()
+	var out []Task
+	for len(out) < n {
+		// First admissible ready task per tenant, preferring priority then
+		// FIFO order (the readyFIFO is globally arrival-ordered, so the
+		// first hit at a given priority is that tenant's oldest).
+		head := map[string]TaskID{}
+		for _, rid := range c.pool.readyFIFO {
+			t := c.pool.entries[rid].task
+			if allow != nil && !allow(t) {
+				continue
+			}
+			prev, ok := head[t.Tenant]
+			if !ok || t.Priority > c.pool.entries[prev].task.Priority {
+				head[t.Tenant] = rid
+			}
+		}
+		if len(head) == 0 {
+			break
+		}
+		bestTenant, picked := "", TaskID(-1)
+		bestScore := 0.0
+		for name, rid := range head {
+			score := dominantScore(c.tenantOf(name), capacity)
+			if picked < 0 || score < bestScore || (score == bestScore && name < bestTenant) {
+				bestTenant, picked, bestScore = name, rid, score
+			}
+		}
+		t := c.pool.TakeReadyTask(picked, id, now)
+		c.tenantGrant(t, kind)
+		out = append(out, t)
+	}
+	return out
+}
+
+// PreemptLog returns every preemption event in time order.
+func (c *Coordinator) PreemptLog() []PreemptEvent { return c.preemptLog }
+
+// preemptFactor resolves the configured share-imbalance threshold.
+func (c *Coordinator) preemptFactor() float64 {
+	if c.cfg.PreemptFactor > 0 {
+		return c.cfg.PreemptFactor
+	}
+	return 1.5
+}
+
+// Preempt considers revoking one task copy from slave id to make room for
+// more deserving ready work. It is the inverse of the workload adjustment
+// mechanism and shares its safety spine: only *replicated* tasks — two or
+// more live executors — are ever preempted, so a preemption can never send
+// an executing task back to ready or lose sole-copy work. The revoked copy
+// is dropped from the slave and the pool (the surviving executors keep
+// running); the returned IDs are for the caller to deliver as protocol
+// cancellations, exactly like moot-replica cancels.
+//
+// A copy is revocable when a ready task R this slave could run satisfies
+// either trigger:
+//   - priority: R.Priority strictly exceeds the victim's, or
+//   - share: the victim tenant's dominant score exceeds R's tenant's by
+//     the configured factor (default 1.5×) — DRF rebalancing.
+//
+// At most one copy is revoked per call; callers invoke it on the progress
+// path, so the preemption rate is naturally bounded by the notification
+// interval.
+func (c *Coordinator) Preempt(id SlaveID, now time.Duration) []TaskID {
+	if !c.cfg.Preempt || c.slaves[id].dead || c.pool.Ready() == 0 {
+		return nil
+	}
+	allow := c.allowFor(id)
+	capacity := c.capacityByKind()
+
+	// The strongest claim among ready tasks this slave could take over:
+	// highest priority, and the lowest tenant score seen at that priority.
+	bestPrio := int(-1 << 31)
+	readyScore := map[string]float64{}
+	for _, rid := range c.pool.readyFIFO {
+		t := c.pool.entries[rid].task
+		if allow != nil && !allow(t) {
+			continue
+		}
+		if t.Priority > bestPrio {
+			bestPrio = t.Priority
+		}
+		if _, ok := readyScore[t.Tenant]; !ok {
+			readyScore[t.Tenant] = dominantScore(c.tenantOf(t.Tenant), capacity)
+		}
+	}
+	if len(readyScore) == 0 {
+		return nil
+	}
+	minReadyScore, haveScore := 0.0, false
+	for _, sc := range readyScore {
+		if !haveScore || sc < minReadyScore {
+			minReadyScore, haveScore = sc, true
+		}
+	}
+
+	s := c.slaves[id]
+	victim := TaskID(-1)
+	var victimScore float64
+	var reason PreemptReason
+	for _, tid := range s.order {
+		if c.pool.StateOf(tid) != Executing || len(c.pool.Executors(tid)) < 2 {
+			continue // sole copies are untouchable
+		}
+		t := c.pool.Task(tid)
+		vScore := dominantScore(c.tenantOf(t.Tenant), capacity)
+		switch {
+		case bestPrio > t.Priority:
+			if victim < 0 || vScore > victimScore {
+				victim, victimScore, reason = tid, vScore, PreemptPriority
+			}
+		case c.mixedTenants && vScore > minReadyScore*c.preemptFactor():
+			if victim < 0 || vScore > victimScore {
+				victim, victimScore, reason = tid, vScore, PreemptShare
+			}
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	t := c.pool.Task(victim)
+	s.drop(victim, t.Cells)
+	c.pool.Abandon(victim, id)
+	survivors := len(c.pool.Executors(victim))
+	c.preemptLog = append(c.preemptLog, PreemptEvent{
+		At: now, Task: victim, Tenant: t.Tenant, Slave: id,
+		Reason: reason, Survivors: survivors,
+	})
+	if m := c.cfg.Metrics; m != nil {
+		m.TasksPreempted.Inc()
+	}
+	c.syncGauges()
+	return []TaskID{victim}
+}

@@ -1,0 +1,384 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/jobs"
+	"repro/internal/sched"
+	"repro/internal/seq"
+	"repro/internal/wire"
+)
+
+// arrival is one tenant job flowing through the simulated front door:
+// scheduled at a virtual instant, checked against the tenant's quota
+// (jobs.TenantBook — the exact accounting the HTTP layer uses), submitted
+// to the running master as a tagged task, and tracked to completion for
+// the no-starvation and fairness invariants.
+type arrival struct {
+	tenant   string
+	index    int
+	residues int
+	priority int
+	maxWait  time.Duration
+
+	query     *seq.Sequence
+	tid       sched.TaskID
+	submitted bool
+	rejected  bool
+	admitAt   time.Duration
+	done      bool
+	doneAt    time.Duration
+}
+
+// fairEvent is one entry of the chronological fairness trace: an arrival
+// entering (+1) or completing (-1, carrying its task cells) a tenant's
+// backlog. The envy sweep replays it per tenant pair.
+type fairEvent struct {
+	at     time.Duration
+	tenant string
+	delta  int
+	cells  int64
+}
+
+// initTenants builds the front-door book and the arrival list (newRun).
+func (r *run) initTenants() {
+	cfg := map[string]jobs.TenantConfig{}
+	for _, t := range r.sc.Tenants {
+		cfg[t.Name] = jobs.TenantConfig{Weight: t.Weight, MaxOutstanding: t.MaxOutstanding}
+	}
+	r.book = jobs.NewTenantBook(jobs.TenantDRF, cfg, jobs.TenantConfig{})
+	r.taskMeta = map[sched.TaskID]*arrival{}
+	for _, t := range r.sc.Tenants {
+		for j := 0; j < t.Jobs; j++ {
+			a := &arrival{
+				tenant:   t.Name,
+				index:    j,
+				residues: t.Residues,
+				priority: t.Priority,
+				maxWait:  t.MaxWait,
+				query: seq.New(fmt.Sprintf("%s-j%02d", t.Name, j), "",
+					bytes.Repeat([]byte{'M'}, t.Residues)),
+			}
+			r.arrivals = append(r.arrivals, a)
+		}
+	}
+}
+
+// startTenants schedules every arrival (start).
+func (r *run) startTenants() {
+	for _, t := range r.sc.Tenants {
+		for _, a := range r.arrivals {
+			if a.tenant != t.Name {
+				continue
+			}
+			a := a
+			r.arrivalsLeft++
+			r.sim.Schedule(t.StartAt+time.Duration(a.index)*t.Every, func() { r.arrive(a) })
+		}
+	}
+}
+
+// arrive is the client knocking: with the master down the arrival defers
+// (the client retries after the restore), otherwise it goes through
+// admission.
+func (r *run) arrive(a *arrival) {
+	r.arrivalsLeft--
+	if !r.masterUp() {
+		r.deferred = append(r.deferred, a)
+		return
+	}
+	r.admit(a)
+}
+
+// admit runs one arrival through quota admission and, if accepted, submits
+// it to the running job. Rejection models the HTTP 429: the client goes
+// away; only admitted arrivals join the no-starvation contract.
+func (r *run) admit(a *arrival) {
+	now := r.sim.Now()
+	if rej := r.book.Admit(a.tenant, int64(a.residues)); rej != nil {
+		a.rejected = true
+		r.rejectedArrivals++
+		return
+	}
+	// The book's queued phase is instantaneous in this model: the fair
+	// queueing itself happens in the coordinator, the book carries quota
+	// and audit state.
+	r.book.Enqueue(a.tenant, int64(a.residues))
+	r.book.Dequeue(a.tenant, 1, int64(a.residues))
+	tid, err := r.core.Submit(a.query, a.tenant, a.priority)
+	if err != nil {
+		r.violatef("arrivals: submit %s: %v", a.query.ID, err)
+		return
+	}
+	a.tid = tid
+	a.submitted = true
+	a.admitAt = now
+	r.queries = append(r.queries, a.query)
+	r.taskMeta[tid] = a
+	r.appendLedger(tid, jobs.StateQueued)
+	r.fairTrace = append(r.fairTrace, fairEvent{at: now, tenant: a.tenant, delta: +1})
+}
+
+// resubmitArrivals replays submitted arrivals the restored checkpoint does
+// not carry (everything after the last synchronous checkpoint), in task-ID
+// order so pool numbering realigns with r.queries. Front-door state (book,
+// admit times) is durable across master restarts — the jobs layer owns it.
+func (r *run) resubmitArrivals(from int) {
+	for tid := from; tid < len(r.queries); tid++ {
+		a := r.taskMeta[sched.TaskID(tid)]
+		if a == nil {
+			r.violatef("restart: task %d has no arrival metadata", tid)
+			return
+		}
+		got, err := r.core.Submit(a.query, a.tenant, a.priority)
+		if err != nil {
+			r.violatef("restart: resubmit %s: %v", a.query.ID, err)
+			return
+		}
+		if got != a.tid {
+			r.violatef("restart: arrival %s realigned to task %d, was %d", a.query.ID, got, a.tid)
+		}
+	}
+}
+
+// drainDeferred re-admits arrivals that found the master down.
+func (r *run) drainDeferred() {
+	pending := r.deferred
+	r.deferred = nil
+	for _, a := range pending {
+		r.admit(a)
+	}
+}
+
+// arrivalsPending reports whether future or deferred arrivals exist — while
+// true, Done must not reach the slaves (persistent-service mode).
+func (r *run) arrivalsPending() bool {
+	return r.arrivalsLeft > 0 || len(r.deferred) > 0
+}
+
+// afterDispatch maintains the tenant/preemption bookkeeping around one
+// delivered envelope: completion accounting for tagged tasks, the
+// sole-copy-never-preempted audit, Done-stripping while arrivals remain,
+// and the jobDone latch.
+func (r *run) afterDispatch(req wire.Envelope, resp *wire.Envelope, now time.Duration) {
+	// Arrival completions: the accepted completion of a tagged task closes
+	// its front-door accounting and feeds the fairness trace.
+	if req.Complete != nil && resp.CompleteAck != nil && resp.CompleteAck.Accepted {
+		if a := r.taskMeta[req.Complete.Task]; a != nil && !a.done {
+			a.done = true
+			a.doneAt = now
+			r.book.Finish(a.tenant, int64(a.residues), true)
+			r.fairTrace = append(r.fairTrace, fairEvent{
+				at: now, tenant: a.tenant, delta: -1,
+				cells: r.core.Coordinator().Pool().Task(req.Complete.Task).Cells,
+			})
+		}
+	}
+
+	// Sole-copy audit: every preemption event must leave a survivor.
+	log := r.core.Coordinator().PreemptLog()
+	for i := r.preemptSeen; i < len(log); i++ {
+		r.preempts++
+		if log[i].Survivors < 1 {
+			r.violatef("preempt-safety: task %d preempted at %v with %d surviving copies",
+				log[i].Task, log[i].At, log[i].Survivors)
+		}
+	}
+	r.preemptSeen = len(log)
+
+	// Persistent service: while arrivals remain, Done must not reach the
+	// slaves — they would latch stopped and never serve the next arrival.
+	if r.arrivalsPending() {
+		if resp.Assign != nil && resp.Assign.Done {
+			resp.Assign.Done = false
+			resp.Assign.Standby = len(resp.Assign.Tasks) == 0
+		}
+		if resp.ProgressAck != nil {
+			resp.ProgressAck.Done = false
+		}
+		if resp.CompleteAck != nil {
+			resp.CompleteAck.Done = false
+		}
+	} else if r.core.Done() {
+		r.jobDone = true
+	}
+}
+
+// --- elastic pool -----------------------------------------------------
+
+// startAutoscale boots the controller and its observation ticker (start).
+func (r *run) startAutoscale() {
+	a := r.sc.Autoscale
+	if a == nil {
+		return
+	}
+	r.scaler = autoscale.New(autoscale.Config{
+		Min: a.Min, Max: a.Max,
+		UpAt: a.UpAt, DownAt: a.DownAt,
+		UpAfter: a.UpAfter, DownAfter: a.DownAfter,
+		Cooldown: a.Cooldown,
+	})
+	r.sim.After(a.Every, r.autoscaleTick)
+}
+
+// alivePool counts machines that could serve work right now.
+func (r *run) alivePool() int {
+	n := 0
+	for _, m := range r.machines {
+		if !m.crashed && !m.wedged && !m.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// autoscaleTick is the recurring observation: feed (ready backlog, alive
+// pool) to the controller and apply its action. Ticks pause while the
+// master is down (nothing to observe) and stop for good when the job is
+// done.
+func (r *run) autoscaleTick() {
+	if r.jobDone {
+		return
+	}
+	a := r.sc.Autoscale
+	if r.masterUp() {
+		pool := r.alivePool()
+		switch r.scaler.Observe(r.core.Coordinator().Pool().Ready(), pool, r.sim.Now()) {
+		case autoscale.Grow:
+			r.growElastic()
+		case autoscale.Shrink:
+			r.retireElastic()
+		case autoscale.Hold:
+		}
+		if after := r.alivePool(); after > a.Max {
+			r.violatef("autoscale-clamp: %d alive machines exceed Max %d", after, a.Max)
+		}
+	}
+	r.sim.After(a.Every, r.autoscaleTick)
+}
+
+// growElastic boots a fresh slave from the template after the boot delay.
+func (r *run) growElastic() {
+	spec := r.sc.Autoscale.Slave
+	spec.Name = fmt.Sprintf("%s-%d", spec.Name, r.autoSeq)
+	r.autoSeq++
+	m := newMachine(r, len(r.machines), spec)
+	m.elastic = true
+	r.machines = append(r.machines, m)
+	r.sim.After(r.sc.Autoscale.BootDelay, m.boot)
+}
+
+// retireElastic kills the most recently booted live elastic slave — the
+// scale-in path reuses the crash machinery, so the master hears SlaveGone
+// and requeues whatever the retiree held.
+func (r *run) retireElastic() {
+	for i := len(r.machines) - 1; i >= 0; i-- {
+		m := r.machines[i]
+		if m.elastic && !m.crashed && !m.wedged && !m.stopped {
+			m.crash()
+			return
+		}
+	}
+}
+
+// --- final invariants -------------------------------------------------
+
+// checkTenantsFinal runs the multi-tenancy invariant library at
+// quiescence: every admitted arrival completed (and inside its SLO), the
+// quota book audits clean, the scale-action budget held, and — when the
+// scenario asks — the pairwise DRF envy sweep.
+func (r *run) checkTenantsFinal() {
+	for _, a := range r.arrivals {
+		switch {
+		case a.rejected:
+			continue
+		case !a.submitted:
+			r.violatef("no-starvation: arrival %s-j%02d was never admitted (master down at arrival and never retried?)",
+				a.tenant, a.index)
+		case !a.done:
+			r.violatef("no-starvation: admitted arrival %s never completed", a.query.ID)
+		case a.maxWait > 0 && a.doneAt-a.admitAt > a.maxWait:
+			r.violatef("no-starvation: arrival %s waited %v, SLO %v (admitted %v, done %v)",
+				a.query.ID, a.doneAt-a.admitAt, a.maxWait, a.admitAt, a.doneAt)
+		}
+	}
+	if r.book != nil {
+		if err := r.book.Check(); err != nil {
+			r.violatef("quota-accounting: %v", err)
+		}
+		for _, t := range r.sc.Tenants {
+			if out, _ := r.book.Outstanding(t.Name); out != 0 {
+				r.violatef("quota-accounting: tenant %q ends with %d outstanding jobs", t.Name, out)
+			}
+		}
+	}
+	if r.scaler != nil {
+		if n := len(r.scaler.Decisions()); n > r.sc.Autoscale.MaxActions {
+			r.violatef("autoscale-stability: %d scale actions exceed the budget of %d (flapping): %+v",
+				n, r.sc.Autoscale.MaxActions, r.scaler.Decisions())
+		}
+	}
+	if r.sc.CheckFairShare {
+		r.checkEnvy()
+	}
+}
+
+// checkEnvy is the DRF envy-freeness sweep: for every tenant pair, replay
+// the fairness trace and total each side's weight-normalized served cells
+// during the windows where BOTH were backlogged. Fair scheduling keeps the
+// normalized totals close; a starved tenant watches the other complete
+// work all through its own backlog and fails loudly. Tolerance is relative
+// (FairTolerance of the pair's combined normalized service) plus an
+// absolute slack covering coarse-task granularity.
+func (r *run) checkEnvy() {
+	slack := float64(r.sc.FairSlackCells)
+	if slack <= 0 {
+		var maxCells int64
+		for _, a := range r.arrivals {
+			if c := int64(a.residues) * r.sc.DBResidues; c > maxCells {
+				maxCells = c
+			}
+		}
+		slack = 2 * float64(maxCells)
+	}
+	weight := map[string]float64{}
+	for _, t := range r.sc.Tenants {
+		weight[t.Name] = t.Weight
+	}
+	sawContention := false
+	for i := 0; i < len(r.sc.Tenants); i++ {
+		for j := i + 1; j < len(r.sc.Tenants); j++ {
+			na, nb := r.sc.Tenants[i].Name, r.sc.Tenants[j].Name
+			outs := map[string]int{}
+			var servedA, servedB int64
+			for _, e := range r.fairTrace {
+				if e.delta < 0 && outs[na] > 0 && outs[nb] > 0 {
+					sawContention = true
+					switch e.tenant {
+					case na:
+						servedA += e.cells
+					case nb:
+						servedB += e.cells
+					}
+				}
+				outs[e.tenant] += e.delta
+			}
+			normA := float64(servedA) / weight[na]
+			normB := float64(servedB) / weight[nb]
+			diff := normA - normB
+			if diff < 0 {
+				diff = -diff
+			}
+			if limit := r.sc.FairTolerance*(normA+normB) + slack; diff > limit {
+				r.violatef("drf-envy: tenants %q/%q diverge by %.3g normalized cells in contention (limit %.3g; served %d vs %d)",
+					na, nb, diff, limit, servedA, servedB)
+			}
+		}
+	}
+	if !sawContention && len(r.sc.Tenants) >= 2 {
+		r.violatef("drf-envy: CheckFairShare set but no two tenants were ever backlogged together — the scenario proves nothing")
+	}
+}

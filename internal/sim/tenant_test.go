@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTenantStarvationScenario is the acceptance invariant of the
+// multi-tenancy work: flood-vs-trickle at equal weight, swept over the
+// pinned property seed matrix. Every admitted arrival must complete, the
+// trickle tenant inside its DRF-derived SLO (a FIFO scheduler would blow
+// it by seconds), and the envy sweep must see real contention.
+func TestTenantStarvationScenario(t *testing.T) {
+	for _, seed := range propertySeeds {
+		sc := TenantStarvation(seed)
+		rep := mustRun(t, sc)
+		requireClean(t, rep)
+		if rep.Arrivals != 24 || rep.Rejected != 0 {
+			t.Errorf("seed %d: arrivals=%d rejected=%d, want 24/0", seed, rep.Arrivals, rep.Rejected)
+		}
+		// 1 seed task + 24 arrivals, each with exactly one result.
+		if len(rep.Results) != 25 {
+			t.Errorf("seed %d: %d results, want 25", seed, len(rep.Results))
+		}
+	}
+}
+
+// TestQuotaBurstScenario pins admission control: the greedy tenant's burst
+// must actually hit its MaxOutstanding cap (a run with no rejections never
+// exercised the quota), and everything admitted still completes.
+func TestQuotaBurstScenario(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rep := mustRun(t, QuotaBurst(seed))
+		requireClean(t, rep)
+		if rep.Rejected == 0 {
+			t.Errorf("seed %d: burst of 12 against MaxOutstanding 2 rejected nothing", seed)
+		}
+		if rep.Arrivals-rep.Rejected < 5 {
+			t.Errorf("seed %d: only %d of %d arrivals admitted", seed, rep.Arrivals-rep.Rejected, rep.Arrivals)
+		}
+	}
+}
+
+// TestPreemptStormScenario pins the preemption path end to end: the
+// scenario is built so the fast slave replicates the slow slave's task and
+// then loses that replica to a higher-priority arrival. Zero preemptions
+// means the path never fired; any sole-copy preemption is a violation the
+// invariant library reports on its own.
+func TestPreemptStormScenario(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rep := mustRun(t, PreemptStorm(seed))
+		requireClean(t, rep)
+		if rep.Replicas == 0 {
+			t.Errorf("seed %d: adjustment never replicated; the scenario lost its teeth", seed)
+		}
+		if rep.Preempts == 0 {
+			t.Errorf("seed %d: no preemption fired; the scenario lost its teeth", seed)
+		}
+	}
+}
+
+// TestAutoscaleFlapScenario pins elastic-pool stability under the pinned
+// seed matrix: the pool must grow for each burst (zero scale events means
+// the controller never reacted), stay within the flip budget — that
+// invariant lives in the run itself — and finish every arrival despite
+// scale-ins requeuing work.
+func TestAutoscaleFlapScenario(t *testing.T) {
+	for _, seed := range propertySeeds {
+		sc := AutoscaleFlap(seed)
+		rep := mustRun(t, sc)
+		requireClean(t, rep)
+		if rep.ScaleEvents == 0 {
+			t.Errorf("seed %d: autoscaler never acted under two bursts", seed)
+		}
+		if rep.Rejected != 0 {
+			t.Errorf("seed %d: %d arrivals rejected with no quotas set", seed, rep.Rejected)
+		}
+	}
+}
+
+// TestTenantArrivalsSurviveMasterRestart composes the two hard parts: a
+// master crash in the middle of a two-tenant arrival stream. Arrivals that
+// land while the master is down defer and retry after the restore;
+// arrivals admitted after the last checkpoint are resubmitted from the
+// front-door metadata; either way every admitted job completes exactly
+// once, which checkFinal verifies against the grown query list.
+func TestTenantArrivalsSurviveMasterRestart(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		sc := TenantStarvation(seed)
+		sc.Name = "tenant-restart"
+		// No SLO under a 400ms outage: deferred arrivals legitimately wait.
+		sc.Tenants[1].MaxWait = 0
+		sc.CheckFairShare = false
+		sc.TearWAL = true
+		sc.Restarts = []MasterRestart{{At: 700 * time.Millisecond, DownFor: 400 * time.Millisecond}}
+		rep := mustRun(t, sc)
+		requireClean(t, rep)
+		if rep.Restarts != 1 {
+			t.Errorf("seed %d: %d restarts, want 1", seed, rep.Restarts)
+		}
+	}
+}
+
+// TestFairShareDetectsStarvation is the invariant library testing itself:
+// feed checkEnvy a synthetic trace in which one backlogged tenant is
+// served everything and the other nothing, and the sweep must object. The
+// real scheduler passing the same check is only meaningful if this fails.
+func TestFairShareDetectsStarvation(t *testing.T) {
+	r := &run{sc: Scenario{
+		CheckFairShare: true,
+		FairTolerance:  0.10,
+		FairSlackCells: 1,
+		Tenants: []TenantSpec{
+			{Name: "served", Weight: 1},
+			{Name: "starved", Weight: 1},
+		},
+	}}
+	r.fairTrace = []fairEvent{
+		{at: 0, tenant: "served", delta: +1},
+		{at: 0, tenant: "starved", delta: +1},
+		{at: 1, tenant: "served", delta: -1, cells: 1000},
+		{at: 1, tenant: "served", delta: +1},
+		{at: 2, tenant: "served", delta: -1, cells: 1000},
+		{at: 3, tenant: "starved", delta: -1, cells: 10},
+	}
+	r.checkEnvy()
+	if len(r.violations) == 0 {
+		t.Fatal("one-sided service trace passed the envy sweep")
+	}
+}
